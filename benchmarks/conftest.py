@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+("bench") scale so the whole harness completes on a CPU-only machine.  The
+corpus and dataset are built once per session; heavyweight experiments are
+executed exactly once inside ``benchmark.pedantic(rounds=1)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.generator import ContractCorpusGenerator, CorpusConfig
+from repro.core.config import Scale
+from repro.core.dataset import PhishingDataset
+from repro.models.registry import DeepModelScale
+
+
+def bench_scale() -> Scale:
+    """The scale used across the benchmark harness."""
+    return Scale(
+        name="bench",
+        corpus=CorpusConfig(n_phishing=320, n_benign=200, seed=2025, hard_fraction=0.22),
+        dataset_size=260,
+        n_folds=3,
+        n_runs=1,
+        deep_folds=2,
+        deep_runs=1,
+        deep_scale=DeepModelScale.smoke(),
+        seed=2025,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def corpus(scale):
+    return ContractCorpusGenerator(scale.corpus).generate()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus, scale) -> PhishingDataset:
+    return PhishingDataset.build(corpus.records, target_size=scale.dataset_size, seed=scale.seed)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

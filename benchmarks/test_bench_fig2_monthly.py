@@ -1,0 +1,16 @@
+"""Bench: Fig. 2 — phishing contracts per month (obtained vs unique)."""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_bench_fig2_monthly_series(benchmark, scale, corpus):
+    series = benchmark(run_fig2, scale, corpus)
+    rows = series.rows()
+    assert len(rows) == 13
+    assert series.total_obtained >= series.total_unique
+    assert series.duplication_ratio > 1.0
+    print("\n[Fig. 2] month  obtained  unique")
+    for row in rows:
+        print(f"  {row['month']}  {row['obtained']:8d}  {row['unique']:6d}")
+    print(f"  total obtained={series.total_obtained} unique={series.total_unique} "
+          f"duplication x{series.duplication_ratio:.2f}")

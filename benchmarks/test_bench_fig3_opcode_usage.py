@@ -1,0 +1,14 @@
+"""Bench: Fig. 3 — opcode-usage distributions of benign vs phishing contracts."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3_opcode_usage(benchmark, dataset):
+    distribution = benchmark(run_fig3, dataset)
+    summaries = distribution.summaries()
+    assert len(summaries) == 20
+    # The paper's observation: classes overlap; no single opcode separates them.
+    assert distribution.no_single_opcode_separates()
+    print("\n[Fig. 3] opcode          benign-mean  phishing-mean")
+    for summary in summaries:
+        print(f"  {summary.opcode:16s} {summary.benign_mean:10.2f}  {summary.phishing_mean:12.2f}")

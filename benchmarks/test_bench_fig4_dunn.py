@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 — Dunn's pairwise test between model metrics."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.mem import ModelEvaluationModule
+from repro.experiments.posthoc import run_posthoc
+
+# ESCORT and the β variants are excluded from the post-hoc analysis, as in
+# the paper; SCSGuard provides the cross-family comparison.
+MODELS = ["Random Forest", "XGBoost", "k-NN", "Logistic Regression", "SCSGuard"]
+
+
+def test_bench_fig4_dunn_pairwise(benchmark, dataset, scale):
+    mem = ModelEvaluationModule(scale=scale)
+    suite = mem.evaluate_suite(MODELS, dataset)
+    experiment = run_once(benchmark, run_posthoc, suite, MODELS)
+    matrix = experiment.dunn_matrix("accuracy")
+    assert matrix.shape == (len(MODELS), len(MODELS))
+    assert np.allclose(matrix, matrix.T)
+    fractions = experiment.significant_fractions()
+    print("\n[Fig. 4] adjusted-p matrix (accuracy):")
+    header = "            " + "  ".join(f"{name[:10]:>10s}" for name in MODELS)
+    print(header)
+    for name, row in zip(MODELS, matrix):
+        print(f"{name[:10]:>10s}  " + "  ".join(f"{value:10.3f}" for value in row))
+    print("significant fractions:", {k: {kk: round(vv, 3) for kk, vv in v.items()} for k, v in fractions.items()})

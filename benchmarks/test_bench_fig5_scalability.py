@@ -1,0 +1,17 @@
+"""Bench: Fig. 5 — performance metrics of the best models per data split."""
+
+from conftest import run_once
+
+from repro.experiments.scalability import run_scalability
+
+MODELS = ["Random Forest", "SCSGuard", "ECA+EfficientNet"]
+
+
+def test_bench_fig5_scalability_metrics(benchmark, dataset, scale):
+    result = run_once(benchmark, run_scalability, dataset, scale, MODELS)
+    assert len(result.fig5_rows()) == 9
+    print("\n[Fig. 5] model              split  accuracy  precision  recall   f1")
+    for row in result.fig5_rows():
+        print(f"  {row['model']:18s} {row['split']:5.2f}  {row['accuracy']:.3f}     "
+              f"{row['precision']:.3f}     {row['recall']:.3f}   {row['f1']:.3f}")
+    print("shape checks:", result.shape_checks())

@@ -1,0 +1,22 @@
+"""Bench: Fig. 6 — critical difference diagram of the scalability study."""
+
+from conftest import run_once
+
+from repro.experiments.scalability import run_scalability
+
+MODELS = ["Random Forest", "SCSGuard", "ECA+EfficientNet"]
+
+
+def test_bench_fig6_critical_difference(benchmark, dataset, scale):
+    result = run_scalability(dataset, scale, MODELS)
+
+    def build_cdd():
+        return {metric: result.critical_difference(metric) for metric in ("accuracy", "f1", "precision", "recall")}
+
+    diagrams = run_once(benchmark, build_cdd)
+    assert set(diagrams) == {"accuracy", "f1", "precision", "recall"}
+    print("\n[Fig. 6]")
+    for metric, cdd in diagrams.items():
+        print(f"-- {metric} --")
+        print(cdd.render())
+    print("Cliff's delta (accuracy):", {k: round(v, 3) for k, v in result.cliffs_deltas("accuracy").items()})

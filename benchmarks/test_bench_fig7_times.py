@@ -1,0 +1,20 @@
+"""Bench: Fig. 7 — training and inference time of the best models per split."""
+
+from conftest import run_once
+
+from repro.experiments.scalability import run_scalability
+
+MODELS = ["Random Forest", "SCSGuard", "ECA+EfficientNet"]
+
+
+def test_bench_fig7_time_metrics(benchmark, dataset, scale):
+    result = run_once(benchmark, run_scalability, dataset, scale, MODELS)
+    rows = result.fig7_rows()
+    assert len(rows) == 9
+    # The paper's shape: the language model (SCSGuard) is by far the slowest.
+    scs_time = result.time_series("SCSGuard", "train_time")[-1]
+    rf_time = result.time_series("Random Forest", "train_time")[-1]
+    assert scs_time > rf_time
+    print("\n[Fig. 7] model              split  train_time(s)  inference_time(s)")
+    for row in rows:
+        print(f"  {row['model']:18s} {row['split']:5.2f}  {row['train_time']:12.3f}  {row['inference_time']:15.4f}")

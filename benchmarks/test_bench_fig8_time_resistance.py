@@ -1,0 +1,22 @@
+"""Bench: Fig. 8 — time-resistance analysis with AUT."""
+
+from conftest import run_once
+
+from repro.core.dataset import build_temporal_split
+from repro.experiments.time_resistance import run_time_resistance
+
+MODELS = ["Random Forest", "SCSGuard"]
+
+
+def test_bench_fig8_time_resistance(benchmark, corpus, scale):
+    split = build_temporal_split(corpus.records, seed=scale.seed)
+    result = run_once(benchmark, run_time_resistance, split, scale, MODELS)
+    aut = result.aut()
+    assert set(aut) == set(MODELS)
+    assert all(0.0 <= value <= 1.0 for value in aut.values())
+    print(f"\n[Fig. 8] {split.n_periods} monthly test periods "
+          f"(train {len(split.train)} contracts up to 2024-01)")
+    for model in MODELS:
+        curve = result.f1_curve(model)
+        series = " ".join(f"{value:.2f}" for value in curve.values)
+        print(f"  {model:15s} F1 per period: {series}  AUT={aut[model]:.2f}")

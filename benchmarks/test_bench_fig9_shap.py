@@ -1,0 +1,18 @@
+"""Bench: Fig. 9 — SHAP values of the Random Forest HSC."""
+
+from conftest import run_once
+
+from repro.experiments.interpretability import run_fig9
+
+
+def test_bench_fig9_shap_values(benchmark, dataset, scale):
+    result = run_once(
+        benchmark, run_fig9, dataset, scale, 24, 6, 20
+    )
+    rows = result.fig9_rows(k=20)
+    assert len(rows) == 20
+    assert all(row["mean_abs_shap"] >= 0 for row in rows)
+    print("\n[Fig. 9] opcode           mean|SHAP|   mean SHAP   P(pushes to phishing)")
+    for row in rows:
+        print(f"  {row['opcode']:16s} {row['mean_abs_shap']:9.4f}  {row['mean_shap']:+9.4f}  "
+              f"{row['pushes_towards_phishing']:8.2f}")

@@ -1,0 +1,12 @@
+"""Bench (ablation): §IV-C — Optuna-style hyperparameter search for an HSC."""
+
+from conftest import run_once
+
+from repro.experiments.hpo_search import run_hpo
+
+
+def test_bench_hpo_random_forest(benchmark, dataset, scale):
+    result = run_once(benchmark, run_hpo, dataset, "Random Forest", 4, scale)
+    assert 0.5 <= result.best_value <= 1.0
+    print(f"\n[HPO] Random Forest best CV accuracy={result.best_value:.3f} "
+          f"params={result.best_params} over {result.n_trials} trials")

@@ -1,0 +1,39 @@
+"""Bench (ablation): throughput of the substrate stages.
+
+Not a paper figure — measures the cost of the pipeline stages the paper's
+§IV-F timing discussion depends on: disassembly, histogram extraction, image
+encoding and single-contract inference latency of the best model.
+"""
+
+import numpy as np
+
+from repro.core.bdm import BytecodeDisassemblerModule
+from repro.features.histogram import OpcodeHistogramExtractor
+from repro.features.image import R2D2ImageEncoder
+from repro.models.hsc import make_random_forest_hsc
+
+
+def test_bench_disassembly_throughput(benchmark, dataset):
+    bdm = BytecodeDisassemblerModule()
+    contracts = benchmark(bdm.disassemble_many, dataset.records[:200])
+    assert len(contracts) == min(200, len(dataset))
+
+
+def test_bench_histogram_extraction(benchmark, dataset):
+    extractor = OpcodeHistogramExtractor().fit(dataset.bytecodes)
+    features = benchmark(extractor.transform, dataset.bytecodes[:200])
+    assert features.shape[0] == min(200, len(dataset))
+
+
+def test_bench_image_encoding(benchmark, dataset):
+    encoder = R2D2ImageEncoder(image_size=16)
+    images = benchmark(encoder.transform, dataset.bytecodes[:100])
+    assert images.shape[1:] == (3, 16, 16)
+
+
+def test_bench_single_contract_inference_latency(benchmark, dataset):
+    detector = make_random_forest_hsc(seed=0)
+    detector.fit(dataset.bytecodes, dataset.labels)
+    single = [dataset.bytecodes[0]]
+    prediction = benchmark(detector.predict, single)
+    assert prediction.shape == (1,)

@@ -1,0 +1,13 @@
+"""Bench: Table I — the Shanghai opcode registry."""
+
+from repro.experiments.table1 import run_table1, summarize_table1
+
+
+def test_bench_table1_opcode_table(benchmark):
+    rows = benchmark(run_table1)
+    assert len(rows) == 144
+    summary = summarize_table1()
+    assert summary["first"]["name"] == "STOP"
+    assert summary["last"]["name"] == "SELFDESTRUCT"
+    print("\n[Table I] opcodes:", summary["n_opcodes"], "| ADD gas:", summary["add_gas"],
+          "| SELFDESTRUCT gas:", summary["selfdestruct_gas"])

@@ -1,0 +1,19 @@
+"""Bench: Table III — Kruskal–Wallis test of the model metrics."""
+
+from conftest import run_once
+
+from repro.core.mem import ModelEvaluationModule
+from repro.experiments.posthoc import run_posthoc
+
+MODELS = ["Random Forest", "XGBoost", "k-NN", "Logistic Regression", "SVM"]
+
+
+def test_bench_table3_kruskal_wallis(benchmark, dataset, scale):
+    mem = ModelEvaluationModule(scale=scale)
+    suite = mem.evaluate_suite(MODELS, dataset)
+    experiment = run_once(benchmark, run_posthoc, suite, MODELS)
+    rows = experiment.table3_rows()
+    assert len(rows) == 4
+    assert all(row["p_adj"] >= row["p"] - 1e-12 for row in rows)
+    print("\n[Table III]")
+    print(experiment.render_table3())

@@ -1,0 +1,66 @@
+"""Dataset release: rebuild and export the PhishingHook-style dataset.
+
+Reproduces the paper's dataset-construction pipeline (§III) and writes the
+artefacts a public release would contain:
+
+* ``dataset.csv`` — one row per contract (address, label, month, bytecode);
+* ``disassembly.csv`` — the BDM output (mnemonic, operand, gas per row);
+* ``monthly_counts.csv`` — the Fig. 2 series (obtained vs unique phishing).
+
+Run with::
+
+    python examples/dataset_release.py [output_directory]
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+from repro import PhishingHook, Scale
+from repro.core.bdm import BytecodeDisassemblerModule
+from repro.experiments.fig2 import run_fig2
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dataset_release")
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    scale = Scale.smoke()
+    hook = PhishingHook(scale=scale)
+    corpus = hook.generate_corpus()
+    records = hook.extract_records()
+    dataset = hook.build_dataset(records)
+
+    dataset_path = output_dir / "dataset.csv"
+    with dataset_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["address", "label", "deployed_month", "family", "bytecode"])
+        for record in dataset.records:
+            writer.writerow(
+                [record.address, record.label.value, str(record.deployed_month), record.family, record.bytecode_hex]
+            )
+    print(f"wrote {len(dataset)} labelled contracts to {dataset_path}")
+
+    bdm = BytecodeDisassemblerModule()
+    disassembly_path = output_dir / "disassembly.csv"
+    rows = bdm.export_csv(bdm.disassemble_many(dataset.records), disassembly_path)
+    print(f"wrote {rows} instruction rows to {disassembly_path}")
+
+    series = run_fig2(scale, corpus)
+    monthly_path = output_dir / "monthly_counts.csv"
+    with monthly_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["month", "obtained_phishing", "unique_phishing"])
+        for row in series.rows():
+            writer.writerow([row["month"], row["obtained"], row["unique"]])
+    print(f"wrote the Fig. 2 monthly series to {monthly_path}")
+    print(
+        f"duplication: {series.total_obtained} obtained phishing contracts collapse to "
+        f"{series.total_unique} unique bytecodes (x{series.duplication_ratio:.1f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

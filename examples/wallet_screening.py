@@ -1,0 +1,57 @@
+"""Wallet screening: real-time checks before a user signs a transaction.
+
+The paper motivates PhishingHook with crypto wallets that must warn users
+within seconds of connecting to a contract.  This example simulates that
+workflow: a wallet receives a contract address, pulls the runtime bytecode
+over (simulated) JSON-RPC, and asks a pre-trained detector for a verdict,
+measuring the end-to-end latency per screened address.
+
+Run with::
+
+    python examples/wallet_screening.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import PhishingHook, Scale, build_model
+from repro.chain.rpc import SimulatedEthereumNode
+
+
+def main() -> None:
+    scale = Scale.smoke()
+    hook = PhishingHook(scale=scale)
+    corpus = hook.generate_corpus()
+    dataset = hook.build_dataset()
+
+    # The wallet vendor trains the detector offline…
+    detector = build_model("Random Forest", seed=1)
+    detector.fit(dataset.bytecodes, dataset.labels)
+
+    # …and ships it next to a JSON-RPC client.
+    node = SimulatedEthereumNode.from_records(corpus.records)
+
+    rng = np.random.default_rng(5)
+    to_screen = [corpus.records[i] for i in rng.choice(len(corpus.records), size=12, replace=False)]
+
+    print("address                                      label      verdict     P(phish)  latency")
+    correct = 0
+    for record in to_screen:
+        start = time.perf_counter()
+        bytecode = node.get_code(record.address)           # wallet fetches the code
+        probability = detector.predict_proba([bytecode])[0, 1]   # and scores it
+        latency_ms = (time.perf_counter() - start) * 1000
+        verdict = "PHISHING" if probability >= 0.5 else "ok"
+        truth = "phishing" if record.is_phishing else "benign"
+        correct += int((probability >= 0.5) == record.is_phishing)
+        print(
+            f"{record.address}  {truth:9s}  {verdict:10s}  {probability:7.2f}  {latency_ms:6.1f} ms"
+        )
+    print(f"\nscreened {len(to_screen)} contracts, {correct} correct verdicts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim so that `pip install -e .` works offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""PhishingHook reproduction: opcode-based phishing detection for Ethereum.
+
+The package is organised in layers:
+
+* :mod:`repro.evm` — Shanghai opcode registry, disassembler, assembler and a
+  miniature interpreter (replaces the patched ``evmdasm``);
+* :mod:`repro.chain` — synthetic Ethereum contract corpus plus simulated
+  BigQuery / Etherscan / JSON-RPC services (replaces the paper's data
+  gathering);
+* :mod:`repro.ml` / :mod:`repro.nn` — classical-ML and neural substrates
+  (replace scikit-learn, the boosting libraries and PyTorch);
+* :mod:`repro.features` — opcode histograms, bytecode-image encodings,
+  n-grams and tokenizers;
+* :mod:`repro.models` — the 16 detectors of Table II;
+* :mod:`repro.core` — the PhishingHook pipeline (BEM, BDM, dataset
+  construction, MEM, PAM);
+* :mod:`repro.stats` / :mod:`repro.hpo` — post-hoc statistics and
+  hyperparameter search;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+:class:`PhishingHook` is the high-level facade tying the pipeline together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .chain.generator import ContractCorpusGenerator, CorpusConfig, GeneratedCorpus
+from .core.bem import BytecodeExtractionModule
+from .core.config import Scale
+from .core.dataset import PhishingDataset, build_temporal_split
+from .core.mem import ModelEvaluationModule
+from .core.pam import PostHocAnalysisModule, PostHocReport
+from .core.results import EvaluationSuite, render_table2
+from .models.registry import TABLE2_MODEL_NAMES, build_model
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class PhishingHook:
+    """High-level facade over the PhishingHook pipeline.
+
+    Typical usage::
+
+        hook = PhishingHook(scale=Scale.ci())
+        dataset = hook.build_dataset()
+        suite = hook.evaluate(["Random Forest", "SCSGuard"], dataset)
+        print(render_table2(suite))
+    """
+
+    scale: Scale = field(default_factory=Scale.ci)
+    corpus: Optional[GeneratedCorpus] = None
+
+    # ------------------------------------------------------------------
+
+    def generate_corpus(self) -> GeneratedCorpus:
+        """Generate (and cache) the synthetic contract corpus."""
+        if self.corpus is None:
+            self.corpus = ContractCorpusGenerator(self.scale.corpus).generate()
+        return self.corpus
+
+    def extract_records(self):
+        """Run the BEM against the simulated services (Fig. 1 ➊–➍)."""
+        corpus = self.generate_corpus()
+        bem = BytecodeExtractionModule.from_corpus(corpus)
+        return bem.extract(start=self.scale.corpus.start, end=self.scale.corpus.end)
+
+    def build_dataset(self, records=None) -> PhishingDataset:
+        """Deduplicate, balance and assemble the classification dataset."""
+        if records is None:
+            records = self.extract_records()
+        return PhishingDataset.build(
+            records, target_size=self.scale.dataset_size, seed=self.scale.seed
+        )
+
+    def build_temporal_split(self, records=None):
+        """Build the time-resistance split (§IV-G)."""
+        if records is None:
+            records = self.extract_records()
+        return build_temporal_split(records, seed=self.scale.seed)
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, model_names: Optional[Sequence[str]] = None, dataset: Optional[PhishingDataset] = None
+    ) -> EvaluationSuite:
+        """Cross-validate the given models (defaults to all 16 of Table II)."""
+        dataset = dataset or self.build_dataset()
+        mem = ModelEvaluationModule(scale=self.scale)
+        return mem.evaluate_suite(list(model_names or TABLE2_MODEL_NAMES), dataset)
+
+    def post_hoc(self, suite: EvaluationSuite, model_names: Optional[Sequence[str]] = None) -> PostHocReport:
+        """Run the post-hoc statistical analysis (§IV-E)."""
+        return PostHocAnalysisModule().analyze(suite, model_names=model_names)
+
+
+__all__ = [
+    "PhishingHook",
+    "Scale",
+    "PhishingDataset",
+    "EvaluationSuite",
+    "TABLE2_MODEL_NAMES",
+    "build_model",
+    "render_table2",
+    "__version__",
+]

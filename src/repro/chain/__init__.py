@@ -1,0 +1,73 @@
+"""Simulated Ethereum data substrate.
+
+Replaces the paper's external data sources (BigQuery contract index,
+Etherscan labels, JSON-RPC ``eth_getCode``) with deterministic, in-memory
+equivalents built around a synthetic labelled contract corpus.
+"""
+
+from .addresses import bytecode_hash, derive_address, is_valid_address, normalize_address
+from .bigquery import ContractIndexRow, SimulatedBigQueryIndex
+from .contracts import (
+    ContractLabel,
+    ContractRecord,
+    DeploymentMonth,
+    STUDY_END,
+    STUDY_START,
+    monthly_counts,
+    study_months,
+    unique_by_bytecode,
+)
+from .errors import ChainError, InvalidAddressError, RPCError, UnknownContractError
+from .explorer import PHISH_HACK_TAG, ExplorerEntry, SimulatedExplorer
+from .generator import (
+    ContractCorpusGenerator,
+    CorpusConfig,
+    GeneratedCorpus,
+    generate_corpus,
+)
+from .rpc import SimulatedEthereumNode
+from .templates import (
+    ALL_FAMILIES,
+    BENIGN_FAMILIES,
+    PHISHING_FAMILIES,
+    ContractFamily,
+    build_family_bytecode,
+    families_for_label,
+    minimal_proxy_bytecode,
+)
+
+__all__ = [
+    "bytecode_hash",
+    "derive_address",
+    "is_valid_address",
+    "normalize_address",
+    "ContractIndexRow",
+    "SimulatedBigQueryIndex",
+    "ContractLabel",
+    "ContractRecord",
+    "DeploymentMonth",
+    "STUDY_END",
+    "STUDY_START",
+    "monthly_counts",
+    "study_months",
+    "unique_by_bytecode",
+    "ChainError",
+    "InvalidAddressError",
+    "RPCError",
+    "UnknownContractError",
+    "PHISH_HACK_TAG",
+    "ExplorerEntry",
+    "SimulatedExplorer",
+    "ContractCorpusGenerator",
+    "CorpusConfig",
+    "GeneratedCorpus",
+    "generate_corpus",
+    "SimulatedEthereumNode",
+    "ALL_FAMILIES",
+    "BENIGN_FAMILIES",
+    "PHISHING_FAMILIES",
+    "ContractFamily",
+    "build_family_bytecode",
+    "families_for_label",
+    "minimal_proxy_bytecode",
+]

@@ -1,0 +1,55 @@
+"""Ethereum address and hash utilities.
+
+The real pipeline identifies contracts by their 20-byte deployment address
+and deduplicates bytecodes by hash.  Addresses in the synthetic corpus are
+derived deterministically from a seed so that corpus generation is
+reproducible; bytecode hashes use SHA3-256 (Python's standard library does
+not ship Keccak-256 — the two differ only in padding and the substitution is
+documented in DESIGN.md; all we need is a stable, collision-resistant
+fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+_ADDRESS_RE = re.compile(r"^0x[0-9a-fA-F]{40}$")
+
+
+def is_valid_address(address: str) -> bool:
+    """Whether ``address`` is a well-formed ``0x``-prefixed 20-byte address."""
+    return isinstance(address, str) and bool(_ADDRESS_RE.match(address))
+
+
+def normalize_address(address: str) -> str:
+    """Lower-case an address after validating its format.
+
+    Raises:
+        ValueError: if the address is malformed.
+    """
+    if not is_valid_address(address):
+        raise ValueError(f"invalid Ethereum address: {address!r}")
+    return address.lower()
+
+
+def derive_address(seed: int | str | bytes) -> str:
+    """Derive a deterministic pseudo-address from an arbitrary seed."""
+    if isinstance(seed, int):
+        material = seed.to_bytes(32, "big", signed=False)
+    elif isinstance(seed, str):
+        material = seed.encode("utf-8")
+    else:
+        material = bytes(seed)
+    digest = hashlib.sha3_256(b"phishinghook-address:" + material).digest()
+    return "0x" + digest[-20:].hex()
+
+
+def bytecode_hash(bytecode: bytes | str) -> str:
+    """Stable hex fingerprint of a bytecode, used for duplicate detection."""
+    if isinstance(bytecode, str):
+        text = bytecode[2:] if bytecode.startswith(("0x", "0X")) else bytecode
+        data = bytes.fromhex(text)
+    else:
+        data = bytes(bytecode)
+    return hashlib.sha3_256(data).hexdigest()

@@ -1,0 +1,142 @@
+"""Contract records as exchanged between the chain substrate and the pipeline.
+
+A :class:`ContractRecord` corresponds to one row of the dataset the paper
+constructs: a deployed contract with its address, deployed (runtime)
+bytecode, ground-truth label, and deployment month.  The temporal field is
+what the time-resistance experiment (§IV-G) partitions on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from .addresses import bytecode_hash
+
+
+class ContractLabel(str, Enum):
+    """Ground-truth label of a contract.
+
+    ``PHISHING`` corresponds to Etherscan's "Phish/Hack" flag; everything not
+    flagged is treated as ``BENIGN`` (the paper's convention).
+    """
+
+    BENIGN = "benign"
+    PHISHING = "phishing"
+
+    @property
+    def as_int(self) -> int:
+        """Binary encoding used by the classifiers (phishing = 1)."""
+        return 1 if self is ContractLabel.PHISHING else 0
+
+
+@dataclass(frozen=True)
+class DeploymentMonth:
+    """A calendar month, the temporal granularity of the paper's figures."""
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month must be in [1, 12], got {self.month}")
+
+    @property
+    def index(self) -> int:
+        """Months since year 0, usable for ordering and arithmetic."""
+        return self.year * 12 + (self.month - 1)
+
+    def offset(self, months: int) -> "DeploymentMonth":
+        """The month ``months`` after (or before, if negative) this one."""
+        idx = self.index + months
+        return DeploymentMonth(year=idx // 12, month=idx % 12 + 1)
+
+    def __le__(self, other: "DeploymentMonth") -> bool:
+        return self.index <= other.index
+
+    def __lt__(self, other: "DeploymentMonth") -> bool:
+        return self.index < other.index
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+    @classmethod
+    def parse(cls, text: str) -> "DeploymentMonth":
+        """Parse ``"YYYY-MM"`` into a :class:`DeploymentMonth`."""
+        year_text, month_text = text.split("-")
+        return cls(year=int(year_text), month=int(month_text))
+
+
+#: The study window used throughout the paper: October 2023 to October 2024.
+STUDY_START = DeploymentMonth(2023, 10)
+STUDY_END = DeploymentMonth(2024, 10)
+
+
+def study_months() -> List[DeploymentMonth]:
+    """All 13 months of the paper's study window, in order."""
+    months = []
+    current = STUDY_START
+    while current <= STUDY_END:
+        months.append(current)
+        current = current.offset(1)
+    return months
+
+
+@dataclass(frozen=True)
+class ContractRecord:
+    """One deployed contract as seen by the PhishingHook pipeline."""
+
+    address: str
+    bytecode: bytes
+    label: ContractLabel
+    deployed_month: DeploymentMonth
+    family: str = "unknown"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def bytecode_hex(self) -> str:
+        """Runtime bytecode as a ``0x``-prefixed hex string."""
+        return "0x" + self.bytecode.hex()
+
+    @property
+    def code_hash(self) -> str:
+        """Fingerprint used for duplicate (minimal proxy clone) detection."""
+        return bytecode_hash(self.bytecode)
+
+    @property
+    def is_phishing(self) -> bool:
+        """Whether the contract carries the phishing label."""
+        return self.label is ContractLabel.PHISHING
+
+    @property
+    def size(self) -> int:
+        """Length of the runtime bytecode in bytes."""
+        return len(self.bytecode)
+
+
+def unique_by_bytecode(records: Sequence[ContractRecord]) -> List[ContractRecord]:
+    """Keep the first record of every distinct bytecode (bit-by-bit).
+
+    This mirrors the paper's dataset-construction step that collapses the
+    17,455 collected phishing contracts to 3,458 unique bytecodes because of
+    minimal proxy clones.
+    """
+    seen: Dict[str, ContractRecord] = {}
+    for record in records:
+        seen.setdefault(record.code_hash, record)
+    return list(seen.values())
+
+
+def monthly_counts(
+    records: Sequence[ContractRecord],
+    label: Optional[ContractLabel] = None,
+) -> Dict[str, int]:
+    """Count records per deployment month, optionally filtered by label."""
+    counts: Dict[str, int] = {str(month): 0 for month in study_months()}
+    for record in records:
+        if label is not None and record.label is not label:
+            continue
+        counts.setdefault(str(record.deployed_month), 0)
+        counts[str(record.deployed_month)] += 1
+    return counts

@@ -1,0 +1,24 @@
+"""Exception hierarchy for the simulated Ethereum data substrate."""
+
+from __future__ import annotations
+
+
+class ChainError(Exception):
+    """Base class for all chain-substrate errors."""
+
+
+class UnknownContractError(ChainError):
+    """Raised when an address is not present in the simulated chain."""
+
+
+class InvalidAddressError(ChainError):
+    """Raised for malformed Ethereum addresses."""
+
+
+class RPCError(ChainError):
+    """Raised by the simulated JSON-RPC node for protocol-level failures."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"RPC error {code}: {message}")
+        self.code = code
+        self.message = message

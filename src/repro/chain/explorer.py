@@ -1,0 +1,94 @@
+"""Simulated Etherscan-style explorer.
+
+Etherscan flags phishing smart contracts with the label "Phish/Hack"; the
+paper scrapes this flag for ~4M contract addresses.  The simulated explorer
+exposes the same query surface (per-address label lookup plus paginated
+listing) against the synthetic corpus, including a configurable scrape
+latency model so the data-gathering cost can be benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .addresses import normalize_address
+from .contracts import ContractLabel, ContractRecord
+from .errors import UnknownContractError
+
+#: The tag Etherscan applies to phishing contracts.
+PHISH_HACK_TAG = "Phish/Hack"
+
+
+@dataclass(frozen=True)
+class ExplorerEntry:
+    """Metadata the explorer holds about one contract."""
+
+    address: str
+    tag: Optional[str]
+    deployed_month: str
+
+    @property
+    def is_flagged(self) -> bool:
+        """Whether the entry carries the "Phish/Hack" tag."""
+        return self.tag == PHISH_HACK_TAG
+
+
+@dataclass
+class SimulatedExplorer:
+    """In-memory Etherscan stand-in built from a synthetic corpus."""
+
+    _entries: Dict[str, ExplorerEntry] = field(default_factory=dict)
+    lookup_count: int = 0
+
+    @classmethod
+    def from_records(cls, records: Iterable[ContractRecord]) -> "SimulatedExplorer":
+        """Index every record; phishing records receive the Phish/Hack tag."""
+        explorer = cls()
+        for record in records:
+            tag = PHISH_HACK_TAG if record.label is ContractLabel.PHISHING else None
+            explorer._entries[normalize_address(record.address)] = ExplorerEntry(
+                address=normalize_address(record.address),
+                tag=tag,
+                deployed_month=str(record.deployed_month),
+            )
+        return explorer
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, address: str) -> ExplorerEntry:
+        """Return the explorer entry for ``address``.
+
+        Raises:
+            UnknownContractError: if the address is not indexed.
+        """
+        self.lookup_count += 1
+        key = normalize_address(address)
+        entry = self._entries.get(key)
+        if entry is None:
+            raise UnknownContractError(f"address {address} not indexed by the explorer")
+        return entry
+
+    def label_of(self, address: str) -> ContractLabel:
+        """Map the explorer tag of ``address`` to a :class:`ContractLabel`."""
+        entry = self.lookup(address)
+        return ContractLabel.PHISHING if entry.is_flagged else ContractLabel.BENIGN
+
+    def flagged_addresses(self) -> List[str]:
+        """All addresses carrying the Phish/Hack tag."""
+        return [entry.address for entry in self._entries.values() if entry.is_flagged]
+
+    def scrape(self, addresses: Iterable[str]) -> Dict[str, ContractLabel]:
+        """Batch label lookup over many addresses (the paper's scrape step).
+
+        Unknown addresses are treated as benign, matching the paper's
+        convention that anything not flagged is a benign sample.
+        """
+        labels: Dict[str, ContractLabel] = {}
+        for address in addresses:
+            try:
+                labels[normalize_address(address)] = self.label_of(address)
+            except UnknownContractError:
+                labels[normalize_address(address)] = ContractLabel.BENIGN
+        return labels

@@ -1,0 +1,94 @@
+"""Simulated Ethereum JSON-RPC node.
+
+The paper's bytecode extraction module (BEM) retrieves runtime bytecode with
+the public ``eth_getCode`` endpoint over JSON-RPC.  This module provides a
+local stand-in exposing the same request/response shape so the BEM code path
+is exercised exactly as it would be against a real node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from .addresses import normalize_address
+from .contracts import ContractRecord
+from .errors import RPCError
+
+#: JSON-RPC error codes used by the simulated node.
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+
+
+@dataclass
+class SimulatedEthereumNode:
+    """An in-memory node serving ``eth_getCode`` for a fixed set of contracts."""
+
+    chain_id: int = 1
+    latest_block: int = 21_000_000
+    _code_by_address: Dict[str, bytes] = field(default_factory=dict)
+    request_count: int = 0
+
+    @classmethod
+    def from_records(cls, records: Iterable[ContractRecord], **kwargs: Any) -> "SimulatedEthereumNode":
+        """Build a node whose state contains every record's bytecode."""
+        node = cls(**kwargs)
+        for record in records:
+            node.register(record.address, record.bytecode)
+        return node
+
+    def register(self, address: str, bytecode: bytes) -> None:
+        """Deploy ``bytecode`` at ``address`` in the simulated state."""
+        self._code_by_address[normalize_address(address)] = bytes(bytecode)
+
+    # ------------------------------------------------------------------
+    # JSON-RPC surface
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, params: Optional[List[Any]] = None) -> Dict[str, Any]:
+        """Handle a JSON-RPC request and return the response envelope."""
+        self.request_count += 1
+        params = params or []
+        try:
+            result = self._dispatch(method, params)
+        except RPCError as exc:
+            return {
+                "jsonrpc": "2.0",
+                "id": self.request_count,
+                "error": {"code": exc.code, "message": exc.message},
+            }
+        return {"jsonrpc": "2.0", "id": self.request_count, "result": result}
+
+    def _dispatch(self, method: str, params: List[Any]) -> Any:
+        if method == "eth_getCode":
+            return self._eth_get_code(params)
+        if method == "eth_chainId":
+            return hex(self.chain_id)
+        if method == "eth_blockNumber":
+            return hex(self.latest_block)
+        raise RPCError(METHOD_NOT_FOUND, f"method {method!r} not found")
+
+    def _eth_get_code(self, params: List[Any]) -> str:
+        if not params:
+            raise RPCError(INVALID_PARAMS, "eth_getCode requires an address parameter")
+        try:
+            address = normalize_address(str(params[0]))
+        except ValueError as exc:
+            raise RPCError(INVALID_PARAMS, str(exc)) from exc
+        code = self._code_by_address.get(address, b"")
+        return "0x" + code.hex()
+
+    # ------------------------------------------------------------------
+    # convenience wrappers (what the BEM actually calls)
+    # ------------------------------------------------------------------
+
+    def get_code(self, address: str) -> bytes:
+        """Return the runtime bytecode at ``address`` (empty if none)."""
+        response = self.request("eth_getCode", [address, "latest"])
+        if "error" in response:
+            raise RPCError(response["error"]["code"], response["error"]["message"])
+        return bytes.fromhex(response["result"][2:])
+
+    def has_code(self, address: str) -> bool:
+        """Whether a contract is deployed at ``address``."""
+        return len(self.get_code(address)) > 0

@@ -1,0 +1,773 @@
+"""Synthetic contract templates.
+
+The paper's dataset is built from real deployed bytecodes labelled through
+Etherscan.  Offline, this module provides the closest synthetic equivalent:
+a library of EVM *code fragments* (written against :mod:`repro.evm.assembler`)
+and a set of *contract families* that compose fragments into full runtime
+bytecodes.  Families are split into benign (tokens, proxies, routers,
+vesting, multisig wallets, NFT collections) and phishing (approval drainers,
+fake airdrop claimers, sweeper backdoors, counterfeit tokens, drainer proxy
+clones) and reproduce the statistical properties the paper's analysis relies
+on:
+
+* realistic Solidity-compiler idioms (free-memory-pointer setup, calldata
+  dispatcher on 4-byte selectors, revert guards, metadata trailer);
+* heavy bit-by-bit duplication through EIP-1167 minimal proxies;
+* overlapping opcode-frequency distributions between the two classes
+  (Fig. 3), so that no single opcode separates them;
+* distinctive-but-noisy differences in the *mix* of fragments, which is what
+  the classifiers actually learn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..evm.assembler import AsmItem, assemble, push
+from .contracts import ContractLabel
+
+# ----------------------------------------------------------------------------
+# Low-level fragments
+# ----------------------------------------------------------------------------
+
+
+def _selector(name: str) -> int:
+    """Derive a deterministic 4-byte function selector from a name."""
+    return int.from_bytes(hashlib.sha3_256(name.encode()).digest()[:4], "big")
+
+
+#: Placeholder jump target used inside fragments.  ``build_family_bytecode``
+#: patches every ``PUSH2 JUMP_SENTINEL`` to the offset of a JUMPDEST landing
+#: pad appended after the body, so all jumps in generated contracts are valid.
+JUMP_SENTINEL = 0xEFBE
+
+
+def _jump_target() -> Tuple[str, int]:
+    """A ``PUSH2`` of the jump sentinel (patched at build time)."""
+    return push(JUMP_SENTINEL, 2)
+
+
+def free_memory_pointer() -> List[AsmItem]:
+    """The canonical Solidity prologue ``PUSH1 0x80 PUSH1 0x40 MSTORE``."""
+    return [push(0x80, 1), push(0x40, 1), "MSTORE"]
+
+
+def callvalue_guard() -> List[AsmItem]:
+    """Revert if the call carries value (non-payable function guard)."""
+    return [
+        "CALLVALUE",
+        "DUP1",
+        "ISZERO",
+        _jump_target(),
+        "JUMPI",
+        push(0, 1),
+        "DUP1",
+        "REVERT",
+        "JUMPDEST",
+        "POP",
+    ]
+
+
+def calldata_dispatcher(selectors: Sequence[int]) -> List[AsmItem]:
+    """Function-selector dispatcher comparing the first calldata word."""
+    items: List[AsmItem] = [
+        push(4, 1),
+        "CALLDATASIZE",
+        "LT",
+        _jump_target(),
+        "JUMPI",
+        push(0, 1),
+        "CALLDATALOAD",
+        push(0xE0, 1),
+        "SHR",
+    ]
+    for selector in selectors:
+        items.extend(
+            [
+                "DUP1",
+                push(selector & 0xFFFFFFFF, 4),
+                "EQ",
+                _jump_target(),
+                "JUMPI",
+            ]
+        )
+    items.extend(["JUMPDEST", "POP"])
+    return items
+
+
+def storage_read(slot: int) -> List[AsmItem]:
+    """Load a storage slot onto the stack and drop it."""
+    return [push(slot, 1), "SLOAD", "POP"]
+
+
+def storage_write(slot: int, value: int) -> List[AsmItem]:
+    """Store a constant into a storage slot."""
+    return [push(value, 2), push(slot, 1), "SSTORE"]
+
+
+def mapping_update() -> List[AsmItem]:
+    """Solidity mapping update: keccak(key . slot) then SSTORE."""
+    return [
+        "CALLER",
+        push(0, 1),
+        "MSTORE",
+        push(1, 1),
+        push(0x20, 1),
+        "MSTORE",
+        push(0x40, 1),
+        push(0, 1),
+        "SHA3",
+        "DUP1",
+        "SLOAD",
+        push(0x64, 1),
+        "ADD",
+        "SWAP1",
+        "SSTORE",
+    ]
+
+
+def balance_check() -> List[AsmItem]:
+    """Require-style balance comparison."""
+    return [
+        "CALLER",
+        push(0, 1),
+        "MSTORE",
+        push(0x20, 1),
+        push(0, 1),
+        "SHA3",
+        "SLOAD",
+        "CALLDATASIZE",
+        "LT",
+        "ISZERO",
+        _jump_target(),
+        "JUMPI",
+        "JUMPDEST",
+    ]
+
+
+def emit_transfer_event() -> List[AsmItem]:
+    """ERC-20 Transfer event: LOG3 with two address topics."""
+    return [
+        push(0x20, 1),
+        push(0, 1),
+        "MSTORE",
+        "CALLER",
+        "ADDRESS",
+        push(_selector("Transfer(address,address,uint256)"), 4),
+        push(0x20, 1),
+        push(0, 1),
+        "LOG3",
+    ]
+
+
+def emit_approval_event() -> List[AsmItem]:
+    """ERC-20 Approval event."""
+    return [
+        push(0x20, 1),
+        push(0, 1),
+        "MSTORE",
+        "CALLER",
+        "ORIGIN",
+        push(_selector("Approval(address,address,uint256)"), 4),
+        push(0x20, 1),
+        push(0, 1),
+        "LOG3",
+    ]
+
+
+def external_call(gas_check: bool = True) -> List[AsmItem]:
+    """A guarded external CALL, optionally preceded by an explicit GAS check."""
+    items: List[AsmItem] = []
+    if gas_check:
+        items.extend(["GAS", push(0x2710, 2), "LT", "ISZERO", _jump_target(), "JUMPI", "JUMPDEST"])
+    items.extend(
+        [
+            push(0, 1),
+            "DUP1",
+            "DUP1",
+            "DUP1",
+            "DUP1",
+            "CALLER",
+            "GAS",
+            "CALL",
+            "ISZERO",
+            _jump_target(),
+            "JUMPI",
+            "JUMPDEST",
+            "RETURNDATASIZE",
+            push(0, 1),
+            "DUP1",
+            "RETURNDATACOPY",
+        ]
+    )
+    return items
+
+
+def static_call_view() -> List[AsmItem]:
+    """A STATICCALL used by view helpers / oracles."""
+    return [
+        push(0x20, 1),
+        push(0, 1),
+        push(4, 1),
+        push(0x1C, 1),
+        push(0xFEED, 2),
+        "GAS",
+        "STATICCALL",
+        "ISZERO",
+        _jump_target(),
+        "JUMPI",
+        "JUMPDEST",
+        "RETURNDATASIZE",
+        push(0, 1),
+        "DUP1",
+        "RETURNDATACOPY",
+        push(0, 1),
+        "MLOAD",
+        "POP",
+    ]
+
+
+def delegatecall_forward() -> List[AsmItem]:
+    """DELEGATECALL forwarding used by upgradeable proxies and routers."""
+    return [
+        "CALLDATASIZE",
+        push(0, 1),
+        "DUP1",
+        "CALLDATACOPY",
+        push(0, 1),
+        "DUP1",
+        "CALLDATASIZE",
+        push(0, 1),
+        push(0xFACE, 2),
+        "GAS",
+        "DELEGATECALL",
+        "RETURNDATASIZE",
+        push(0, 1),
+        "DUP1",
+        "RETURNDATACOPY",
+        "ISZERO",
+        _jump_target(),
+        "JUMPI",
+        "JUMPDEST",
+    ]
+
+
+def owner_check() -> List[AsmItem]:
+    """`require(msg.sender == owner)` pattern."""
+    return [
+        "CALLER",
+        push(0, 1),
+        "SLOAD",
+        "EQ",
+        _jump_target(),
+        "JUMPI",
+        push(0, 1),
+        "DUP1",
+        "REVERT",
+        "JUMPDEST",
+    ]
+
+
+def timestamp_check() -> List[AsmItem]:
+    """Vesting/staking style timestamp comparison."""
+    return [
+        "TIMESTAMP",
+        push(2, 1),
+        "SLOAD",
+        "GT",
+        "ISZERO",
+        _jump_target(),
+        "JUMPI",
+        "JUMPDEST",
+    ]
+
+
+def arithmetic_block() -> List[AsmItem]:
+    """Interest/fee arithmetic with overflow guards."""
+    return [
+        push(0x64, 1),
+        push(3, 1),
+        "SLOAD",
+        "MUL",
+        push(0x2710, 2),
+        "SWAP1",
+        "DIV",
+        "DUP1",
+        push(0, 1),
+        "SLT",
+        "ISZERO",
+        _jump_target(),
+        "JUMPI",
+        "JUMPDEST",
+        "POP",
+    ]
+
+
+def selfbalance_sweep() -> List[AsmItem]:
+    """Send the whole contract balance to the caller — the drain primitive."""
+    return [
+        push(0, 1),
+        "DUP1",
+        "DUP1",
+        "DUP1",
+        "SELFBALANCE",
+        "CALLER",
+        "GAS",
+        "CALL",
+        "POP",
+    ]
+
+
+def approval_harvest() -> List[AsmItem]:
+    """Call ``transferFrom(victim, attacker, amount)`` on a token contract."""
+    return [
+        push(_selector("transferFrom(address,address,uint256)"), 4),
+        push(0xE0, 1),
+        "SHL",
+        push(0, 1),
+        "MSTORE",
+        "CALLER",
+        push(4, 1),
+        "MSTORE",
+        "ADDRESS",
+        push(0x24, 1),
+        "MSTORE",
+        push(0x44, 1),
+        "CALLDATALOAD",
+        push(0x44, 1),
+        "MSTORE",
+        push(0, 1),
+        "DUP1",
+        push(0x64, 1),
+        push(0, 1),
+        "DUP1",
+        push(0x04, 1),
+        "CALLDATALOAD",
+        "GAS",
+        "CALL",
+        "POP",
+    ]
+
+
+def hidden_owner_redirect() -> List[AsmItem]:
+    """Redirect transfers to a hard-coded attacker address."""
+    return [
+        push(0x04, 1),
+        "CALLDATALOAD",
+        "POP",
+        push(0xDEAD, 2),
+        push(0x24, 1),
+        "CALLDATALOAD",
+        "SWAP1",
+        push(0, 1),
+        "MSTORE",
+        push(0x20, 1),
+        "MSTORE",
+        push(0x40, 1),
+        push(0, 1),
+        "SHA3",
+        "DUP1",
+        "SSTORE",
+    ]
+
+
+def selfdestruct_escape() -> List[AsmItem]:
+    """SELFDESTRUCT to the caller — the rug-pull exit."""
+    return ["CALLER", "SELFDESTRUCT"]
+
+
+def return_true() -> List[AsmItem]:
+    """Return the word 1 (Solidity's ``return true``)."""
+    return [push(1, 1), push(0, 1), "MSTORE", push(0x20, 1), push(0, 1), "RETURN"]
+
+
+def revert_epilogue() -> List[AsmItem]:
+    """Shared revert tail every compiled contract carries."""
+    return ["JUMPDEST", push(0, 1), "DUP1", "REVERT"]
+
+
+def stop_epilogue() -> List[AsmItem]:
+    """STOP fall-through tail."""
+    return ["JUMPDEST", "STOP"]
+
+
+def metadata_trailer(seed: int, length: int = 32) -> bytes:
+    """Solidity appends a CBOR metadata blob after the runtime code.
+
+    The blob is not executable; it contributes INVALID/raw bytes to the
+    disassembly exactly like real deployed contracts do.
+    """
+    blob = hashlib.sha3_256(f"metadata:{seed}".encode()).digest()
+    while len(blob) < length:
+        blob += hashlib.sha3_256(blob).digest()
+    return b"\xa2\x64\x69\x70\x66\x73" + blob[: max(0, length - 6)]
+
+
+# ----------------------------------------------------------------------------
+# Fragment registry
+# ----------------------------------------------------------------------------
+
+#: Every reusable fragment, keyed by a short name used in family mixes.
+FRAGMENTS: Dict[str, object] = {
+    "callvalue_guard": callvalue_guard,
+    "mapping_update": mapping_update,
+    "balance_check": balance_check,
+    "transfer_event": emit_transfer_event,
+    "approval_event": emit_approval_event,
+    "external_call": external_call,
+    "static_call": static_call_view,
+    "delegatecall": delegatecall_forward,
+    "owner_check": owner_check,
+    "timestamp_check": timestamp_check,
+    "arithmetic": arithmetic_block,
+    "selfbalance_sweep": selfbalance_sweep,
+    "approval_harvest": approval_harvest,
+    "hidden_redirect": hidden_owner_redirect,
+    "selfdestruct": selfdestruct_escape,
+    "return_true": return_true,
+    "storage_read": lambda: storage_read(1),
+    "storage_write": lambda: storage_write(1, 0x64),
+}
+
+
+# ----------------------------------------------------------------------------
+# Contract families
+# ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContractFamily:
+    """A family of synthetic contracts sharing a fragment mix.
+
+    Attributes:
+        name: Family identifier (stored on the generated records).
+        label: Ground-truth label of contracts in this family.
+        selectors: Function names whose selectors populate the dispatcher.
+        fragment_weights: Relative probability of each fragment being chosen
+            for a body slot.
+        body_slots: ``(low, high)`` range of the number of fragment slots.
+        is_proxy: If true, the family emits EIP-1167 minimal proxy bytecode
+            (bit-identical for a given implementation address).
+        popularity: Relative share of this family within its label class.
+    """
+
+    name: str
+    label: ContractLabel
+    selectors: Tuple[str, ...]
+    fragment_weights: Dict[str, float] = field(default_factory=dict)
+    body_slots: Tuple[int, int] = (6, 14)
+    is_proxy: bool = False
+    popularity: float = 1.0
+
+
+BENIGN_FAMILIES: Tuple[ContractFamily, ...] = (
+    ContractFamily(
+        name="erc20_token",
+        label=ContractLabel.BENIGN,
+        selectors=(
+            "transfer(address,uint256)",
+            "balanceOf(address)",
+            "approve(address,uint256)",
+            "transferFrom(address,address,uint256)",
+            "totalSupply()",
+            "allowance(address,address)",
+        ),
+        fragment_weights={
+            "callvalue_guard": 2.0,
+            "mapping_update": 3.0,
+            "balance_check": 2.5,
+            "transfer_event": 2.0,
+            "approval_event": 1.5,
+            "arithmetic": 1.5,
+            "storage_read": 1.5,
+            "storage_write": 1.0,
+            "return_true": 1.0,
+            "owner_check": 0.5,
+            "external_call": 0.3,
+        },
+        body_slots=(8, 18),
+        popularity=3.0,
+    ),
+    ContractFamily(
+        name="dex_router",
+        label=ContractLabel.BENIGN,
+        selectors=(
+            "swapExactTokensForTokens(uint256,uint256,address[],address,uint256)",
+            "addLiquidity(address,address,uint256,uint256)",
+            "getAmountsOut(uint256,address[])",
+        ),
+        fragment_weights={
+            "callvalue_guard": 1.0,
+            "external_call": 3.0,
+            "static_call": 2.5,
+            "arithmetic": 2.5,
+            "balance_check": 1.5,
+            "mapping_update": 1.0,
+            "transfer_event": 1.0,
+            "storage_read": 1.5,
+            "timestamp_check": 1.0,
+            "return_true": 0.8,
+        },
+        body_slots=(10, 20),
+        popularity=1.6,
+    ),
+    ContractFamily(
+        name="staking_vault",
+        label=ContractLabel.BENIGN,
+        selectors=("stake(uint256)", "withdraw(uint256)", "claimRewards()", "exit()"),
+        fragment_weights={
+            "callvalue_guard": 1.5,
+            "timestamp_check": 3.0,
+            "arithmetic": 2.5,
+            "mapping_update": 2.0,
+            "balance_check": 2.0,
+            "transfer_event": 1.0,
+            "storage_write": 1.5,
+            "storage_read": 1.5,
+            "external_call": 0.8,
+            "return_true": 0.8,
+        },
+        body_slots=(8, 16),
+        popularity=1.4,
+    ),
+    ContractFamily(
+        name="multisig_wallet",
+        label=ContractLabel.BENIGN,
+        selectors=(
+            "submitTransaction(address,uint256,bytes)",
+            "confirmTransaction(uint256)",
+            "executeTransaction(uint256)",
+        ),
+        fragment_weights={
+            "owner_check": 3.0,
+            "external_call": 2.0,
+            "mapping_update": 1.5,
+            "storage_read": 2.0,
+            "storage_write": 1.5,
+            "balance_check": 1.0,
+            "arithmetic": 1.0,
+            "static_call": 1.0,
+            "return_true": 0.8,
+        },
+        body_slots=(8, 16),
+        popularity=0.9,
+    ),
+    ContractFamily(
+        name="nft_collection",
+        label=ContractLabel.BENIGN,
+        selectors=(
+            "mint(address,uint256)",
+            "ownerOf(uint256)",
+            "safeTransferFrom(address,address,uint256)",
+            "setApprovalForAll(address,bool)",
+        ),
+        fragment_weights={
+            "callvalue_guard": 1.5,
+            "mapping_update": 2.5,
+            "transfer_event": 2.0,
+            "approval_event": 2.0,
+            "balance_check": 1.5,
+            "owner_check": 1.5,
+            "storage_write": 1.2,
+            "arithmetic": 1.0,
+            "return_true": 0.8,
+        },
+        body_slots=(8, 16),
+        popularity=1.2,
+    ),
+    ContractFamily(
+        name="upgradeable_proxy",
+        label=ContractLabel.BENIGN,
+        selectors=("implementation()", "upgradeTo(address)"),
+        fragment_weights={
+            "delegatecall": 3.0,
+            "owner_check": 2.0,
+            "storage_read": 2.0,
+            "storage_write": 1.0,
+            "static_call": 0.8,
+        },
+        body_slots=(4, 9),
+        popularity=0.8,
+    ),
+    ContractFamily(
+        name="minimal_proxy",
+        label=ContractLabel.BENIGN,
+        selectors=(),
+        is_proxy=True,
+        popularity=1.8,
+    ),
+)
+
+
+PHISHING_FAMILIES: Tuple[ContractFamily, ...] = (
+    ContractFamily(
+        name="approval_drainer",
+        label=ContractLabel.PHISHING,
+        selectors=("claim()", "claimReward()", "multicall(bytes[])"),
+        fragment_weights={
+            "approval_harvest": 3.0,
+            "external_call": 2.5,
+            "selfbalance_sweep": 2.0,
+            "mapping_update": 0.8,
+            "balance_check": 0.6,
+            "return_true": 1.2,
+            "storage_read": 0.8,
+            "hidden_redirect": 1.0,
+            "callvalue_guard": 0.3,
+        },
+        body_slots=(5, 12),
+        popularity=2.5,
+    ),
+    ContractFamily(
+        name="fake_airdrop",
+        label=ContractLabel.PHISHING,
+        selectors=("claimAirdrop()", "register()", "connectWallet()"),
+        fragment_weights={
+            "selfbalance_sweep": 3.0,
+            "external_call": 2.0,
+            "approval_harvest": 1.5,
+            "return_true": 1.5,
+            "transfer_event": 1.0,
+            "mapping_update": 0.8,
+            "storage_write": 0.8,
+            "callvalue_guard": 0.3,
+        },
+        body_slots=(4, 10),
+        popularity=2.0,
+    ),
+    ContractFamily(
+        name="counterfeit_token",
+        label=ContractLabel.PHISHING,
+        selectors=(
+            "transfer(address,uint256)",
+            "balanceOf(address)",
+            "approve(address,uint256)",
+            "totalSupply()",
+        ),
+        fragment_weights={
+            "hidden_redirect": 2.5,
+            "mapping_update": 2.0,
+            "transfer_event": 2.0,
+            "balance_check": 1.0,
+            "approval_event": 1.0,
+            "owner_check": 1.2,
+            "arithmetic": 0.8,
+            "return_true": 1.0,
+            "external_call": 0.6,
+            "callvalue_guard": 1.0,
+        },
+        body_slots=(7, 15),
+        popularity=1.6,
+    ),
+    ContractFamily(
+        name="sweeper_backdoor",
+        label=ContractLabel.PHISHING,
+        selectors=("execute(bytes)", "rescueFunds(address)"),
+        fragment_weights={
+            "selfbalance_sweep": 2.5,
+            "selfdestruct": 1.5,
+            "owner_check": 1.5,
+            "external_call": 2.0,
+            "delegatecall": 1.2,
+            "storage_read": 0.8,
+            "hidden_redirect": 1.2,
+            "return_true": 0.8,
+        },
+        body_slots=(4, 10),
+        popularity=1.2,
+    ),
+    ContractFamily(
+        name="drainer_proxy",
+        label=ContractLabel.PHISHING,
+        selectors=(),
+        is_proxy=True,
+        popularity=2.2,
+    ),
+)
+
+
+ALL_FAMILIES: Tuple[ContractFamily, ...] = BENIGN_FAMILIES + PHISHING_FAMILIES
+
+
+def families_for_label(label: ContractLabel) -> Tuple[ContractFamily, ...]:
+    """All families carrying the given label."""
+    return tuple(family for family in ALL_FAMILIES if family.label is label)
+
+
+# ----------------------------------------------------------------------------
+# Bytecode construction
+# ----------------------------------------------------------------------------
+
+
+def minimal_proxy_bytecode(implementation: str) -> bytes:
+    """EIP-1167 minimal proxy runtime code for ``implementation``.
+
+    Every clone of the same implementation shares the exact same bytecode,
+    which is what produces the duplicate-heavy dataset of the paper.
+    """
+    addr = implementation[2:] if implementation.startswith("0x") else implementation
+    if len(addr) != 40:
+        raise ValueError(f"implementation must be a 20-byte address, got {implementation!r}")
+    return bytes.fromhex(
+        "363d3d373d3d3d363d73" + addr.lower() + "5af43d82803e903d91602b57fd5bf3"
+    )
+
+
+def build_family_bytecode(
+    family: ContractFamily,
+    rng: np.random.Generator,
+    mix_bias: Dict[str, float] | None = None,
+) -> bytes:
+    """Generate one runtime bytecode for ``family``.
+
+    Args:
+        family: The contract family to instantiate.
+        rng: Source of randomness (selector subsets, fragment mix, trailer).
+        mix_bias: Optional multiplicative adjustment of fragment weights,
+            used by the generator to create "hard" samples whose mix leans
+            towards the opposite class.
+    """
+    if family.is_proxy:
+        raise ValueError("proxy families are built via minimal_proxy_bytecode()")
+
+    weights = dict(family.fragment_weights)
+    if mix_bias:
+        for key, factor in mix_bias.items():
+            weights[key] = weights.get(key, 0.05) * factor
+    names = list(weights)
+    probabilities = np.array([weights[name] for name in names], dtype=float)
+    probabilities = probabilities / probabilities.sum()
+
+    items: List[AsmItem] = []
+    items.extend(free_memory_pointer())
+
+    selector_names = list(family.selectors)
+    if selector_names:
+        keep = max(1, int(rng.integers(max(1, len(selector_names) - 2), len(selector_names) + 1)))
+        chosen = list(rng.choice(selector_names, size=min(keep, len(selector_names)), replace=False))
+        items.extend(calldata_dispatcher([_selector(name) for name in chosen]))
+
+    n_slots = int(rng.integers(family.body_slots[0], family.body_slots[1] + 1))
+    for _ in range(n_slots):
+        fragment_name = str(rng.choice(names, p=probabilities))
+        fragment = FRAGMENTS[fragment_name]
+        items.extend(fragment())  # type: ignore[operator]
+
+    body = assemble(items)
+
+    # Append the shared landing pad / epilogue and patch every sentinel jump
+    # target so all JUMP/JUMPI destinations inside the contract are valid.
+    landing_offset = len(body)
+    epilogue_items: List[AsmItem] = list(revert_epilogue()) if rng.random() < 0.85 else ["JUMPDEST"]
+    epilogue_items.extend(stop_epilogue())
+    epilogue = assemble(epilogue_items)
+    sentinel = bytes([0x61]) + JUMP_SENTINEL.to_bytes(2, "big")
+    patched = body.replace(sentinel, bytes([0x61]) + landing_offset.to_bytes(2, "big"))
+    code = patched + epilogue
+
+    trailer_length = int(rng.integers(16, 52))
+    return code + metadata_trailer(int(rng.integers(0, 2**31)), trailer_length)

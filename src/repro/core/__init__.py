@@ -1,0 +1,33 @@
+"""PhishingHook framework core: BEM, BDM, dataset construction, MEM, PAM."""
+
+from .bdm import BytecodeDisassemblerModule, DisassembledContract
+from .bem import BytecodeExtractionModule, ExtractionReport
+from .config import Scale
+from .dataset import PhishingDataset, TemporalSplit, build_temporal_split
+from .mem import ModelEvaluationModule
+from .pam import CategoryBreakdown, PostHocAnalysisModule, PostHocReport
+from .results import (
+    EvaluationSuite,
+    ModelEvaluation,
+    render_table,
+    render_table2,
+)
+
+__all__ = [
+    "BytecodeDisassemblerModule",
+    "DisassembledContract",
+    "BytecodeExtractionModule",
+    "ExtractionReport",
+    "Scale",
+    "PhishingDataset",
+    "TemporalSplit",
+    "build_temporal_split",
+    "ModelEvaluationModule",
+    "CategoryBreakdown",
+    "PostHocAnalysisModule",
+    "PostHocReport",
+    "EvaluationSuite",
+    "ModelEvaluation",
+    "render_table",
+    "render_table2",
+]

@@ -1,0 +1,83 @@
+"""Experiment-scale configuration.
+
+Every experiment driver takes a :class:`Scale` that bounds corpus size,
+cross-validation effort and deep-model size.  ``Scale.paper()`` mirrors the
+paper's setting (7,000 contracts, 10-fold × 3 runs, 224×224 ViT inputs);
+``Scale.ci()`` (the default) finishes on a CPU-only machine, and
+``Scale.smoke()`` is used by the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.generator import CorpusConfig
+from ..models.registry import DeepModelScale
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Bundle of corpus-, evaluation- and model-size knobs."""
+
+    name: str = "ci"
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    dataset_size: int = 700
+    n_folds: int = 5
+    n_runs: int = 2
+    deep_folds: int = 2
+    deep_runs: int = 1
+    deep_scale: DeepModelScale = field(default_factory=DeepModelScale.ci)
+    seed: int = 2025
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        """Tiny configuration for unit tests (seconds)."""
+        return cls(
+            name="smoke",
+            corpus=CorpusConfig(n_phishing=140, n_benign=90, seed=7, hard_fraction=0.2),
+            dataset_size=120,
+            n_folds=3,
+            n_runs=1,
+            deep_folds=2,
+            deep_runs=1,
+            deep_scale=DeepModelScale.smoke(),
+        )
+
+    @classmethod
+    def ci(cls) -> "Scale":
+        """Default CPU-scale configuration (minutes)."""
+        return cls(
+            name="ci",
+            corpus=CorpusConfig(n_phishing=900, n_benign=520, seed=2025, hard_fraction=0.22),
+            dataset_size=700,
+            n_folds=5,
+            n_runs=2,
+            deep_folds=2,
+            deep_runs=1,
+            deep_scale=DeepModelScale.ci(),
+        )
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """Paper-equivalent configuration (needs far more compute)."""
+        return cls(
+            name="paper",
+            corpus=CorpusConfig(n_phishing=17455, n_benign=4000, seed=2025, hard_fraction=0.22),
+            dataset_size=7000,
+            n_folds=10,
+            n_runs=3,
+            deep_folds=10,
+            deep_runs=3,
+            deep_scale=DeepModelScale.paper(),
+        )
+
+    def folds_for(self, category: str) -> tuple:
+        """(n_folds, n_runs) used for a model family.
+
+        HSCs are cheap and always get the full cross-validation; the neural
+        families get the reduced ``deep_folds`` / ``deep_runs`` budget outside
+        the paper scale.
+        """
+        if category == "histogram" or self.name == "paper":
+            return self.n_folds, self.n_runs
+        return self.deep_folds, self.deep_runs

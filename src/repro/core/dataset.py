@@ -1,0 +1,188 @@
+"""Dataset construction (§III "Dataset construction" and §IV-G).
+
+Turns raw extracted contract records into the balanced classification
+dataset the models consume:
+
+* deduplicate bit-identical bytecodes (minimal proxy clones);
+* balance phishing and benign classes;
+* expose the ``(bytecodes, labels)`` view the detectors take;
+* build the *temporal* split of the time-resistance experiment: train on
+  October 2023 – January 2024, test on nine monthly windows February –
+  October 2024, with benign samples matched to the phishing temporal
+  distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chain.contracts import (
+    ContractLabel,
+    ContractRecord,
+    DeploymentMonth,
+    monthly_counts,
+    unique_by_bytecode,
+)
+
+
+@dataclass
+class PhishingDataset:
+    """A balanced, deduplicated phishing-classification dataset."""
+
+    records: List[ContractRecord]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def bytecodes(self) -> List[bytes]:
+        """Raw bytecodes in dataset order."""
+        return [record.bytecode for record in self.records]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Binary labels (1 = phishing) in dataset order."""
+        return np.array([record.label.as_int for record in self.records], dtype=int)
+
+    @property
+    def phishing_fraction(self) -> float:
+        """Share of phishing samples."""
+        if not self.records:
+            return 0.0
+        return float(self.labels.mean())
+
+    def subset(self, indices: Sequence[int]) -> "PhishingDataset":
+        """A new dataset containing only ``indices`` (in the given order)."""
+        return PhishingDataset(records=[self.records[i] for i in indices])
+
+    def split_fraction(self, fraction: float, seed: int = 0) -> "PhishingDataset":
+        """A stratified random subset containing ``fraction`` of the samples.
+
+        Used by the scalability analysis (§IV-F) for the 1/3 and 2/3 splits.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return PhishingDataset(records=list(self.records))
+        rng = np.random.default_rng(seed)
+        labels = self.labels
+        chosen: List[int] = []
+        for value in (0, 1):
+            class_indices = np.flatnonzero(labels == value)
+            rng.shuffle(class_indices)
+            keep = max(1, int(round(len(class_indices) * fraction)))
+            chosen.extend(class_indices[:keep].tolist())
+        rng.shuffle(chosen)
+        return self.subset(chosen)
+
+    def monthly_phishing_counts(self) -> Dict[str, int]:
+        """Phishing contracts per deployment month (Fig. 2 data)."""
+        return monthly_counts(self.records, label=ContractLabel.PHISHING)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        records: Sequence[ContractRecord],
+        target_size: Optional[int] = None,
+        deduplicate: bool = True,
+        seed: int = 0,
+    ) -> "PhishingDataset":
+        """Build a balanced dataset from raw extracted records.
+
+        Args:
+            records: Raw labelled records (with duplicates).
+            target_size: Total dataset size after balancing (defaults to
+                twice the size of the smaller class).
+            deduplicate: Collapse bit-identical bytecodes first.
+            seed: Sampling seed.
+        """
+        rng = np.random.default_rng(seed)
+        pool = list(records)
+        if deduplicate:
+            pool = unique_by_bytecode(pool)
+        phishing = [record for record in pool if record.is_phishing]
+        benign = [record for record in pool if not record.is_phishing]
+        if not phishing or not benign:
+            raise ValueError("dataset construction requires both classes to be present")
+
+        per_class = min(len(phishing), len(benign))
+        if target_size is not None:
+            per_class = min(per_class, target_size // 2)
+        phishing_indices = rng.permutation(len(phishing))[:per_class]
+        benign_indices = rng.permutation(len(benign))[:per_class]
+        chosen = [phishing[i] for i in phishing_indices] + [benign[i] for i in benign_indices]
+        rng.shuffle(chosen)
+        return cls(records=chosen)
+
+
+@dataclass
+class TemporalSplit:
+    """The time-resistance split of §IV-G."""
+
+    train: PhishingDataset
+    test_periods: List[Tuple[str, PhishingDataset]] = field(default_factory=list)
+
+    @property
+    def n_periods(self) -> int:
+        """Number of monthly test windows."""
+        return len(self.test_periods)
+
+
+def build_temporal_split(
+    records: Sequence[ContractRecord],
+    train_end: DeploymentMonth = DeploymentMonth(2024, 1),
+    test_end: DeploymentMonth = DeploymentMonth(2024, 10),
+    deduplicate: bool = True,
+    seed: int = 0,
+) -> TemporalSplit:
+    """Train on months ≤ ``train_end``; one test window per later month.
+
+    Benign samples are drawn to match the phishing temporal distribution in
+    every window, as the paper's second dataset does.
+    """
+    rng = np.random.default_rng(seed)
+    pool = unique_by_bytecode(list(records)) if deduplicate else list(records)
+
+    def in_window(record: ContractRecord, start: DeploymentMonth, end: DeploymentMonth) -> bool:
+        return start <= record.deployed_month and record.deployed_month <= end
+
+    def balanced(subset: List[ContractRecord]) -> List[ContractRecord]:
+        phishing = [record for record in subset if record.is_phishing]
+        benign = [record for record in subset if not record.is_phishing]
+        per_class = min(len(phishing), len(benign))
+        if per_class == 0:
+            return []
+        phishing_chosen = [phishing[i] for i in rng.permutation(len(phishing))[:per_class]]
+        benign_chosen = [benign[i] for i in rng.permutation(len(benign))[:per_class]]
+        merged = phishing_chosen + benign_chosen
+        rng.shuffle(merged)
+        return merged
+
+    earliest = min(record.deployed_month for record in pool)
+    train_records = balanced([r for r in pool if in_window(r, earliest, train_end)])
+    if not train_records:
+        raise ValueError("temporal split produced an empty training set")
+
+    test_periods: List[Tuple[str, PhishingDataset]] = []
+    month = train_end.offset(1)
+    while month <= test_end:
+        window_records = balanced([r for r in pool if r.deployed_month == month])
+        if window_records:
+            test_periods.append((str(month), PhishingDataset(records=window_records)))
+        month = month.offset(1)
+
+    return TemporalSplit(
+        train=PhishingDataset(records=train_records),
+        test_periods=test_periods,
+    )

@@ -1,0 +1,143 @@
+"""Model Evaluation Module (MEM).
+
+Systematically trains and evaluates the registered detectors with repeated
+stratified k-fold cross-validation over a :class:`PhishingDataset`
+(Fig. 1 step ➐), producing the data behind Table II, the scalability study
+and the time-resistance study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..ml.metrics import MetricReport
+from ..ml.model_selection import CrossValidationResult, FoldResult, StratifiedKFold
+from ..models.base import PhishingDetector
+from ..models.registry import DeepModelScale, build_model, get_model_spec
+from .config import Scale
+from .dataset import PhishingDataset
+from .results import EvaluationSuite, ModelEvaluation
+
+ProgressCallback = Callable[[str, int, int], None]
+
+
+@dataclass
+class ModelEvaluationModule:
+    """Runs the cross-validated evaluation of detectors on a dataset."""
+
+    scale: Scale = field(default_factory=Scale.ci)
+    progress: Optional[ProgressCallback] = None
+
+    # ------------------------------------------------------------------
+
+    def _notify(self, model_name: str, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(model_name, done, total)
+
+    def evaluate_detector(
+        self,
+        build_detector: Callable[[int], PhishingDetector],
+        dataset: PhishingDataset,
+        model_name: str,
+        n_folds: int,
+        n_runs: int,
+        seed: int = 0,
+    ) -> CrossValidationResult:
+        """Cross-validate one detector factory on raw bytecodes."""
+        bytecodes = dataset.bytecodes
+        labels = dataset.labels
+        result = CrossValidationResult(model_name=model_name)
+        total = n_folds * n_runs
+        done = 0
+        for run in range(n_runs):
+            splitter = StratifiedKFold(n_splits=n_folds, shuffle=True, seed=seed + run)
+            for fold_index, (train_idx, test_idx) in enumerate(splitter.split(labels)):
+                detector = build_detector(seed + run * 100 + fold_index)
+                train_codes = [bytecodes[i] for i in train_idx]
+                test_codes = [bytecodes[i] for i in test_idx]
+                start = time.perf_counter()
+                detector.fit(train_codes, labels[train_idx])
+                train_time = time.perf_counter() - start
+                start = time.perf_counter()
+                predictions = detector.predict(test_codes)
+                inference_time = time.perf_counter() - start
+                report = MetricReport.from_predictions(labels[test_idx], predictions)
+                result.folds.append(
+                    FoldResult(
+                        fold=fold_index,
+                        run=run,
+                        report=report,
+                        train_time=train_time,
+                        inference_time=inference_time,
+                    )
+                )
+                done += 1
+                self._notify(model_name, done, total)
+        return result
+
+    def evaluate_model(
+        self,
+        model_name: str,
+        dataset: PhishingDataset,
+        seed: Optional[int] = None,
+        deep_scale: Optional[DeepModelScale] = None,
+    ) -> ModelEvaluation:
+        """Cross-validate one registered model by name."""
+        spec = get_model_spec(model_name)
+        n_folds, n_runs = self.scale.folds_for(spec.category.value)
+        scale = deep_scale or self.scale.deep_scale
+        cv_result = self.evaluate_detector(
+            lambda fold_seed: build_model(model_name, scale=scale, seed=fold_seed),
+            dataset,
+            model_name=model_name,
+            n_folds=n_folds,
+            n_runs=n_runs,
+            seed=self.scale.seed if seed is None else seed,
+        )
+        return ModelEvaluation(model_name=model_name, category=spec.category, cv_result=cv_result)
+
+    def evaluate_suite(
+        self,
+        model_names: Sequence[str],
+        dataset: PhishingDataset,
+        seed: Optional[int] = None,
+    ) -> EvaluationSuite:
+        """Cross-validate several registered models (a full Table II run)."""
+        suite = EvaluationSuite()
+        for model_name in model_names:
+            suite.evaluations.append(self.evaluate_model(model_name, dataset, seed=seed))
+        return suite
+
+    # ------------------------------------------------------------------
+    # single-split evaluation (used by scalability / time-resistance)
+    # ------------------------------------------------------------------
+
+    def fit_and_score(
+        self,
+        model_name: str,
+        train: PhishingDataset,
+        test: PhishingDataset,
+        seed: int = 0,
+        deep_scale: Optional[DeepModelScale] = None,
+    ) -> dict:
+        """Train on one dataset, evaluate on another; returns metrics + times."""
+        detector = build_model(model_name, scale=deep_scale or self.scale.deep_scale, seed=seed)
+        start = time.perf_counter()
+        detector.fit(train.bytecodes, train.labels)
+        train_time = time.perf_counter() - start
+        start = time.perf_counter()
+        predictions = detector.predict(test.bytecodes)
+        inference_time = time.perf_counter() - start
+        report = MetricReport.from_predictions(test.labels, predictions)
+        return {
+            "model": model_name,
+            **report.as_dict(),
+            "train_time": train_time,
+            "inference_time": inference_time,
+            "n_train": len(train),
+            "n_test": len(test),
+        }

@@ -1,0 +1,129 @@
+"""Post hoc Analysis Module (PAM).
+
+Reimplements the R-based statistical analysis of §IV-E (Fig. 1 step ➑):
+
+1. Shapiro–Wilk normality test per model-metric pair;
+2. Kruskal–Wallis test per metric across all models, Holm–Bonferroni
+   adjusted (Table III);
+3. Dunn's test with Holm–Bonferroni correction for every model pair and
+   metric (Fig. 4), with the within-category / between-category significance
+   breakdown the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ml.metrics import METRIC_NAMES
+from ..models.registry import get_model_spec
+from ..stats.dunn import DunnResult, dunn_test
+from ..stats.normality import NormalityResult, shapiro_wilk
+from ..stats.rank_tests import KruskalWallisResult, kruskal_wallis_by_metric
+from .results import EvaluationSuite
+
+
+@dataclass
+class CategoryBreakdown:
+    """Fraction of significant Dunn pairs, split by model-category relation."""
+
+    overall: float
+    same_category: float
+    different_category: float
+
+
+@dataclass
+class PostHocReport:
+    """Full output of a PAM run."""
+
+    model_names: List[str]
+    normality: Dict[str, NormalityResult] = field(default_factory=dict)
+    kruskal: Dict[str, KruskalWallisResult] = field(default_factory=dict)
+    dunn: Dict[str, DunnResult] = field(default_factory=dict)
+    breakdown: Dict[str, CategoryBreakdown] = field(default_factory=dict)
+
+    @property
+    def n_non_normal(self) -> int:
+        """Number of model-metric pairs rejecting normality."""
+        return sum(1 for result in self.normality.values() if not result.is_normal)
+
+    @property
+    def n_model_metric_pairs(self) -> int:
+        """Total number of model-metric pairs tested for normality."""
+        return len(self.normality)
+
+    def table3_rows(self) -> List[Dict[str, object]]:
+        """Rows matching Table III (metric, H, p, adjusted p)."""
+        rows = []
+        for metric in METRIC_NAMES:
+            result = self.kruskal[metric]
+            rows.append(
+                {
+                    "Metric": metric,
+                    "H": result.statistic,
+                    "p": result.p_value,
+                    "p_adj": result.adjusted_p_value,
+                    "significant": result.is_significant,
+                }
+            )
+        return rows
+
+
+class PostHocAnalysisModule:
+    """Drives the statistical comparison of an :class:`EvaluationSuite`."""
+
+    def __init__(self, alpha: float = 0.05):
+        self.alpha = alpha
+
+    def analyze(
+        self, suite: EvaluationSuite, model_names: Optional[Sequence[str]] = None
+    ) -> PostHocReport:
+        """Run the full normality → Kruskal–Wallis → Dunn pipeline."""
+        names = list(model_names) if model_names is not None else suite.model_names()
+        report = PostHocReport(model_names=names)
+
+        # 1. Shapiro–Wilk per model-metric pair.  Models evaluated with fewer
+        # than three trials (possible at reduced bench scales) cannot be
+        # tested for normality; they are conservatively treated as non-normal
+        # so the pipeline still selects the non-parametric tests.
+        for metric in METRIC_NAMES:
+            for name in names:
+                values = suite.get(name).values(metric)
+                if len(values) < 3:
+                    report.normality[f"{name}|{metric}"] = NormalityResult(
+                        statistic=float("nan"), p_value=0.0, alpha=self.alpha
+                    )
+                else:
+                    report.normality[f"{name}|{metric}"] = shapiro_wilk(values, alpha=self.alpha)
+
+        # 2. Kruskal–Wallis per metric, Holm–Bonferroni adjusted across metrics.
+        groups_by_metric = {
+            metric: [suite.get(name).values(metric) for name in names]
+            for metric in METRIC_NAMES
+        }
+        report.kruskal = kruskal_wallis_by_metric(groups_by_metric, alpha=self.alpha)
+
+        # 3. Dunn's pairwise test per metric + category breakdown.
+        for metric in METRIC_NAMES:
+            groups = {name: suite.get(name).values(metric) for name in names}
+            dunn_result = dunn_test(groups, alpha=self.alpha)
+            report.dunn[metric] = dunn_result
+            report.breakdown[metric] = self._breakdown(dunn_result)
+        return report
+
+    def _breakdown(self, dunn_result: DunnResult) -> CategoryBreakdown:
+        same: List[bool] = []
+        different: List[bool] = []
+        for pair in dunn_result.pairs:
+            first_category = get_model_spec(pair.first).category
+            second_category = get_model_spec(pair.second).category
+            target = same if first_category is second_category else different
+            target.append(pair.is_significant)
+        overall = dunn_result.significant_fraction()
+        same_fraction = sum(same) / len(same) if same else 0.0
+        different_fraction = sum(different) / len(different) if different else 0.0
+        return CategoryBreakdown(
+            overall=overall,
+            same_category=same_fraction,
+            different_category=different_fraction,
+        )

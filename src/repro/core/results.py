@@ -1,0 +1,139 @@
+"""Result containers and text rendering of the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ml.metrics import METRIC_NAMES
+from ..ml.model_selection import CrossValidationResult
+from ..models.base import ModelCategory
+
+
+@dataclass
+class ModelEvaluation:
+    """Cross-validated evaluation of one detector (one row of Table II)."""
+
+    model_name: str
+    category: ModelCategory
+    cv_result: CrossValidationResult
+
+    def mean(self, metric: str) -> float:
+        """Mean of ``metric`` over all trials."""
+        return self.cv_result.mean_metric(metric)
+
+    def values(self, metric: str) -> np.ndarray:
+        """Per-trial values of ``metric``."""
+        return self.cv_result.metric_values(metric)
+
+    @property
+    def train_time(self) -> float:
+        """Mean per-fold training time (seconds)."""
+        return float(np.mean([fold.train_time for fold in self.cv_result.folds]))
+
+    @property
+    def inference_time(self) -> float:
+        """Mean per-fold inference time (seconds)."""
+        return float(np.mean([fold.inference_time for fold in self.cv_result.folds]))
+
+    def as_row(self) -> Dict[str, object]:
+        """Table II row: name + four mean metrics (percent scale)."""
+        return {
+            "model": self.model_name,
+            "category": self.category.value,
+            "accuracy": 100 * self.mean("accuracy"),
+            "f1": 100 * self.mean("f1"),
+            "precision": 100 * self.mean("precision"),
+            "recall": 100 * self.mean("recall"),
+        }
+
+
+@dataclass
+class EvaluationSuite:
+    """All model evaluations of one MEM run (the full Table II)."""
+
+    evaluations: List[ModelEvaluation] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.evaluations)
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    def get(self, model_name: str) -> ModelEvaluation:
+        """Evaluation of one model by name."""
+        for evaluation in self.evaluations:
+            if evaluation.model_name == model_name:
+                return evaluation
+        raise KeyError(f"no evaluation for model {model_name!r}")
+
+    def model_names(self) -> List[str]:
+        """All evaluated model names."""
+        return [evaluation.model_name for evaluation in self.evaluations]
+
+    def best_model(self, metric: str = "accuracy") -> ModelEvaluation:
+        """Evaluation with the highest mean ``metric``."""
+        return max(self.evaluations, key=lambda evaluation: evaluation.mean(metric))
+
+    def category_means(self, metric: str = "accuracy") -> Dict[str, float]:
+        """Mean of ``metric`` per model family (the paper's family averages)."""
+        by_category: Dict[str, List[float]] = {}
+        for evaluation in self.evaluations:
+            by_category.setdefault(evaluation.category.value, []).append(evaluation.mean(metric))
+        return {category: float(np.mean(values)) for category, values in by_category.items()}
+
+    def metric_matrix(self, metric: str, model_names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Trials × models matrix of ``metric`` values (for the PAM)."""
+        names = list(model_names) if model_names is not None else self.model_names()
+        columns = [self.get(name).values(metric) for name in names]
+        min_length = min(len(column) for column in columns)
+        return np.column_stack([column[:min_length] for column in columns])
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table II rows in evaluation order."""
+        return [evaluation.as_row() for evaluation in self.evaluations]
+
+
+def render_table(rows: Sequence[Dict[str, object]], float_format: str = "{:.2f}") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    formatted: List[List[str]] = []
+    for row in rows:
+        formatted.append(
+            [
+                float_format.format(value) if isinstance(value, float) else str(value)
+                for value in (row.get(column, "") for column in columns)
+            ]
+        )
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in formatted))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in formatted
+    )
+    return "\n".join([header, separator, body])
+
+
+def render_table2(suite: EvaluationSuite) -> str:
+    """Render the suite as the paper's Table II layout."""
+    rows = []
+    for evaluation in suite:
+        row = evaluation.as_row()
+        rows.append(
+            {
+                "Model": row["model"],
+                "Category": row["category"],
+                "Accuracy (%)": row["accuracy"],
+                "F1 Score": row["f1"],
+                "Precision": row["precision"],
+                "Recall": row["recall"],
+            }
+        )
+    return render_table(rows)

@@ -1,0 +1,91 @@
+"""EVM substrate: Shanghai opcode registry, disassembler, assembler, interpreter.
+
+This package replaces the patched ``evmdasm`` library the paper relies on.
+Public surface:
+
+* :data:`SHANGHAI_OPCODES` / :func:`get_opcode` / :func:`get_mnemonic` —
+  the 144-opcode Shanghai registry (Table I).
+* :class:`Disassembler` / :func:`disassemble` — bytecode → instructions
+  (the paper's BDM core).
+* :func:`assemble` / :func:`push` — assembly → bytecode, used by the
+  synthetic contract generator.
+* :class:`EVMInterpreter` — a miniature stack machine used to validate
+  synthetic contracts.
+"""
+
+from .assembler import assemble, assemble_hex, program, push
+from .disassembler import (
+    Disassembler,
+    disassemble,
+    disassemble_mnemonics,
+    format_listing,
+    normalize_bytecode,
+    total_static_gas,
+)
+from .errors import (
+    AssemblyError,
+    BytecodeFormatError,
+    EVMError,
+    ExecutionError,
+    InvalidInstructionError,
+    InvalidJumpError,
+    OutOfGasError,
+    StackOverflowError,
+    StackUnderflowError,
+)
+from .gas import GasProfile, cumulative_gas, profile
+from .instruction import Instruction
+from .interpreter import CallContext, EVMInterpreter, ExecutionResult
+from .opcodes import (
+    CANONICAL_MNEMONICS,
+    OPCODES_BY_MNEMONIC,
+    SHANGHAI_OPCODE_COUNT,
+    SHANGHAI_OPCODES,
+    OpcodeCategory,
+    OpcodeInfo,
+    get_mnemonic,
+    get_opcode,
+    is_defined,
+    iter_opcodes,
+    opcode_table_rows,
+)
+
+__all__ = [
+    "assemble",
+    "assemble_hex",
+    "program",
+    "push",
+    "Disassembler",
+    "disassemble",
+    "disassemble_mnemonics",
+    "format_listing",
+    "normalize_bytecode",
+    "total_static_gas",
+    "AssemblyError",
+    "BytecodeFormatError",
+    "EVMError",
+    "ExecutionError",
+    "InvalidInstructionError",
+    "InvalidJumpError",
+    "OutOfGasError",
+    "StackOverflowError",
+    "StackUnderflowError",
+    "GasProfile",
+    "cumulative_gas",
+    "profile",
+    "Instruction",
+    "CallContext",
+    "EVMInterpreter",
+    "ExecutionResult",
+    "CANONICAL_MNEMONICS",
+    "OPCODES_BY_MNEMONIC",
+    "SHANGHAI_OPCODE_COUNT",
+    "SHANGHAI_OPCODES",
+    "OpcodeCategory",
+    "OpcodeInfo",
+    "get_mnemonic",
+    "get_opcode",
+    "is_defined",
+    "iter_opcodes",
+    "opcode_table_rows",
+]

@@ -1,0 +1,97 @@
+"""Assembler: the inverse of the disassembler.
+
+The synthetic contract-corpus generator (``repro.chain.templates``) authors
+contracts as readable assembly programs; this module lowers them to the byte
+strings the rest of the pipeline consumes, and guarantees round-tripping with
+:mod:`repro.evm.disassembler`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from .errors import AssemblyError
+from .instruction import Instruction
+from .opcodes import OPCODES_BY_MNEMONIC, OpcodeInfo
+
+AsmOperand = Union[int, bytes, None]
+AsmItem = Union[str, Tuple[str, AsmOperand], Instruction]
+
+
+def _encode_operand(info: OpcodeInfo, operand: AsmOperand) -> bytes:
+    if info.operand_size == 0:
+        if operand not in (None, b"", 0):
+            raise AssemblyError(f"{info.mnemonic} takes no operand, got {operand!r}")
+        return b""
+    if operand is None:
+        operand = 0
+    if isinstance(operand, int):
+        if operand < 0:
+            raise AssemblyError("PUSH operands must be non-negative integers")
+        try:
+            return operand.to_bytes(info.operand_size, "big")
+        except OverflowError as exc:
+            raise AssemblyError(
+                f"operand {operand:#x} does not fit in {info.operand_size} bytes"
+            ) from exc
+    if isinstance(operand, (bytes, bytearray)):
+        data = bytes(operand)
+        if len(data) > info.operand_size:
+            raise AssemblyError(
+                f"operand of {len(data)} bytes too large for {info.mnemonic}"
+            )
+        return data.rjust(info.operand_size, b"\x00")
+    raise AssemblyError(f"unsupported operand type: {type(operand)!r}")
+
+
+def assemble(items: Iterable[AsmItem]) -> bytes:
+    """Assemble a sequence of mnemonics / (mnemonic, operand) pairs to bytes.
+
+    Each item may be:
+
+    * a bare mnemonic string, e.g. ``"MSTORE"``;
+    * a ``(mnemonic, operand)`` tuple where the operand is an ``int`` or
+      ``bytes`` immediate for the PUSH family;
+    * an :class:`Instruction` (offsets are ignored and recomputed).
+    """
+    out = bytearray()
+    for item in items:
+        if isinstance(item, Instruction):
+            mnemonic: str = item.mnemonic
+            operand: AsmOperand = item.operand
+        elif isinstance(item, tuple):
+            mnemonic, operand = item
+        else:
+            mnemonic, operand = item, None
+        info = OPCODES_BY_MNEMONIC.get(mnemonic.upper())
+        if info is None:
+            raise AssemblyError(f"unknown mnemonic: {mnemonic!r}")
+        out.append(info.value)
+        out.extend(_encode_operand(info, operand))
+    return bytes(out)
+
+
+def assemble_hex(items: Iterable[AsmItem]) -> str:
+    """Assemble to a ``0x``-prefixed hex string."""
+    return "0x" + assemble(items).hex()
+
+
+def push(value: int, width: int | None = None) -> Tuple[str, int]:
+    """Build the smallest ``PUSHn`` item able to hold ``value``.
+
+    Args:
+        value: Non-negative integer to push.
+        width: Force a specific operand width in bytes (1-32).
+    """
+    if value < 0:
+        raise AssemblyError("cannot PUSH a negative value")
+    if width is None:
+        width = max(1, (value.bit_length() + 7) // 8)
+    if not 1 <= width <= 32:
+        raise AssemblyError(f"PUSH width must be in [1, 32], got {width}")
+    return (f"PUSH{width}", value)
+
+
+def program(*items: AsmItem) -> List[AsmItem]:
+    """Convenience constructor for an assembly program as a list."""
+    return list(items)

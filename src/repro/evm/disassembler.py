@@ -1,0 +1,113 @@
+"""Bytecode disassembler (the paper's BDM core).
+
+Turns deployed contract bytecode into a sequence of :class:`Instruction`
+objects.  The behaviour mirrors the patched ``evmdasm`` library used by the
+paper: every byte value that does not map to a defined Shanghai opcode is
+reported as ``INVALID``, and a ``PUSHn`` whose immediate runs past the end of
+the code is truncated (zero-padding is *not* applied, matching how deployed
+bytecode ends with metadata that is not meant to execute).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from .errors import BytecodeFormatError
+from .instruction import Instruction
+from .opcodes import SHANGHAI_OPCODES, OpcodeInfo, get_opcode
+
+BytecodeLike = Union[str, bytes, bytearray]
+
+_INVALID: OpcodeInfo = SHANGHAI_OPCODES[0xFE]
+
+
+def normalize_bytecode(bytecode: BytecodeLike) -> bytes:
+    """Convert a hex string (optionally ``0x``-prefixed) or bytes to bytes.
+
+    Raises:
+        BytecodeFormatError: if a hex string has odd length or non-hex
+            characters.
+    """
+    if isinstance(bytecode, (bytes, bytearray)):
+        return bytes(bytecode)
+    if not isinstance(bytecode, str):
+        raise BytecodeFormatError(f"unsupported bytecode type: {type(bytecode)!r}")
+    text = bytecode.strip()
+    if text.startswith(("0x", "0X")):
+        text = text[2:]
+    if text == "":
+        return b""
+    if len(text) % 2 != 0:
+        raise BytecodeFormatError("hex bytecode must have an even number of digits")
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise BytecodeFormatError(f"invalid hex bytecode: {exc}") from exc
+
+
+class Disassembler:
+    """Linear-sweep disassembler for EVM bytecode."""
+
+    def disassemble(self, bytecode: BytecodeLike) -> List[Instruction]:
+        """Disassemble ``bytecode`` into a list of instructions."""
+        return list(self.iter_instructions(bytecode))
+
+    def iter_instructions(self, bytecode: BytecodeLike) -> Iterator[Instruction]:
+        """Yield instructions one by one with a linear sweep."""
+        code = normalize_bytecode(bytecode)
+        offset = 0
+        length = len(code)
+        while offset < length:
+            value = code[offset]
+            info = get_opcode(value)
+            if info is None:
+                info = _INVALID
+                operand = None
+                step = 1
+            elif info.operand_size > 0:
+                operand = code[offset + 1 : offset + 1 + info.operand_size]
+                step = 1 + len(operand)
+            else:
+                operand = None
+                step = 1
+            yield Instruction(offset=offset, opcode=info, operand=operand)
+            offset += step
+
+    def mnemonics(self, bytecode: BytecodeLike) -> List[str]:
+        """Return just the mnemonic sequence of ``bytecode``."""
+        return [instr.mnemonic for instr in self.iter_instructions(bytecode)]
+
+    def jump_destinations(self, bytecode: BytecodeLike) -> List[int]:
+        """Offsets of all ``JUMPDEST`` instructions in ``bytecode``."""
+        return [
+            instr.offset
+            for instr in self.iter_instructions(bytecode)
+            if instr.mnemonic == "JUMPDEST"
+        ]
+
+
+_DEFAULT = Disassembler()
+
+
+def disassemble(bytecode: BytecodeLike) -> List[Instruction]:
+    """Disassemble with a module-level default :class:`Disassembler`."""
+    return _DEFAULT.disassemble(bytecode)
+
+
+def disassemble_mnemonics(bytecode: BytecodeLike) -> List[str]:
+    """Return the mnemonic sequence of ``bytecode``."""
+    return _DEFAULT.mnemonics(bytecode)
+
+
+def total_static_gas(instructions: Iterable[Instruction]) -> int:
+    """Sum of the static gas costs of ``instructions`` (INVALID counts 0)."""
+    return sum(instr.gas or 0 for instr in instructions)
+
+
+def format_listing(instructions: Sequence[Instruction]) -> str:
+    """Render a human-readable disassembly listing."""
+    lines = []
+    for instr in instructions:
+        operand = f" {instr.operand_hex}" if instr.operand_hex else ""
+        lines.append(f"{instr.offset:#06x}: {instr.mnemonic}{operand}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the EVM substrate."""
+
+from __future__ import annotations
+
+
+class EVMError(Exception):
+    """Base class for all EVM-substrate errors."""
+
+
+class BytecodeFormatError(EVMError):
+    """Raised when a bytecode string cannot be parsed into bytes."""
+
+
+class AssemblyError(EVMError):
+    """Raised when an instruction sequence cannot be assembled."""
+
+
+class ExecutionError(EVMError):
+    """Base class for interpreter failures."""
+
+
+class StackUnderflowError(ExecutionError):
+    """The operand stack did not hold enough items for an opcode."""
+
+
+class StackOverflowError(ExecutionError):
+    """The operand stack exceeded the 1024-item EVM limit."""
+
+
+class InvalidInstructionError(ExecutionError):
+    """An undefined or explicitly invalid opcode was executed."""
+
+
+class OutOfGasError(ExecutionError):
+    """The execution ran out of gas."""
+
+
+class InvalidJumpError(ExecutionError):
+    """A JUMP/JUMPI targeted a position that is not a JUMPDEST."""

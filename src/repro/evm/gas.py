@@ -1,0 +1,56 @@
+"""Static gas accounting helpers.
+
+PhishingHook uses the per-opcode static gas cost as one of the three fields
+of a BDM record (mnemonic, operand, gas) and the ViT+Freq feature extractor
+encodes gas consumption as one of its colour channels.  This module provides
+aggregate gas statistics over a disassembled contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from .instruction import Instruction
+from .opcodes import OpcodeCategory
+
+
+@dataclass(frozen=True)
+class GasProfile:
+    """Aggregate static-gas statistics of a contract."""
+
+    total: int
+    per_category: Dict[str, int]
+    instruction_count: int
+
+    @property
+    def mean_per_instruction(self) -> float:
+        """Average static gas cost per instruction."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.total / self.instruction_count
+
+
+def profile(instructions: Sequence[Instruction]) -> GasProfile:
+    """Compute the :class:`GasProfile` of a disassembled contract."""
+    total = 0
+    per_category: Dict[str, int] = {category.value: 0 for category in OpcodeCategory}
+    for instr in instructions:
+        cost = instr.gas or 0
+        total += cost
+        per_category[instr.opcode.category.value] += cost
+    return GasProfile(
+        total=total,
+        per_category=per_category,
+        instruction_count=len(instructions),
+    )
+
+
+def cumulative_gas(instructions: Iterable[Instruction]) -> list:
+    """Running sum of static gas costs, useful for plotting gas over offsets."""
+    running = 0
+    series = []
+    for instr in instructions:
+        running += instr.gas or 0
+        series.append(running)
+    return series

@@ -1,0 +1,86 @@
+"""Instruction representation produced by the disassembler.
+
+The paper's BDM turns a bytecode such as ``0x6080604052`` into triples of
+``(mnemonic, operand, gas)`` — e.g. ``(PUSH1, 0x80, 3)``, ``(PUSH1, 0x40, 3)``,
+``(MSTORE, NaN, 3)``.  :class:`Instruction` is the structured equivalent of
+one such triple, augmented with the byte offset so that assembly and control
+flow analyses can round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .opcodes import OpcodeInfo
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single disassembled EVM instruction.
+
+    Attributes:
+        offset: Byte offset of the opcode within the bytecode.
+        opcode: Static opcode description (mnemonic, gas, stack effects).
+        operand: Immediate operand bytes (only for the PUSH family), or
+            ``None`` when the opcode takes no immediate.
+    """
+
+    offset: int
+    opcode: OpcodeInfo
+    operand: Optional[bytes] = None
+
+    @property
+    def mnemonic(self) -> str:
+        """Human-readable opcode alias (e.g. ``"PUSH1"``)."""
+        return self.opcode.mnemonic
+
+    @property
+    def gas(self) -> Optional[int]:
+        """Static gas cost of the opcode (``None`` for ``INVALID``)."""
+        return self.opcode.gas
+
+    @property
+    def operand_hex(self) -> Optional[str]:
+        """The operand rendered as ``0x``-prefixed hex, or ``None``."""
+        if self.operand is None:
+            return None
+        return "0x" + self.operand.hex()
+
+    @property
+    def operand_int(self) -> Optional[int]:
+        """The operand interpreted as a big-endian unsigned integer."""
+        if self.operand is None:
+            return None
+        if len(self.operand) == 0:
+            return 0
+        return int.from_bytes(self.operand, "big")
+
+    @property
+    def size(self) -> int:
+        """Total encoded size in bytes (opcode byte plus immediate)."""
+        return 1 + (len(self.operand) if self.operand is not None else 0)
+
+    @property
+    def end_offset(self) -> int:
+        """Offset of the first byte after this instruction."""
+        return self.offset + self.size
+
+    def to_record(self) -> dict:
+        """Render the BDM record ``(mnemonic, operand, gas)`` as a dict.
+
+        Matches the CSV row layout emitted by the paper's disassembler
+        module: missing operands and the gas of ``INVALID`` are rendered as
+        the string ``"NaN"``.
+        """
+        return {
+            "offset": self.offset,
+            "mnemonic": self.mnemonic,
+            "operand": self.operand_hex if self.operand_hex is not None else "NaN",
+            "gas": self.gas if self.gas is not None else "NaN",
+        }
+
+    def __str__(self) -> str:
+        if self.operand is not None and len(self.operand) > 0:
+            return f"{self.mnemonic} {self.operand_hex}"
+        return self.mnemonic

@@ -1,0 +1,425 @@
+"""A miniature EVM interpreter.
+
+The paper does not execute contracts — PhishingHook deliberately performs
+*static* analysis only — but the reproduction ships a small stack-machine
+interpreter for two reasons:
+
+* it validates that the synthetic contracts emitted by the corpus generator
+  are structurally executable (dispatcher reachable, jumps valid, stack
+  balanced), which keeps the synthetic data honest; and
+* it provides the execution semantics that the EVM background section (§II)
+  describes: a 256-bit word machine with a 1024-item stack, word-addressed
+  memory and storage, and gas-bounded execution.
+
+The implementation covers arithmetic, comparison, bitwise, stack, memory,
+storage, flow and environment opcodes.  External calls (CALL family, CREATE
+family, LOG family) are modelled as no-ops that consume their stack
+arguments and push a success flag; this is sufficient for structural
+validation and keeps the interpreter hermetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .disassembler import Disassembler, normalize_bytecode
+from .errors import (
+    InvalidInstructionError,
+    InvalidJumpError,
+    OutOfGasError,
+    StackOverflowError,
+    StackUnderflowError,
+)
+from .instruction import Instruction
+
+WORD_MASK = (1 << 256) - 1
+SIGN_BIT = 1 << 255
+MAX_STACK = 1024
+
+
+def _to_signed(value: int) -> int:
+    return value - (1 << 256) if value & SIGN_BIT else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & WORD_MASK
+
+
+@dataclass
+class CallContext:
+    """Inputs of a simulated message call."""
+
+    caller: int = 0xC0FFEE
+    address: int = 0xDEADBEEF
+    origin: int = 0xC0FFEE
+    callvalue: int = 0
+    calldata: bytes = b""
+    gas_price: int = 1
+    block_number: int = 17_034_870
+    timestamp: int = 1_700_000_000
+    chain_id: int = 1
+    balance: int = 10**18
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a simulated execution."""
+
+    success: bool
+    return_data: bytes = b""
+    gas_used: int = 0
+    steps: int = 0
+    reverted: bool = False
+    storage: Dict[int, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def halted_normally(self) -> bool:
+        """Whether execution ended via STOP or RETURN."""
+        return self.success and not self.reverted
+
+
+class EVMInterpreter:
+    """Executes deployed bytecode against a :class:`CallContext`."""
+
+    def __init__(self, gas_limit: int = 1_000_000, max_steps: int = 100_000):
+        self.gas_limit = gas_limit
+        self.max_steps = max_steps
+        self._disassembler = Disassembler()
+
+    def execute(
+        self,
+        bytecode,
+        context: Optional[CallContext] = None,
+        storage: Optional[Dict[int, int]] = None,
+    ) -> ExecutionResult:
+        """Run ``bytecode`` and return an :class:`ExecutionResult`.
+
+        Execution errors (stack underflow, invalid jump, out of gas, invalid
+        instruction) are reported in the result rather than raised, matching
+        how the EVM converts them into failed frames.
+        """
+        code = normalize_bytecode(bytecode)
+        ctx = context or CallContext()
+        store: Dict[int, int] = dict(storage or {})
+        try:
+            return self._run(code, ctx, store)
+        except (
+            StackUnderflowError,
+            StackOverflowError,
+            InvalidJumpError,
+            InvalidInstructionError,
+            OutOfGasError,
+        ) as exc:
+            return ExecutionResult(
+                success=False,
+                gas_used=self.gas_limit,
+                storage=store,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _run(self, code: bytes, ctx: CallContext, storage: Dict[int, int]) -> ExecutionResult:
+        instructions = self._disassembler.disassemble(code)
+        by_offset: Dict[int, int] = {ins.offset: i for i, ins in enumerate(instructions)}
+        jumpdests = {ins.offset for ins in instructions if ins.mnemonic == "JUMPDEST"}
+
+        stack: List[int] = []
+        memory = bytearray()
+        gas = self.gas_limit
+        pc_index = 0
+        steps = 0
+        return_data = b""
+
+        def pop(n: int = 1) -> List[int]:
+            if len(stack) < n:
+                raise StackUnderflowError(f"need {n} items, have {len(stack)}")
+            items = [stack.pop() for _ in range(n)]
+            return items
+
+        def push(value: int) -> None:
+            if len(stack) >= MAX_STACK:
+                raise StackOverflowError("stack limit of 1024 items exceeded")
+            stack.append(_to_unsigned(value))
+
+        def mem_read(offset: int, size: int) -> bytes:
+            if size == 0:
+                return b""
+            end = offset + size
+            if end > len(memory):
+                memory.extend(b"\x00" * (end - len(memory)))
+            return bytes(memory[offset:end])
+
+        def mem_write(offset: int, data: bytes) -> None:
+            end = offset + len(data)
+            if end > len(memory):
+                memory.extend(b"\x00" * (end - len(memory)))
+            memory[offset:end] = data
+
+        while pc_index < len(instructions):
+            steps += 1
+            if steps > self.max_steps:
+                return ExecutionResult(
+                    success=False,
+                    gas_used=self.gas_limit - gas,
+                    steps=steps,
+                    storage=storage,
+                    error="step limit exceeded",
+                )
+            instr = instructions[pc_index]
+            name = instr.mnemonic
+            cost = instr.gas if instr.gas is not None else gas
+            gas -= cost
+            if gas < 0:
+                raise OutOfGasError(f"out of gas at {name} (offset {instr.offset:#x})")
+
+            next_index = pc_index + 1
+
+            if name == "STOP":
+                return ExecutionResult(
+                    True, b"", self.gas_limit - gas, steps, False, storage
+                )
+            elif name == "RETURN":
+                offset, size = pop(2)
+                return_data = mem_read(offset, min(size, 1 << 16))
+                return ExecutionResult(
+                    True, return_data, self.gas_limit - gas, steps, False, storage
+                )
+            elif name == "REVERT":
+                offset, size = pop(2)
+                return_data = mem_read(offset, min(size, 1 << 16))
+                return ExecutionResult(
+                    False, return_data, self.gas_limit - gas, steps, True, storage
+                )
+            elif name == "INVALID":
+                raise InvalidInstructionError(f"INVALID at offset {instr.offset:#x}")
+            elif name == "SELFDESTRUCT":
+                pop(1)
+                return ExecutionResult(
+                    True, b"", self.gas_limit - gas, steps, False, storage
+                )
+            elif name.startswith("PUSH"):
+                push(instr.operand_int or 0)
+            elif name.startswith("DUP"):
+                depth = int(name[3:])
+                if len(stack) < depth:
+                    raise StackUnderflowError(f"DUP{depth} on stack of {len(stack)}")
+                push(stack[-depth])
+            elif name.startswith("SWAP"):
+                depth = int(name[4:])
+                if len(stack) < depth + 1:
+                    raise StackUnderflowError(f"SWAP{depth} on stack of {len(stack)}")
+                stack[-1], stack[-(depth + 1)] = stack[-(depth + 1)], stack[-1]
+            elif name.startswith("LOG"):
+                topics = int(name[3:])
+                pop(2 + topics)
+            elif name == "POP":
+                pop(1)
+            elif name == "JUMPDEST":
+                pass
+            elif name == "JUMP":
+                (dest,) = pop(1)
+                if dest not in jumpdests:
+                    raise InvalidJumpError(f"jump to non-JUMPDEST offset {dest:#x}")
+                next_index = by_offset[dest]
+            elif name == "JUMPI":
+                dest, cond = pop(2)
+                if cond != 0:
+                    if dest not in jumpdests:
+                        raise InvalidJumpError(f"jump to non-JUMPDEST offset {dest:#x}")
+                    next_index = by_offset[dest]
+            elif name == "PC":
+                push(instr.offset)
+            elif name == "MSIZE":
+                push(len(memory))
+            elif name == "GAS":
+                push(max(gas, 0))
+            elif name == "MLOAD":
+                (offset,) = pop(1)
+                push(int.from_bytes(mem_read(offset, 32), "big"))
+            elif name == "MSTORE":
+                offset, value = pop(2)
+                mem_write(offset, value.to_bytes(32, "big"))
+            elif name == "MSTORE8":
+                offset, value = pop(2)
+                mem_write(offset, bytes([value & 0xFF]))
+            elif name == "SLOAD":
+                (key,) = pop(1)
+                push(storage.get(key, 0))
+            elif name == "SSTORE":
+                key, value = pop(2)
+                storage[key] = value
+            elif name in _BINARY_OPS:
+                a, b = pop(2)
+                push(_BINARY_OPS[name](a, b))
+            elif name in _TERNARY_OPS:
+                a, b, c = pop(3)
+                push(_TERNARY_OPS[name](a, b, c))
+            elif name in _UNARY_OPS:
+                (a,) = pop(1)
+                push(_UNARY_OPS[name](a))
+            elif name == "SHA3":
+                offset, size = pop(2)
+                data = mem_read(offset, min(size, 1 << 16))
+                push(int.from_bytes(hashlib.sha3_256(data).digest(), "big"))
+            elif name == "CALLDATALOAD":
+                (offset,) = pop(1)
+                chunk = ctx.calldata[offset : offset + 32]
+                push(int.from_bytes(chunk.ljust(32, b"\x00"), "big"))
+            elif name == "CALLDATASIZE":
+                push(len(ctx.calldata))
+            elif name == "CALLDATACOPY":
+                dest, offset, size = pop(3)
+                chunk = ctx.calldata[offset : offset + size]
+                mem_write(dest, chunk.ljust(size, b"\x00"))
+            elif name == "CODESIZE":
+                push(len(code))
+            elif name == "CODECOPY":
+                dest, offset, size = pop(3)
+                chunk = code[offset : offset + size]
+                mem_write(dest, chunk.ljust(size, b"\x00"))
+            elif name == "RETURNDATASIZE":
+                push(len(return_data))
+            elif name == "RETURNDATACOPY":
+                dest, offset, size = pop(3)
+                chunk = return_data[offset : offset + size]
+                mem_write(dest, chunk.ljust(size, b"\x00"))
+            elif name in ("EXTCODESIZE", "EXTCODEHASH", "BALANCE", "BLOCKHASH"):
+                pop(1)
+                push(0)
+            elif name == "EXTCODECOPY":
+                pop(4)
+            elif name in _ENV_PUSHES:
+                push(_ENV_PUSHES[name](ctx))
+            elif name in ("CALL", "CALLCODE"):
+                pop(7)
+                push(1)
+            elif name in ("DELEGATECALL", "STATICCALL"):
+                pop(6)
+                push(1)
+            elif name == "CREATE":
+                pop(3)
+                push(0xBEEF)
+            elif name == "CREATE2":
+                pop(4)
+                push(0xBEEF)
+            else:  # pragma: no cover - every Shanghai opcode is handled above
+                raise InvalidInstructionError(f"unhandled opcode {name}")
+
+            pc_index = next_index
+
+        # Fell off the end of the code: equivalent to STOP.
+        return ExecutionResult(True, b"", self.gas_limit - gas, steps, False, storage)
+
+
+def _div(a: int, b: int) -> int:
+    return 0 if b == 0 else a // b
+
+
+def _sdiv(a: int, b: int) -> int:
+    sa, sb = _to_signed(a), _to_signed(b)
+    if sb == 0:
+        return 0
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return _to_unsigned(quotient)
+
+
+def _mod(a: int, b: int) -> int:
+    return 0 if b == 0 else a % b
+
+
+def _smod(a: int, b: int) -> int:
+    sa, sb = _to_signed(a), _to_signed(b)
+    if sb == 0:
+        return 0
+    result = abs(sa) % abs(sb)
+    return _to_unsigned(-result if sa < 0 else result)
+
+
+def _signextend(k: int, value: int) -> int:
+    if k >= 31:
+        return value
+    bit = 8 * (k + 1) - 1
+    mask = (1 << (bit + 1)) - 1
+    if value & (1 << bit):
+        return _to_unsigned(value | ~mask)
+    return value & mask
+
+
+def _byte(i: int, value: int) -> int:
+    if i >= 32:
+        return 0
+    return (value >> (8 * (31 - i))) & 0xFF
+
+
+def _shl(shift: int, value: int) -> int:
+    return 0 if shift >= 256 else _to_unsigned(value << shift)
+
+
+def _shr(shift: int, value: int) -> int:
+    return 0 if shift >= 256 else value >> shift
+
+
+def _sar(shift: int, value: int) -> int:
+    signed = _to_signed(value)
+    if shift >= 256:
+        return _to_unsigned(-1 if signed < 0 else 0)
+    return _to_unsigned(signed >> shift)
+
+
+_BINARY_OPS = {
+    "ADD": lambda a, b: a + b,
+    "MUL": lambda a, b: a * b,
+    "SUB": lambda a, b: a - b,
+    "DIV": _div,
+    "SDIV": _sdiv,
+    "MOD": _mod,
+    "SMOD": _smod,
+    "EXP": lambda a, b: pow(a, b, 1 << 256),
+    "SIGNEXTEND": _signextend,
+    "LT": lambda a, b: int(a < b),
+    "GT": lambda a, b: int(a > b),
+    "SLT": lambda a, b: int(_to_signed(a) < _to_signed(b)),
+    "SGT": lambda a, b: int(_to_signed(a) > _to_signed(b)),
+    "EQ": lambda a, b: int(a == b),
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "BYTE": _byte,
+    "SHL": _shl,
+    "SHR": _shr,
+    "SAR": _sar,
+}
+
+_TERNARY_OPS = {
+    "ADDMOD": lambda a, b, n: 0 if n == 0 else (a + b) % n,
+    "MULMOD": lambda a, b, n: 0 if n == 0 else (a * b) % n,
+}
+
+_UNARY_OPS = {
+    "ISZERO": lambda a: int(a == 0),
+    "NOT": lambda a: _to_unsigned(~a),
+}
+
+_ENV_PUSHES = {
+    "ADDRESS": lambda ctx: ctx.address,
+    "ORIGIN": lambda ctx: ctx.origin,
+    "CALLER": lambda ctx: ctx.caller,
+    "CALLVALUE": lambda ctx: ctx.callvalue,
+    "GASPRICE": lambda ctx: ctx.gas_price,
+    "COINBASE": lambda ctx: 0,
+    "TIMESTAMP": lambda ctx: ctx.timestamp,
+    "NUMBER": lambda ctx: ctx.block_number,
+    "PREVRANDAO": lambda ctx: 0,
+    "GASLIMIT": lambda ctx: 30_000_000,
+    "CHAINID": lambda ctx: ctx.chain_id,
+    "SELFBALANCE": lambda ctx: ctx.balance,
+    "BASEFEE": lambda ctx: 10**9,
+}

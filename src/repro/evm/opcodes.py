@@ -1,0 +1,316 @@
+"""EVM opcode registry for the Shanghai fork.
+
+The paper's bytecode disassembler module (BDM) relies on a patched version of
+``evmdasm`` extended with the two opcodes introduced after the Arrow Glacier
+registry snapshot (``PUSH0`` and ``INVALID``).  This module is a
+self-contained replacement: it describes all 144 opcodes valid as of the
+Shanghai update (Table I of the paper), including mnemonic, immediate operand
+size, static gas cost, stack effects and a coarse category used by the
+feature-extraction and corpus-generation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+
+class OpcodeCategory(str, Enum):
+    """Coarse functional grouping of EVM opcodes."""
+
+    ARITHMETIC = "arithmetic"
+    COMPARISON = "comparison"
+    BITWISE = "bitwise"
+    HASHING = "hashing"
+    ENVIRONMENT = "environment"
+    BLOCK = "block"
+    STACK = "stack"
+    MEMORY = "memory"
+    STORAGE = "storage"
+    FLOW = "flow"
+    PUSH = "push"
+    DUP = "dup"
+    SWAP = "swap"
+    LOG = "log"
+    SYSTEM = "system"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of a single EVM opcode.
+
+    Attributes:
+        value: The byte value of the opcode (0x00-0xFF).
+        mnemonic: Human readable alias, e.g. ``"PUSH1"``.
+        gas: Static gas cost.  ``None`` models the paper's ``NaN`` entry for
+            ``INVALID`` (the opcode consumes all remaining gas).
+        operand_size: Number of immediate bytes following the opcode
+            (only non-zero for the ``PUSH1``..``PUSH32`` family).
+        pops: Number of stack items consumed.
+        pushes: Number of stack items produced.
+        category: Coarse functional category.
+        description: One-line description, mirroring Table I of the paper.
+    """
+
+    value: int
+    mnemonic: str
+    gas: Optional[int]
+    operand_size: int
+    pops: int
+    pushes: int
+    category: OpcodeCategory
+    description: str
+
+    @property
+    def is_push(self) -> bool:
+        """Whether this opcode carries an immediate operand."""
+        return self.operand_size > 0 or self.mnemonic == "PUSH0"
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether execution of this opcode halts the current frame."""
+        return self.mnemonic in {"STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT"}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mnemonic}(0x{self.value:02x})"
+
+
+def _entry(
+    value: int,
+    mnemonic: str,
+    gas: Optional[int],
+    pops: int,
+    pushes: int,
+    category: OpcodeCategory,
+    description: str,
+    operand_size: int = 0,
+) -> OpcodeInfo:
+    return OpcodeInfo(
+        value=value,
+        mnemonic=mnemonic,
+        gas=gas,
+        operand_size=operand_size,
+        pops=pops,
+        pushes=pushes,
+        category=category,
+        description=description,
+    )
+
+
+def _build_registry() -> Dict[int, OpcodeInfo]:
+    cat = OpcodeCategory
+    table: List[OpcodeInfo] = [
+        # 0x00 - 0x0B: stop and arithmetic
+        _entry(0x00, "STOP", 0, 0, 0, cat.HALT, "Halts execution"),
+        _entry(0x01, "ADD", 3, 2, 1, cat.ARITHMETIC, "Addition operation"),
+        _entry(0x02, "MUL", 5, 2, 1, cat.ARITHMETIC, "Multiplication operation"),
+        _entry(0x03, "SUB", 3, 2, 1, cat.ARITHMETIC, "Subtraction operation"),
+        _entry(0x04, "DIV", 5, 2, 1, cat.ARITHMETIC, "Integer division operation"),
+        _entry(0x05, "SDIV", 5, 2, 1, cat.ARITHMETIC, "Signed integer division"),
+        _entry(0x06, "MOD", 5, 2, 1, cat.ARITHMETIC, "Modulo remainder operation"),
+        _entry(0x07, "SMOD", 5, 2, 1, cat.ARITHMETIC, "Signed modulo remainder"),
+        _entry(0x08, "ADDMOD", 8, 3, 1, cat.ARITHMETIC, "Modulo addition operation"),
+        _entry(0x09, "MULMOD", 8, 3, 1, cat.ARITHMETIC, "Modulo multiplication"),
+        _entry(0x0A, "EXP", 10, 2, 1, cat.ARITHMETIC, "Exponential operation"),
+        _entry(0x0B, "SIGNEXTEND", 5, 2, 1, cat.ARITHMETIC, "Extend length of signed integer"),
+        # 0x10 - 0x1D: comparison and bitwise logic
+        _entry(0x10, "LT", 3, 2, 1, cat.COMPARISON, "Less-than comparison"),
+        _entry(0x11, "GT", 3, 2, 1, cat.COMPARISON, "Greater-than comparison"),
+        _entry(0x12, "SLT", 3, 2, 1, cat.COMPARISON, "Signed less-than comparison"),
+        _entry(0x13, "SGT", 3, 2, 1, cat.COMPARISON, "Signed greater-than comparison"),
+        _entry(0x14, "EQ", 3, 2, 1, cat.COMPARISON, "Equality comparison"),
+        _entry(0x15, "ISZERO", 3, 1, 1, cat.COMPARISON, "Is-zero comparison"),
+        _entry(0x16, "AND", 3, 2, 1, cat.BITWISE, "Bitwise AND operation"),
+        _entry(0x17, "OR", 3, 2, 1, cat.BITWISE, "Bitwise OR operation"),
+        _entry(0x18, "XOR", 3, 2, 1, cat.BITWISE, "Bitwise XOR operation"),
+        _entry(0x19, "NOT", 3, 1, 1, cat.BITWISE, "Bitwise NOT operation"),
+        _entry(0x1A, "BYTE", 3, 2, 1, cat.BITWISE, "Retrieve single byte from word"),
+        _entry(0x1B, "SHL", 3, 2, 1, cat.BITWISE, "Left shift operation"),
+        _entry(0x1C, "SHR", 3, 2, 1, cat.BITWISE, "Logical right shift operation"),
+        _entry(0x1D, "SAR", 3, 2, 1, cat.BITWISE, "Arithmetic right shift operation"),
+        # 0x20: hashing
+        _entry(0x20, "SHA3", 30, 2, 1, cat.HASHING, "Compute Keccak-256 hash"),
+        # 0x30 - 0x48: environment and block information
+        _entry(0x30, "ADDRESS", 2, 0, 1, cat.ENVIRONMENT, "Get address of executing account"),
+        _entry(0x31, "BALANCE", 100, 1, 1, cat.ENVIRONMENT, "Get balance of given account"),
+        _entry(0x32, "ORIGIN", 2, 0, 1, cat.ENVIRONMENT, "Get execution origination address"),
+        _entry(0x33, "CALLER", 2, 0, 1, cat.ENVIRONMENT, "Get caller address"),
+        _entry(0x34, "CALLVALUE", 2, 0, 1, cat.ENVIRONMENT, "Get deposited value"),
+        _entry(0x35, "CALLDATALOAD", 3, 1, 1, cat.ENVIRONMENT, "Get input data of current call"),
+        _entry(0x36, "CALLDATASIZE", 2, 0, 1, cat.ENVIRONMENT, "Get size of input data"),
+        _entry(0x37, "CALLDATACOPY", 3, 3, 0, cat.ENVIRONMENT, "Copy input data to memory"),
+        _entry(0x38, "CODESIZE", 2, 0, 1, cat.ENVIRONMENT, "Get size of running code"),
+        _entry(0x39, "CODECOPY", 3, 3, 0, cat.ENVIRONMENT, "Copy running code to memory"),
+        _entry(0x3A, "GASPRICE", 2, 0, 1, cat.ENVIRONMENT, "Get gas price in current environment"),
+        _entry(0x3B, "EXTCODESIZE", 100, 1, 1, cat.ENVIRONMENT, "Get size of an account's code"),
+        _entry(0x3C, "EXTCODECOPY", 100, 4, 0, cat.ENVIRONMENT, "Copy an account's code to memory"),
+        _entry(0x3D, "RETURNDATASIZE", 2, 0, 1, cat.ENVIRONMENT, "Get size of last return data"),
+        _entry(0x3E, "RETURNDATACOPY", 3, 3, 0, cat.ENVIRONMENT, "Copy last return data to memory"),
+        _entry(0x3F, "EXTCODEHASH", 100, 1, 1, cat.ENVIRONMENT, "Get hash of an account's code"),
+        _entry(0x40, "BLOCKHASH", 20, 1, 1, cat.BLOCK, "Get hash of a recent block"),
+        _entry(0x41, "COINBASE", 2, 0, 1, cat.BLOCK, "Get block's beneficiary address"),
+        _entry(0x42, "TIMESTAMP", 2, 0, 1, cat.BLOCK, "Get block's timestamp"),
+        _entry(0x43, "NUMBER", 2, 0, 1, cat.BLOCK, "Get block's number"),
+        _entry(0x44, "PREVRANDAO", 2, 0, 1, cat.BLOCK, "Get previous RANDAO mix"),
+        _entry(0x45, "GASLIMIT", 2, 0, 1, cat.BLOCK, "Get block's gas limit"),
+        _entry(0x46, "CHAINID", 2, 0, 1, cat.BLOCK, "Get chain identifier"),
+        _entry(0x47, "SELFBALANCE", 5, 0, 1, cat.ENVIRONMENT, "Get balance of executing account"),
+        _entry(0x48, "BASEFEE", 2, 0, 1, cat.BLOCK, "Get block's base fee"),
+        # 0x50 - 0x5B: stack, memory, storage and flow operations
+        _entry(0x50, "POP", 2, 1, 0, cat.STACK, "Remove item from stack"),
+        _entry(0x51, "MLOAD", 3, 1, 1, cat.MEMORY, "Load word from memory"),
+        _entry(0x52, "MSTORE", 3, 2, 0, cat.MEMORY, "Save word to memory"),
+        _entry(0x53, "MSTORE8", 3, 2, 0, cat.MEMORY, "Save byte to memory"),
+        _entry(0x54, "SLOAD", 100, 1, 1, cat.STORAGE, "Load word from storage"),
+        _entry(0x55, "SSTORE", 100, 2, 0, cat.STORAGE, "Save word to storage"),
+        _entry(0x56, "JUMP", 8, 1, 0, cat.FLOW, "Alter the program counter"),
+        _entry(0x57, "JUMPI", 10, 2, 0, cat.FLOW, "Conditionally alter the program counter"),
+        _entry(0x58, "PC", 2, 0, 1, cat.FLOW, "Get the program counter value"),
+        _entry(0x59, "MSIZE", 2, 0, 1, cat.MEMORY, "Get the size of active memory"),
+        _entry(0x5A, "GAS", 2, 0, 1, cat.ENVIRONMENT, "Get the amount of available gas"),
+        _entry(0x5B, "JUMPDEST", 1, 0, 0, cat.FLOW, "Mark a valid jump destination"),
+        # 0x5F: PUSH0 (introduced in Shanghai, EIP-3855)
+        _entry(0x5F, "PUSH0", 2, 0, 1, cat.PUSH, "Place the value 0 on stack"),
+    ]
+
+    # 0x60 - 0x7F: PUSH1 .. PUSH32
+    for width in range(1, 33):
+        table.append(
+            _entry(
+                0x5F + width,
+                f"PUSH{width}",
+                3,
+                0,
+                1,
+                cat.PUSH,
+                f"Place a {width}-byte item on stack",
+                operand_size=width,
+            )
+        )
+    # 0x80 - 0x8F: DUP1 .. DUP16
+    for depth in range(1, 17):
+        table.append(
+            _entry(
+                0x7F + depth,
+                f"DUP{depth}",
+                3,
+                depth,
+                depth + 1,
+                cat.DUP,
+                f"Duplicate the {depth}th stack item",
+            )
+        )
+    # 0x90 - 0x9F: SWAP1 .. SWAP16
+    for depth in range(1, 17):
+        table.append(
+            _entry(
+                0x8F + depth,
+                f"SWAP{depth}",
+                3,
+                depth + 1,
+                depth + 1,
+                cat.SWAP,
+                f"Exchange the 1st and {depth + 1}th stack items",
+            )
+        )
+    # 0xA0 - 0xA4: LOG0 .. LOG4
+    for topics in range(0, 5):
+        table.append(
+            _entry(
+                0xA0 + topics,
+                f"LOG{topics}",
+                375 * (topics + 1),
+                2 + topics,
+                0,
+                cat.LOG,
+                f"Append a log record with {topics} topics",
+            )
+        )
+    # 0xF0 - 0xFF: system operations
+    table.extend(
+        [
+            _entry(0xF0, "CREATE", 32000, 3, 1, cat.SYSTEM, "Create a new account with code"),
+            _entry(0xF1, "CALL", 100, 7, 1, cat.SYSTEM, "Message-call into an account"),
+            _entry(0xF2, "CALLCODE", 100, 7, 1, cat.SYSTEM, "Message-call with this account's code"),
+            _entry(0xF3, "RETURN", 0, 2, 0, cat.HALT, "Halt execution returning output data"),
+            _entry(0xF4, "DELEGATECALL", 100, 6, 1, cat.SYSTEM, "Message-call keeping caller context"),
+            _entry(0xF5, "CREATE2", 32000, 4, 1, cat.SYSTEM, "Create account with deterministic address"),
+            _entry(0xFA, "STATICCALL", 100, 6, 1, cat.SYSTEM, "Static message-call into an account"),
+            _entry(0xFD, "REVERT", 0, 2, 0, cat.HALT, "Halt execution reverting state changes"),
+            _entry(0xFE, "INVALID", None, 0, 0, cat.HALT, "Designated invalid instruction"),
+            _entry(
+                0xFF,
+                "SELFDESTRUCT",
+                5000,
+                1,
+                0,
+                cat.HALT,
+                "Halt execution and register account for later deletion",
+            ),
+        ]
+    )
+
+    registry = {info.value: info for info in table}
+    if len(registry) != len(table):  # pragma: no cover - defensive
+        raise AssertionError("duplicate opcode values in registry")
+    return registry
+
+
+#: Opcode registry for the Shanghai fork, keyed by byte value.
+SHANGHAI_OPCODES: Dict[int, OpcodeInfo] = _build_registry()
+
+#: Mnemonic -> OpcodeInfo lookup.
+OPCODES_BY_MNEMONIC: Dict[str, OpcodeInfo] = {
+    info.mnemonic: info for info in SHANGHAI_OPCODES.values()
+}
+
+#: Number of opcodes defined as of the Shanghai update (the paper reports 144).
+SHANGHAI_OPCODE_COUNT: int = len(SHANGHAI_OPCODES)
+
+#: Mnemonics sorted by byte value; the canonical feature ordering used by the
+#: histogram feature extractor.
+CANONICAL_MNEMONICS: List[str] = [
+    SHANGHAI_OPCODES[value].mnemonic for value in sorted(SHANGHAI_OPCODES)
+]
+
+
+def get_opcode(value: int) -> Optional[OpcodeInfo]:
+    """Look up an opcode by its byte value.
+
+    Returns ``None`` for byte values that do not map to a defined Shanghai
+    opcode (the disassembler treats those as ``INVALID`` data bytes).
+    """
+    return SHANGHAI_OPCODES.get(value)
+
+
+def get_mnemonic(name: str) -> OpcodeInfo:
+    """Look up an opcode by mnemonic; raises ``KeyError`` if unknown."""
+    return OPCODES_BY_MNEMONIC[name.upper()]
+
+
+def is_defined(value: int) -> bool:
+    """Whether ``value`` is a defined opcode under the Shanghai fork."""
+    return value in SHANGHAI_OPCODES
+
+
+def iter_opcodes() -> Iterator[OpcodeInfo]:
+    """Iterate over the registry in byte-value order."""
+    for value in sorted(SHANGHAI_OPCODES):
+        yield SHANGHAI_OPCODES[value]
+
+
+def opcode_table_rows() -> List[Dict[str, object]]:
+    """Render the registry as rows matching Table I of the paper."""
+    rows: List[Dict[str, object]] = []
+    for info in iter_opcodes():
+        rows.append(
+            {
+                "opcode": f"0x{info.value:02X}",
+                "name": info.mnemonic,
+                "gas": info.gas if info.gas is not None else float("nan"),
+                "description": info.description,
+            }
+        )
+    return rows

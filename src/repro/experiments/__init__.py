@@ -1,0 +1,36 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation."""
+
+from .fig2 import MonthlyPhishingSeries, run_fig2
+from .fig3 import FIG3_OPCODES, OpcodeUsageDistribution, OpcodeUsageSummary, run_fig3
+from .hpo_search import HPOResult, run_hpo
+from .interpretability import ShapAnalysisResult, run_fig9
+from .posthoc import PostHocExperiment, run_posthoc
+from .scalability import SPLIT_RATIOS, ScalabilityCell, ScalabilityResult, run_scalability
+from .table1 import run_table1, summarize_table1
+from .table2 import Table2Result, run_table2
+from .time_resistance import TimeResistanceResult, run_time_resistance
+
+__all__ = [
+    "MonthlyPhishingSeries",
+    "run_fig2",
+    "FIG3_OPCODES",
+    "OpcodeUsageDistribution",
+    "OpcodeUsageSummary",
+    "run_fig3",
+    "HPOResult",
+    "run_hpo",
+    "ShapAnalysisResult",
+    "run_fig9",
+    "PostHocExperiment",
+    "run_posthoc",
+    "SPLIT_RATIOS",
+    "ScalabilityCell",
+    "ScalabilityResult",
+    "run_scalability",
+    "run_table1",
+    "summarize_table1",
+    "Table2Result",
+    "run_table2",
+    "TimeResistanceResult",
+    "run_time_resistance",
+]

@@ -1,0 +1,53 @@
+"""Fig. 2 — phishing contracts per month (obtained vs unique)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..chain.contracts import ContractLabel, monthly_counts, unique_by_bytecode
+from ..chain.generator import ContractCorpusGenerator, GeneratedCorpus
+from ..core.config import Scale
+
+
+@dataclass
+class MonthlyPhishingSeries:
+    """The two series plotted in Fig. 2."""
+
+    months: List[str]
+    obtained: Dict[str, int]
+    unique: Dict[str, int]
+
+    @property
+    def total_obtained(self) -> int:
+        """Total number of obtained phishing contracts."""
+        return sum(self.obtained.values())
+
+    @property
+    def total_unique(self) -> int:
+        """Total number of unique phishing bytecodes."""
+        return sum(self.unique.values())
+
+    @property
+    def duplication_ratio(self) -> float:
+        """Obtained / unique — the proxy-clone duplication factor."""
+        return self.total_obtained / max(1, self.total_unique)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per month with both series."""
+        return [
+            {"month": month, "obtained": self.obtained.get(month, 0), "unique": self.unique.get(month, 0)}
+            for month in self.months
+        ]
+
+
+def run_fig2(scale: Scale | None = None, corpus: GeneratedCorpus | None = None) -> MonthlyPhishingSeries:
+    """Regenerate the Fig. 2 monthly series from the (synthetic) corpus."""
+    scale = scale or Scale.ci()
+    corpus = corpus or ContractCorpusGenerator(scale.corpus).generate()
+    phishing = corpus.phishing
+    unique = unique_by_bytecode(phishing)
+    obtained_counts = monthly_counts(phishing, label=ContractLabel.PHISHING)
+    unique_counts = monthly_counts(unique, label=ContractLabel.PHISHING)
+    months = sorted(set(obtained_counts) | set(unique_counts))
+    return MonthlyPhishingSeries(months=months, obtained=obtained_counts, unique=unique_counts)

@@ -1,0 +1,112 @@
+"""§IV-C — hyperparameter search with the Optuna-style study (ablation).
+
+The paper tunes every model with Optuna grid search and 10-fold CV.  This
+driver reproduces the protocol for the HSC classifiers (the deep models'
+search is prohibitively expensive offline and uses the same machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.config import Scale
+from ..core.dataset import PhishingDataset
+from ..features.histogram import OpcodeHistogramExtractor
+from ..hpo.samplers import GridSampler, TPESampler
+from ..hpo.study import Study, create_study
+from ..hpo.space import Trial
+from ..ml.forest import RandomForestClassifier
+from ..ml.knn import KNeighborsClassifier
+from ..ml.linear import LogisticRegression
+from ..ml.model_selection import cross_validate
+
+
+@dataclass
+class HPOResult:
+    """Best configuration found for one model."""
+
+    model_name: str
+    best_params: Dict[str, object]
+    best_value: float
+    n_trials: int
+
+
+def _cv_accuracy(build, X: np.ndarray, y: np.ndarray, n_folds: int, seed: int) -> float:
+    result = cross_validate(build, X, y, n_splits=n_folds, n_runs=1, seed=seed)
+    return result.mean_metric("accuracy")
+
+
+def _objective_random_forest(X: np.ndarray, y: np.ndarray, n_folds: int, seed: int) -> Callable[[Trial], float]:
+    def objective(trial: Trial) -> float:
+        n_estimators = trial.suggest_int("n_estimators", 20, 80)
+        max_depth = trial.suggest_int("max_depth", 6, 18)
+        max_features = trial.suggest_categorical("max_features", ["sqrt", "log2"])
+        return _cv_accuracy(
+            lambda: RandomForestClassifier(
+                n_estimators=n_estimators, max_depth=max_depth, max_features=max_features, seed=seed
+            ),
+            X, y, n_folds, seed,
+        )
+
+    return objective
+
+
+def _objective_knn(X: np.ndarray, y: np.ndarray, n_folds: int, seed: int) -> Callable[[Trial], float]:
+    def objective(trial: Trial) -> float:
+        n_neighbors = trial.suggest_int("n_neighbors", 3, 11, step=2)
+        weights = trial.suggest_categorical("weights", ["uniform", "distance"])
+        return _cv_accuracy(
+            lambda: KNeighborsClassifier(n_neighbors=n_neighbors, weights=weights),
+            X, y, n_folds, seed,
+        )
+
+    return objective
+
+
+def _objective_logreg(X: np.ndarray, y: np.ndarray, n_folds: int, seed: int) -> Callable[[Trial], float]:
+    def objective(trial: Trial) -> float:
+        learning_rate = trial.suggest_float("learning_rate", 0.05, 0.5)
+        reg_lambda = trial.suggest_float("reg_lambda", 1e-4, 1e-1, log=True)
+        return _cv_accuracy(
+            lambda: LogisticRegression(learning_rate=learning_rate, reg_lambda=reg_lambda),
+            X, y, n_folds, seed,
+        )
+
+    return objective
+
+
+OBJECTIVES = {
+    "Random Forest": _objective_random_forest,
+    "k-NN": _objective_knn,
+    "Logistic Regression": _objective_logreg,
+}
+
+
+def run_hpo(
+    dataset: PhishingDataset,
+    model_name: str = "Random Forest",
+    n_trials: int = 8,
+    scale: Optional[Scale] = None,
+    sampler: str = "grid",
+) -> HPOResult:
+    """Tune one HSC model's hyperparameters on the dataset."""
+    if model_name not in OBJECTIVES:
+        raise KeyError(f"no HPO objective for {model_name!r}; available: {sorted(OBJECTIVES)}")
+    scale = scale or Scale.ci()
+    extractor = OpcodeHistogramExtractor()
+    X = extractor.fit_transform(dataset.bytecodes)
+    y = dataset.labels
+    n_folds = min(scale.n_folds, 5)
+
+    chosen_sampler = GridSampler(resolution=2) if sampler == "grid" else TPESampler()
+    study: Study = create_study(direction="maximize", sampler=chosen_sampler, seed=scale.seed)
+    study.optimize(OBJECTIVES[model_name](X, y, n_folds, scale.seed), n_trials=n_trials)
+    return HPOResult(
+        model_name=model_name,
+        best_params=study.best_params,
+        best_value=study.best_value,
+        n_trials=len(study.trials),
+    )

@@ -1,0 +1,84 @@
+"""Table III and Fig. 4 — the post-hoc statistical analysis (§IV-E)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pam import PostHocAnalysisModule, PostHocReport
+from ..core.results import EvaluationSuite, render_table
+from ..ml.metrics import METRIC_NAMES
+from ..models.registry import POSTHOC_MODEL_NAMES
+
+
+@dataclass
+class PostHocExperiment:
+    """Wraps a :class:`PostHocReport` with Table III / Fig. 4 renderings."""
+
+    report: PostHocReport
+
+    def table3_rows(self) -> List[Dict[str, object]]:
+        """Rows of Table III (Kruskal–Wallis per metric)."""
+        return self.report.table3_rows()
+
+    def render_table3(self) -> str:
+        """Text rendering of Table III."""
+        rows = [
+            {
+                "Metric": row["Metric"],
+                "H": row["H"],
+                "p": f"{row['p']:.3e}",
+                "p_adj": f"{row['p_adj']:.3e}",
+                "significant": row["significant"],
+            }
+            for row in self.table3_rows()
+        ]
+        return render_table(rows)
+
+    def dunn_matrix(self, metric: str = "accuracy") -> np.ndarray:
+        """Adjusted-p matrix of Fig. 4 for one metric."""
+        return self.report.dunn[metric].adjusted_p_matrix()
+
+    def significant_fractions(self) -> Dict[str, Dict[str, float]]:
+        """The percentages quoted in §IV-E per metric.
+
+        ``overall`` — share of significant model pairs; ``same_category`` and
+        ``different_category`` — the within/between-family breakdown.
+        """
+        return {
+            metric: {
+                "overall": self.report.breakdown[metric].overall,
+                "same_category": self.report.breakdown[metric].same_category,
+                "different_category": self.report.breakdown[metric].different_category,
+            }
+            for metric in METRIC_NAMES
+        }
+
+    def shape_checks(self) -> Dict[str, bool]:
+        """Qualitative claims of §IV-E checked on this run."""
+        checks: Dict[str, bool] = {}
+        checks["all_metrics_reject"] = all(
+            self.report.kruskal[metric].is_significant for metric in METRIC_NAMES
+        )
+        breakdown = self.report.breakdown["accuracy"]
+        checks["cross_family_more_significant"] = (
+            breakdown.different_category >= breakdown.same_category
+        )
+        return checks
+
+
+def run_posthoc(
+    suite: EvaluationSuite,
+    model_names: Optional[Sequence[str]] = None,
+    alpha: float = 0.05,
+) -> PostHocExperiment:
+    """Run the PAM on a suite restricted to the paper's 13 post-hoc models."""
+    if model_names is None:
+        available = set(suite.model_names())
+        model_names = [name for name in POSTHOC_MODEL_NAMES if name in available]
+        if len(model_names) < 2:
+            model_names = suite.model_names()
+    report = PostHocAnalysisModule(alpha=alpha).analyze(suite, model_names=model_names)
+    return PostHocExperiment(report=report)

@@ -1,0 +1,34 @@
+"""Table I — EVM opcodes for the Shanghai fork."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evm.opcodes import SHANGHAI_OPCODE_COUNT, opcode_table_rows
+
+
+def run_table1(limit: int | None = None) -> List[Dict[str, object]]:
+    """Regenerate Table I rows (opcode, name, gas, description).
+
+    Args:
+        limit: If given, truncate to the first ``limit`` rows (the paper
+            shows an excerpt; the full registry has 144 entries).
+    """
+    rows = opcode_table_rows()
+    return rows[:limit] if limit is not None else rows
+
+
+def summarize_table1() -> Dict[str, object]:
+    """Headline facts checked against the paper's §II."""
+    rows = run_table1()
+    by_name = {row["name"]: row for row in rows}
+    return {
+        "n_opcodes": SHANGHAI_OPCODE_COUNT,
+        "first": rows[0],
+        "last": rows[-1],
+        "selfdestruct_gas": by_name["SELFDESTRUCT"]["gas"],
+        "add_gas": by_name["ADD"]["gas"],
+        "mul_gas": by_name["MUL"]["gas"],
+        "has_push0": "PUSH0" in by_name,
+        "has_invalid": "INVALID" in by_name,
+    }

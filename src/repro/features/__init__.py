@@ -1,0 +1,44 @@
+"""Feature extraction: histograms, image encodings, n-grams, tokenizers."""
+
+from .chunking import (
+    ChunkedSequence,
+    aggregate_chunk_logits,
+    flatten_chunks,
+    sliding_window_chunks,
+)
+from .histogram import (
+    HistogramVocabulary,
+    OpcodeHistogramExtractor,
+    opcode_usage_distribution,
+)
+from .image import FrequencyImageEncoder, R2D2ImageEncoder
+from .ngram import HexNgramEncoder, PAD_ID, UNKNOWN_ID
+from .tokenizer import (
+    CLS_TOKEN,
+    EOS_TOKEN,
+    OpcodeTokenizer,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    UNKNOWN_TOKEN,
+)
+
+__all__ = [
+    "ChunkedSequence",
+    "aggregate_chunk_logits",
+    "flatten_chunks",
+    "sliding_window_chunks",
+    "HistogramVocabulary",
+    "OpcodeHistogramExtractor",
+    "opcode_usage_distribution",
+    "FrequencyImageEncoder",
+    "R2D2ImageEncoder",
+    "HexNgramEncoder",
+    "PAD_ID",
+    "UNKNOWN_ID",
+    "CLS_TOKEN",
+    "EOS_TOKEN",
+    "OpcodeTokenizer",
+    "PAD_TOKEN",
+    "SPECIAL_TOKENS",
+    "UNKNOWN_TOKEN",
+]

@@ -1,0 +1,87 @@
+"""Sliding-window chunking of long token sequences (the β model variants).
+
+Table II evaluates two variants of GPT-2 and T5: α truncates every opcode
+sequence to the model's token limit, while β processes the *full* bytecode in
+overlapping chunks with a sliding window and aggregates per-chunk predictions.
+This module provides the windowing and the aggregation of chunk logits back
+to per-contract scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChunkedSequence:
+    """Chunks of one contract plus the owning contract index."""
+
+    contract_index: int
+    chunks: np.ndarray  # (n_chunks, window)
+
+
+def sliding_window_chunks(
+    token_ids: Sequence[np.ndarray],
+    window: int,
+    stride: int,
+    pad_id: int = 0,
+    max_chunks: int = 8,
+) -> List[ChunkedSequence]:
+    """Split each (variable-length) token-id sequence into overlapping windows.
+
+    Args:
+        token_ids: One *unpadded* id array per contract.
+        window: Window (chunk) length.
+        stride: Hop between consecutive windows; ``stride < window`` overlaps.
+        pad_id: Padding id used to fill the final partial window.
+        max_chunks: Upper bound on chunks per contract (bounds compute).
+    """
+    if stride <= 0 or window <= 0:
+        raise ValueError("window and stride must be positive")
+    chunked: List[ChunkedSequence] = []
+    for contract_index, ids in enumerate(token_ids):
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            ids = np.array([pad_id], dtype=np.int64)
+        starts = list(range(0, max(1, len(ids) - window + stride), stride))[:max_chunks]
+        chunks = np.full((len(starts), window), pad_id, dtype=np.int64)
+        for row, start in enumerate(starts):
+            piece = ids[start : start + window]
+            chunks[row, : len(piece)] = piece
+        chunked.append(ChunkedSequence(contract_index=contract_index, chunks=chunks))
+    return chunked
+
+
+def flatten_chunks(chunked: Sequence[ChunkedSequence]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack all chunks into one matrix plus the owning contract index per row."""
+    matrices = [item.chunks for item in chunked]
+    owners = np.concatenate(
+        [np.full(len(item.chunks), item.contract_index) for item in chunked]
+    )
+    return np.vstack(matrices), owners
+
+
+def aggregate_chunk_logits(
+    chunk_logits: np.ndarray, owners: np.ndarray, n_contracts: int, how: str = "mean"
+) -> np.ndarray:
+    """Aggregate per-chunk logits back to per-contract logits.
+
+    Args:
+        chunk_logits: ``(n_chunks_total, n_classes)`` logits.
+        owners: Contract index of every chunk row.
+        n_contracts: Number of contracts.
+        how: ``"mean"`` or ``"max"`` aggregation over a contract's chunks.
+    """
+    if how not in {"mean", "max"}:
+        raise ValueError(f"unknown aggregation {how!r}")
+    n_classes = chunk_logits.shape[1]
+    aggregated = np.zeros((n_contracts, n_classes))
+    for contract in range(n_contracts):
+        rows = chunk_logits[owners == contract]
+        if len(rows) == 0:
+            continue
+        aggregated[contract] = rows.mean(axis=0) if how == "mean" else rows.max(axis=0)
+    return aggregated

@@ -1,0 +1,106 @@
+"""Opcode-histogram features (the HSC feature extractor).
+
+For each contract bytecode a histogram of opcode occurrences is built.  As in
+the paper, the feature vector's length equals the number of unique opcodes
+observed in the *training set*, and the raw counts are fed to the classifiers
+without normalisation or standardisation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..evm.disassembler import Disassembler
+
+
+@dataclass
+class HistogramVocabulary:
+    """Mnemonic → column-index mapping learned on the training set."""
+
+    mnemonics: List[str]
+
+    @property
+    def size(self) -> int:
+        """Number of histogram columns."""
+        return len(self.mnemonics)
+
+    def index_of(self, mnemonic: str) -> Optional[int]:
+        """Column of ``mnemonic`` or ``None`` if it was unseen at fit time."""
+        try:
+            return self.mnemonics.index(mnemonic)
+        except ValueError:
+            return None
+
+
+class OpcodeHistogramExtractor:
+    """Builds opcode-count vectors from raw bytecodes."""
+
+    def __init__(self, normalize: bool = False):
+        """Create an extractor.
+
+        Args:
+            normalize: If true, convert counts to relative frequencies.  The
+                paper's HSC pipeline uses raw counts (the default).
+        """
+        self.normalize = normalize
+        self.vocabulary_: Optional[HistogramVocabulary] = None
+        self._index: Dict[str, int] = {}
+        self._disassembler = Disassembler()
+
+    def _count(self, bytecode) -> Counter:
+        return Counter(self._disassembler.mnemonics(bytecode))
+
+    def fit(self, bytecodes: Sequence) -> "OpcodeHistogramExtractor":
+        """Learn the opcode vocabulary from training bytecodes."""
+        seen: Dict[str, None] = {}
+        for bytecode in bytecodes:
+            for mnemonic in self._count(bytecode):
+                seen.setdefault(mnemonic, None)
+        mnemonics = sorted(seen)
+        self.vocabulary_ = HistogramVocabulary(mnemonics=mnemonics)
+        self._index = {mnemonic: i for i, mnemonic in enumerate(mnemonics)}
+        return self
+
+    def transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Histogram matrix of shape ``(n_contracts, vocabulary_size)``."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("extractor must be fitted before transform")
+        features = np.zeros((len(bytecodes), self.vocabulary_.size))
+        for row, bytecode in enumerate(bytecodes):
+            counts = self._count(bytecode)
+            for mnemonic, count in counts.items():
+                column = self._index.get(mnemonic)
+                if column is not None:
+                    features[row, column] = count
+            if self.normalize:
+                total = features[row].sum()
+                if total > 0:
+                    features[row] /= total
+        return features
+
+    def fit_transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Fit the vocabulary and transform in one step."""
+        return self.fit(bytecodes).transform(bytecodes)
+
+    def feature_names(self) -> List[str]:
+        """Column names (mnemonics) of the histogram matrix."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("extractor must be fitted before reading feature names")
+        return list(self.vocabulary_.mnemonics)
+
+
+def opcode_usage_distribution(
+    bytecodes: Sequence, mnemonics: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    """Per-contract usage counts of selected opcodes (Fig. 3's raw data)."""
+    disassembler = Disassembler()
+    usage = {mnemonic: np.zeros(len(bytecodes)) for mnemonic in mnemonics}
+    for row, bytecode in enumerate(bytecodes):
+        counts = Counter(disassembler.mnemonics(bytecode))
+        for mnemonic in mnemonics:
+            usage[mnemonic][row] = counts.get(mnemonic, 0)
+    return usage

@@ -1,0 +1,136 @@
+"""Image encodings of contract bytecode (the vision-model feature extractors).
+
+Two encoders are provided:
+
+* :class:`R2D2ImageEncoder` — the ViT+R2D2 / ECA+EfficientNet input: the raw
+  bytecode is read as a stream of bytes, consecutive byte triplets become RGB
+  pixels, and pixels are arranged row-major into a square ``image_size ×
+  image_size × 3`` tensor with zero padding (R2-D2-style "binary as colour
+  image").
+* :class:`FrequencyImageEncoder` — the ViT+Freq input: the *disassembled*
+  instruction stream is encoded through a frequency lookup table built once
+  on the training set; the relative frequencies of each instruction's
+  mnemonic, operand and gas value become the R, G and B intensities of one
+  pixel.
+
+The paper uses 224×224 images for the pretrained ViT-B/16; the reproduction
+keeps the construction identical but defaults to a smaller spatial size so
+that from-scratch CPU training is feasible (`image_size` is configurable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..evm.disassembler import Disassembler, normalize_bytecode
+from ..ml.preprocessing import FrequencyEncoder
+
+
+class R2D2ImageEncoder:
+    """Map raw bytecode bytes to RGB images (no training state)."""
+
+    def __init__(self, image_size: int = 32):
+        if image_size < 2:
+            raise ValueError("image_size must be at least 2")
+        self.image_size = image_size
+
+    def encode_one(self, bytecode) -> np.ndarray:
+        """Encode one bytecode as a ``(3, image_size, image_size)`` tensor."""
+        raw = normalize_bytecode(bytecode)
+        capacity = self.image_size * self.image_size * 3
+        buffer = np.zeros(capacity, dtype=np.float64)
+        flat = np.frombuffer(raw[: capacity], dtype=np.uint8).astype(np.float64)
+        buffer[: len(flat)] = flat / 255.0
+        image = buffer.reshape(self.image_size, self.image_size, 3)
+        return np.transpose(image, (2, 0, 1))
+
+    def transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Encode a batch: ``(n, 3, image_size, image_size)``."""
+        return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+
+    # The encoder is stateless; fit is provided for interface symmetry.
+    def fit(self, bytecodes: Sequence) -> "R2D2ImageEncoder":
+        """No-op (kept for a uniform extractor interface)."""
+        return self
+
+    def fit_transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Alias of :meth:`transform`."""
+        return self.transform(bytecodes)
+
+
+class FrequencyImageEncoder:
+    """Frequency-lookup encoding of disassembled instructions into RGB images.
+
+    The lookup tables (one each for mnemonics, operands and gas values) are
+    built exactly once on the training corpus, as required by the paper.
+    """
+
+    def __init__(self, image_size: int = 32):
+        if image_size < 2:
+            raise ValueError("image_size must be at least 2")
+        self.image_size = image_size
+        self._disassembler = Disassembler()
+        self._mnemonic_encoder = FrequencyEncoder(normalize=True)
+        self._operand_encoder = FrequencyEncoder(normalize=True)
+        self._gas_encoder = FrequencyEncoder(normalize=True)
+        self._fitted = False
+        self._scale = 1.0
+
+    def _records(self, bytecode) -> list:
+        instructions = self._disassembler.disassemble(bytecode)
+        return [
+            (
+                instruction.mnemonic,
+                instruction.operand_hex or "NaN",
+                instruction.gas if instruction.gas is not None else "NaN",
+            )
+            for instruction in instructions
+        ]
+
+    def fit(self, bytecodes: Sequence) -> "FrequencyImageEncoder":
+        """Build the frequency lookup tables on the training set."""
+        mnemonics, operands, gas_values = [], [], []
+        for bytecode in bytecodes:
+            for mnemonic, operand, gas in self._records(bytecode):
+                mnemonics.append(mnemonic)
+                operands.append(operand)
+                gas_values.append(gas)
+        self._mnemonic_encoder.fit(mnemonics)
+        self._operand_encoder.fit(operands)
+        self._gas_encoder.fit(gas_values)
+        # Scale so that the most frequent token maps close to full intensity.
+        max_frequency = max(
+            max(self._mnemonic_encoder.table_.values(), default=1.0),
+            max(self._operand_encoder.table_.values(), default=1.0),
+            max(self._gas_encoder.table_.values(), default=1.0),
+        )
+        self._scale = 1.0 / max_frequency if max_frequency > 0 else 1.0
+        self._fitted = True
+        return self
+
+    def encode_one(self, bytecode) -> np.ndarray:
+        """Encode one bytecode as a ``(3, image_size, image_size)`` tensor."""
+        if not self._fitted:
+            raise RuntimeError("FrequencyImageEncoder must be fitted before encoding")
+        records = self._records(bytecode)
+        capacity = self.image_size * self.image_size
+        image = np.zeros((capacity, 3), dtype=np.float64)
+        count = min(len(records), capacity)
+        if count:
+            mnemonics, operands, gas_values = zip(*records[:count])
+            image[:count, 0] = self._mnemonic_encoder.transform(mnemonics) * self._scale
+            image[:count, 1] = self._operand_encoder.transform(operands) * self._scale
+            image[:count, 2] = self._gas_encoder.transform(gas_values) * self._scale
+        image = np.clip(image, 0.0, 1.0)
+        image = image.reshape(self.image_size, self.image_size, 3)
+        return np.transpose(image, (2, 0, 1))
+
+    def transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Encode a batch: ``(n, 3, image_size, image_size)``."""
+        return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+
+    def fit_transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Fit the lookup tables and encode the same batch."""
+        return self.fit(bytecodes).transform(bytecodes)

@@ -1,0 +1,81 @@
+"""Hex n-gram encoding (the SCSGuard feature extractor).
+
+SCSGuard reads the hexadecimal bytecode string as a stream of "bigrams"
+(6-character groups in the paper's terminology, i.e. 3 bytes), builds an
+integer vocabulary over them on the training set, and pads sequences to a
+uniform length for the embedding + attention + GRU model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..evm.disassembler import normalize_bytecode
+
+#: Vocabulary id reserved for padding.
+PAD_ID = 0
+#: Vocabulary id reserved for n-grams unseen at fit time.
+UNKNOWN_ID = 1
+
+
+class HexNgramEncoder:
+    """Fixed-length integer sequences of hex n-grams."""
+
+    def __init__(self, chars_per_gram: int = 6, max_length: int = 256, max_vocabulary: int = 4096):
+        """Create an encoder.
+
+        Args:
+            chars_per_gram: Number of hex characters per gram (paper: 6).
+            max_length: Output sequence length (longer inputs are truncated,
+                shorter ones padded with :data:`PAD_ID`).
+            max_vocabulary: Cap on vocabulary size; the most frequent grams
+                are kept and the rest map to :data:`UNKNOWN_ID`.
+        """
+        if chars_per_gram < 2 or chars_per_gram % 2 != 0:
+            raise ValueError("chars_per_gram must be an even number >= 2")
+        self.chars_per_gram = chars_per_gram
+        self.max_length = max_length
+        self.max_vocabulary = max_vocabulary
+        self.vocabulary_: Dict[str, int] = {}
+
+    def _grams(self, bytecode) -> List[str]:
+        text = normalize_bytecode(bytecode).hex()
+        step = self.chars_per_gram
+        return [text[i : i + step] for i in range(0, len(text) - step + 1, step)]
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Total vocabulary size including the PAD and UNK ids."""
+        return len(self.vocabulary_) + 2
+
+    def fit(self, bytecodes: Sequence) -> "HexNgramEncoder":
+        """Build the gram vocabulary from training bytecodes."""
+        counts: Dict[str, int] = {}
+        for bytecode in bytecodes:
+            for gram in self._grams(bytecode):
+                counts[gram] = counts.get(gram, 0) + 1
+        most_frequent = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        kept = most_frequent[: self.max_vocabulary]
+        self.vocabulary_ = {gram: index + 2 for index, (gram, _) in enumerate(kept)}
+        return self
+
+    def encode_one(self, bytecode) -> np.ndarray:
+        """Encode one bytecode as a fixed-length id sequence."""
+        if not self.vocabulary_:
+            raise RuntimeError("HexNgramEncoder must be fitted before encoding")
+        ids = [
+            self.vocabulary_.get(gram, UNKNOWN_ID) for gram in self._grams(bytecode)
+        ][: self.max_length]
+        if len(ids) < self.max_length:
+            ids.extend([PAD_ID] * (self.max_length - len(ids)))
+        return np.asarray(ids, dtype=np.int64)
+
+    def transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Encode a batch: ``(n, max_length)`` int64 matrix."""
+        return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+
+    def fit_transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Fit the vocabulary and encode the same batch."""
+        return self.fit(bytecodes).transform(bytecodes)

@@ -1,0 +1,103 @@
+"""Opcode-sequence tokenizers for the language-model detectors.
+
+The paper feeds the textual opcode sequence to GPT-2 and T5 through their
+Hugging Face tokenizers.  Offline there are no pretrained vocabularies, so
+this module provides an :class:`OpcodeTokenizer` whose vocabulary is the
+closed set of EVM mnemonics plus coarse operand-bucket tokens, which plays
+the same role (turning a disassembled contract into a bounded-vocabulary
+token-id sequence) for the from-scratch GPT-2-style and T5-style models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..evm.disassembler import Disassembler
+from ..evm.opcodes import CANONICAL_MNEMONICS
+
+#: Special token ids.
+PAD_TOKEN = "<pad>"
+UNKNOWN_TOKEN = "<unk>"
+CLS_TOKEN = "<cls>"
+EOS_TOKEN = "<eos>"
+SPECIAL_TOKENS = (PAD_TOKEN, UNKNOWN_TOKEN, CLS_TOKEN, EOS_TOKEN)
+
+#: Operand-magnitude buckets: the byte width of a PUSH immediate is a compact
+#: proxy for its magnitude and keeps the vocabulary closed.
+_OPERAND_BUCKETS = tuple(f"<imm{width}>" for width in (0, 1, 2, 4, 8, 16, 32))
+
+
+def _operand_bucket(operand: Optional[bytes]) -> str:
+    if operand is None or len(operand) == 0:
+        return "<imm0>"
+    width = len(operand)
+    for bucket_width, token in zip((1, 2, 4, 8, 16, 32), _OPERAND_BUCKETS[1:]):
+        if width <= bucket_width:
+            return token
+    return _OPERAND_BUCKETS[-1]
+
+
+class OpcodeTokenizer:
+    """Turns bytecode into token-id sequences over a closed EVM vocabulary."""
+
+    def __init__(self, max_length: int = 256, include_operands: bool = True, add_cls: bool = True):
+        """Create a tokenizer.
+
+        Args:
+            max_length: Fixed output length (truncate/pad).
+            include_operands: Whether operand-bucket tokens are interleaved
+                with mnemonics (roughly doubling the sequence length per
+                instruction).
+            add_cls: Prepend a ``<cls>`` token used by the sequence
+                classifiers as the pooled representation position.
+        """
+        self.max_length = max_length
+        self.include_operands = include_operands
+        self.add_cls = add_cls
+        vocabulary: List[str] = list(SPECIAL_TOKENS) + list(_OPERAND_BUCKETS) + CANONICAL_MNEMONICS
+        self.vocabulary: Dict[str, int] = {token: index for index, token in enumerate(vocabulary)}
+        self._disassembler = Disassembler()
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct token ids."""
+        return len(self.vocabulary)
+
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token."""
+        return self.vocabulary[PAD_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        """Id of the classification token."""
+        return self.vocabulary[CLS_TOKEN]
+
+    def tokenize(self, bytecode) -> List[str]:
+        """The full (untruncated) token string sequence of ``bytecode``."""
+        tokens: List[str] = [CLS_TOKEN] if self.add_cls else []
+        for instruction in self._disassembler.disassemble(bytecode):
+            tokens.append(instruction.mnemonic)
+            if self.include_operands and instruction.opcode.is_push:
+                tokens.append(_operand_bucket(instruction.operand))
+        tokens.append(EOS_TOKEN)
+        return tokens
+
+    def encode_tokens(self, tokens: Sequence[str], length: Optional[int] = None) -> np.ndarray:
+        """Map string tokens to a fixed-length id array."""
+        length = length or self.max_length
+        unknown = self.vocabulary[UNKNOWN_TOKEN]
+        ids = [self.vocabulary.get(token, unknown) for token in tokens][:length]
+        if len(ids) < length:
+            ids.extend([self.pad_id] * (length - len(ids)))
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode_one(self, bytecode) -> np.ndarray:
+        """Tokenize and encode one bytecode (truncation variant, α models)."""
+        return self.encode_tokens(self.tokenize(bytecode))
+
+    def transform(self, bytecodes: Sequence) -> np.ndarray:
+        """Encode a batch: ``(n, max_length)`` int64 matrix."""
+        return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])

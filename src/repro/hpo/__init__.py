@@ -1,0 +1,18 @@
+"""Hyperparameter optimisation substrate (Optuna stand-in, §IV-C)."""
+
+from .samplers import GridSampler, RandomSampler, Sampler, TPESampler
+from .space import ParameterSpec, Trial, grid_from_specs
+from .study import Objective, Study, create_study
+
+__all__ = [
+    "GridSampler",
+    "RandomSampler",
+    "Sampler",
+    "TPESampler",
+    "ParameterSpec",
+    "Trial",
+    "grid_from_specs",
+    "Objective",
+    "Study",
+    "create_study",
+]

@@ -1,0 +1,92 @@
+"""Samplers: grid, random and a TPE-like adaptive sampler."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .space import ParameterSpec, Trial, grid_from_specs
+
+
+class Sampler:
+    """Base sampler: proposes parameter assignments for the next trial."""
+
+    def propose(
+        self,
+        trial_number: int,
+        specs: Dict[str, ParameterSpec],
+        history: Sequence[Trial],
+        rng: np.random.Generator,
+    ) -> Optional[Dict[str, Any]]:
+        """Return a parameter assignment or ``None`` to sample randomly."""
+        raise NotImplementedError
+
+
+class RandomSampler(Sampler):
+    """Pure random search: every suggestion is sampled independently."""
+
+    def propose(self, trial_number, specs, history, rng) -> Optional[Dict[str, Any]]:
+        return None
+
+
+class GridSampler(Sampler):
+    """Exhaustive grid over the search space discovered in the first trial."""
+
+    def __init__(self, resolution: int = 3):
+        self.resolution = resolution
+        self._grid: Optional[List[Dict[str, Any]]] = None
+
+    def propose(self, trial_number, specs, history, rng) -> Optional[Dict[str, Any]]:
+        if not specs:
+            return None
+        if self._grid is None:
+            self._grid = grid_from_specs(specs, resolution=self.resolution)
+        if not self._grid:
+            return None
+        return self._grid[trial_number % len(self._grid)]
+
+    def grid_size(self) -> int:
+        """Number of distinct grid points (0 before the space is known)."""
+        return len(self._grid or [])
+
+
+class TPESampler(Sampler):
+    """A lightweight Tree-structured-Parzen-Estimator-style sampler.
+
+    Trials are split into a "good" quantile and the rest; for each parameter
+    a new value is proposed near (categorical: among) the good trials' values
+    with probability ``exploit``, otherwise sampled randomly.
+    """
+
+    def __init__(self, gamma: float = 0.3, exploit: float = 0.7, n_startup_trials: int = 5):
+        self.gamma = gamma
+        self.exploit = exploit
+        self.n_startup_trials = n_startup_trials
+
+    def propose(self, trial_number, specs, history, rng) -> Optional[Dict[str, Any]]:
+        completed = [trial for trial in history if trial.value is not None]
+        if len(completed) < self.n_startup_trials or not specs:
+            return None
+        ordered = sorted(completed, key=lambda trial: trial.value, reverse=True)
+        n_good = max(1, int(np.ceil(self.gamma * len(ordered))))
+        good = ordered[:n_good]
+
+        assignment: Dict[str, Any] = {}
+        for name, spec in specs.items():
+            if rng.random() > self.exploit:
+                continue  # leave to random sampling
+            good_values = [trial.params[name] for trial in good if name in trial.params]
+            if not good_values:
+                continue
+            if spec.kind == "categorical":
+                assignment[name] = good_values[int(rng.integers(0, len(good_values)))]
+            else:
+                center = float(np.mean([float(v) for v in good_values]))
+                spread = float(np.std([float(v) for v in good_values])) or (
+                    (float(spec.high) - float(spec.low)) * 0.1
+                )
+                value = rng.normal(center, spread)
+                value = float(np.clip(value, spec.low, spec.high))
+                assignment[name] = int(round(value)) if spec.kind == "int" else value
+        return assignment or None

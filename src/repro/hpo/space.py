@@ -1,0 +1,97 @@
+"""Hyperparameter search-space primitives (define-by-run, Optuna-style).
+
+The paper tunes every model with Optuna over an arbitrary grid with 10-fold
+cross-validation (§IV-C).  This module provides the ``Trial.suggest_*``
+surface that objectives use to declare their search space dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Description of one suggested parameter (recorded by the study)."""
+
+    name: str
+    kind: str  # "categorical", "int", "float", "loguniform"
+    choices: Optional[tuple] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+
+class Trial:
+    """One evaluation of the objective with concrete parameter values."""
+
+    def __init__(self, number: int, rng: np.random.Generator, assigned: Optional[Dict[str, Any]] = None):
+        self.number = number
+        self._rng = rng
+        self._assigned = dict(assigned or {})
+        self.params: Dict[str, Any] = {}
+        self.specs: Dict[str, ParameterSpec] = {}
+        self.value: Optional[float] = None
+        self.state: str = "running"
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, name: str, sampled: Any, spec: ParameterSpec) -> Any:
+        value = self._assigned.get(name, sampled)
+        self.params[name] = value
+        self.specs[name] = spec
+        return value
+
+    def suggest_categorical(self, name: str, choices: Sequence[Any]) -> Any:
+        """Suggest one of ``choices``."""
+        choices = tuple(choices)
+        sampled = choices[int(self._rng.integers(0, len(choices)))]
+        return self._resolve(name, sampled, ParameterSpec(name, "categorical", choices=choices))
+
+    def suggest_int(self, name: str, low: int, high: int, step: int = 1) -> int:
+        """Suggest an integer in ``[low, high]``."""
+        options = np.arange(low, high + 1, step)
+        sampled = int(self._rng.choice(options))
+        return int(
+            self._resolve(name, sampled, ParameterSpec(name, "int", low=low, high=high))
+        )
+
+    def suggest_float(self, name: str, low: float, high: float, log: bool = False) -> float:
+        """Suggest a float in ``[low, high]`` (optionally log-uniform)."""
+        if log:
+            sampled = float(np.exp(self._rng.uniform(np.log(low), np.log(high))))
+            kind = "loguniform"
+        else:
+            sampled = float(self._rng.uniform(low, high))
+            kind = "float"
+        return float(
+            self._resolve(name, sampled, ParameterSpec(name, kind, low=low, high=high))
+        )
+
+
+def grid_from_specs(specs: Dict[str, ParameterSpec], resolution: int = 3) -> List[Dict[str, Any]]:
+    """Expand recorded parameter specs into a full grid of assignments."""
+    axes: List[List[Any]] = []
+    names: List[str] = []
+    for name, spec in specs.items():
+        names.append(name)
+        if spec.kind == "categorical":
+            axes.append(list(spec.choices or ()))
+        elif spec.kind == "int":
+            values = np.unique(np.linspace(spec.low, spec.high, num=resolution).round().astype(int))
+            axes.append([int(v) for v in values])
+        elif spec.kind in {"float", "loguniform"}:
+            if spec.kind == "loguniform":
+                values = np.exp(np.linspace(np.log(spec.low), np.log(spec.high), num=resolution))
+            else:
+                values = np.linspace(spec.low, spec.high, num=resolution)
+            axes.append([float(v) for v in values])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown spec kind {spec.kind!r}")
+
+    grid: List[Dict[str, Any]] = [{}]
+    for name, axis in zip(names, axes):
+        grid = [{**point, name: value} for point in grid for value in axis]
+    return grid

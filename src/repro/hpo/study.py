@@ -1,0 +1,89 @@
+"""Study: the define-by-run optimisation loop (Optuna-style surface)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from .samplers import GridSampler, RandomSampler, Sampler
+from .space import Trial
+
+Objective = Callable[[Trial], float]
+
+
+@dataclass
+class Study:
+    """Maximises (or minimises) an objective over suggested hyperparameters."""
+
+    direction: str = "maximize"
+    sampler: Sampler = field(default_factory=RandomSampler)
+    seed: int = 0
+    trials: List[Trial] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.direction not in {"maximize", "minimize"}:
+            raise ValueError("direction must be 'maximize' or 'minimize'")
+        self._rng = np.random.default_rng(self.seed)
+        self._specs: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+
+    def optimize(self, objective: Objective, n_trials: int = 20) -> "Study":
+        """Run ``n_trials`` evaluations of ``objective``."""
+        for _ in range(n_trials):
+            number = len(self.trials)
+            assignment = self.sampler.propose(number, self._specs, self.trials, self._rng)
+            trial = Trial(number=number, rng=self._rng, assigned=assignment)
+            try:
+                value = float(objective(trial))
+                trial.value = value
+                trial.state = "complete"
+            except Exception as error:  # noqa: BLE001 - failed trials are recorded, not fatal
+                trial.state = f"failed: {error}"
+                trial.value = None
+            self.trials.append(trial)
+            self._specs.update(trial.specs)
+        return self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed_trials(self) -> List[Trial]:
+        """Trials that produced a value."""
+        return [trial for trial in self.trials if trial.value is not None]
+
+    @property
+    def best_trial(self) -> Trial:
+        """The best completed trial according to the study direction."""
+        completed = self.completed_trials
+        if not completed:
+            raise RuntimeError("no completed trials")
+        if self.direction == "maximize":
+            return max(completed, key=lambda trial: trial.value)
+        return min(completed, key=lambda trial: trial.value)
+
+    @property
+    def best_value(self) -> float:
+        """Objective value of the best trial."""
+        return float(self.best_trial.value)
+
+    @property
+    def best_params(self) -> Dict[str, Any]:
+        """Hyperparameters of the best trial."""
+        return dict(self.best_trial.params)
+
+    def trials_dataframe(self) -> List[Dict[str, Any]]:
+        """Flat records of every trial (number, value, state, params)."""
+        return [
+            {"number": trial.number, "value": trial.value, "state": trial.state, **trial.params}
+            for trial in self.trials
+        ]
+
+
+def create_study(
+    direction: str = "maximize", sampler: Optional[Sampler] = None, seed: int = 0
+) -> Study:
+    """Create a study (mirrors ``optuna.create_study``)."""
+    return Study(direction=direction, sampler=sampler or GridSampler(), seed=seed)

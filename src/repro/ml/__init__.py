@@ -1,0 +1,75 @@
+"""Classical machine-learning substrate.
+
+Replaces scikit-learn / XGBoost / LightGBM / CatBoost / SHAP for the scale of
+the opcode-histogram classification task.
+"""
+
+from .base import ClassifierMixin, check_array, check_X_y, clone
+from .boosting import CatBoostClassifier, GradientBoostingBase, LightGBMClassifier, XGBoostClassifier
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .linear import LinearSVMClassifier, LogisticRegression
+from .metrics import (
+    METRIC_NAMES,
+    MetricReport,
+    accuracy_score,
+    area_under_time,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from .model_selection import (
+    CrossValidationResult,
+    FoldResult,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    cross_validate,
+    train_test_split,
+)
+from .preprocessing import FrequencyEncoder, LabelEncoder, MinMaxScaler, StandardScaler
+from .shap import PermutationShapExplainer, ShapExplanation, positive_class_predictor
+from .tree import DecisionTreeClassifier, RegressionTree, RegressionTreeBuilder
+
+__all__ = [
+    "ClassifierMixin",
+    "check_array",
+    "check_X_y",
+    "clone",
+    "CatBoostClassifier",
+    "GradientBoostingBase",
+    "LightGBMClassifier",
+    "XGBoostClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "LinearSVMClassifier",
+    "LogisticRegression",
+    "METRIC_NAMES",
+    "MetricReport",
+    "accuracy_score",
+    "area_under_time",
+    "confusion_matrix",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "roc_auc_score",
+    "CrossValidationResult",
+    "FoldResult",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "cross_validate",
+    "train_test_split",
+    "FrequencyEncoder",
+    "LabelEncoder",
+    "MinMaxScaler",
+    "StandardScaler",
+    "PermutationShapExplainer",
+    "ShapExplanation",
+    "positive_class_predictor",
+    "DecisionTreeClassifier",
+    "RegressionTree",
+    "RegressionTreeBuilder",
+]

@@ -1,0 +1,83 @@
+"""Estimator interfaces of the classical-ML substrate.
+
+The paper feeds opcode histograms to seven scikit-learn / gradient-boosting
+classifiers.  The substrate mirrors the familiar ``fit`` / ``predict`` /
+``predict_proba`` estimator contract so the model-evaluation module can treat
+every classifier uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict
+
+import numpy as np
+
+
+class ClassifierMixin(ABC):
+    """Base class for binary (and small multi-class) classifiers."""
+
+    #: Class values seen during fit, in sorted order.
+    classes_: np.ndarray
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ClassifierMixin":
+        """Fit the classifier on feature matrix ``X`` and labels ``y``."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Return class-probability estimates of shape ``(n, n_classes)``."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return the most probable class for every row of ``X``."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return constructor-style hyperparameters (for HPO and cloning)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def set_params(self, **params: Any) -> "ClassifierMixin":
+        """Set hyperparameters in place and return self."""
+        for key, value in params.items():
+            if not hasattr(self, key):
+                raise ValueError(f"unknown parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+
+def clone(estimator: ClassifierMixin) -> ClassifierMixin:
+    """Create an unfitted copy of ``estimator`` with the same hyperparameters."""
+    fresh = type(estimator)(**estimator.get_params())
+    return fresh
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple:
+    """Validate and convert a feature matrix / label vector pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X and y have inconsistent lengths: {X.shape[0]} vs {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    return X, y
+
+
+def check_array(X: np.ndarray) -> np.ndarray:
+    """Validate and convert a feature matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    return X

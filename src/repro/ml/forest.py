@@ -1,0 +1,94 @@
+"""Random forest classifier.
+
+The best-performing model of the paper (Table II): a bagged ensemble of CART
+trees over opcode-histogram features, with per-tree bootstrap sampling and
+random feature subsets at every split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import ClassifierMixin, check_array, check_X_y
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(ClassifierMixin):
+    """Bootstrap-aggregated ensemble of Gini CART trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: object = "sqrt",
+        bootstrap: bool = True,
+        seed: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.estimators_: List[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray = np.zeros(0)
+        self.n_features_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples of ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self.estimators_ = []
+        n_samples = len(y)
+        for i in range(self.n_estimators):
+            if self.bootstrap:
+                sample_indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample_indices = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            tree.fit(X[sample_indices], y[sample_indices])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of the per-tree class-probability estimates."""
+        X = check_array(X)
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+        accumulated = np.zeros((len(X), len(self.classes_)))
+        for tree in self.estimators_:
+            tree_probabilities = tree.predict_proba(X)
+            # Trees may have seen a subset of classes in their bootstrap sample.
+            if tree_probabilities.shape[1] == len(self.classes_) and np.array_equal(
+                tree.classes_, self.classes_
+            ):
+                accumulated += tree_probabilities
+            else:
+                for column, class_value in enumerate(tree.classes_):
+                    target = int(np.flatnonzero(self.classes_ == class_value)[0])
+                    accumulated[:, target] += tree_probabilities[:, column]
+        return accumulated / len(self.estimators_)
+
+    def feature_importances(self) -> np.ndarray:
+        """Split-frequency feature importances (normalised to sum to 1)."""
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+        counts = np.zeros(self.n_features_)
+        for tree in self.estimators_:
+            for feature in tree.decision_path_features():
+                counts[feature] += 1
+        total = counts.sum()
+        return counts / total if total > 0 else counts

@@ -1,0 +1,67 @@
+"""k-nearest-neighbours classifier over opcode histograms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import ClassifierMixin, check_array, check_X_y
+
+
+class KNeighborsClassifier(ClassifierMixin):
+    """Brute-force kNN with Euclidean or Manhattan distance."""
+
+    def __init__(self, n_neighbors: int = 5, metric: str = "euclidean", weights: str = "uniform"):
+        if metric not in {"euclidean", "manhattan"}:
+            raise ValueError(f"unsupported metric {metric!r}")
+        if weights not in {"uniform", "distance"}:
+            raise ValueError(f"unsupported weights {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self.weights = weights
+        self._X: Optional[np.ndarray] = None
+        self._y_codes: Optional[np.ndarray] = None
+        self.classes_: np.ndarray = np.zeros(0)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorise the training data."""
+        X, y = check_X_y(X, y)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.classes_, self._y_codes = np.unique(y, return_inverse=True)
+        self._X = X
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        assert self._X is not None
+        if self.metric == "euclidean":
+            squared = (
+                np.sum(X**2, axis=1)[:, None]
+                + np.sum(self._X**2, axis=1)[None, :]
+                - 2 * X @ self._X.T
+            )
+            return np.sqrt(np.maximum(squared, 0.0))
+        return np.sum(np.abs(X[:, None, :] - self._X[None, :, :]), axis=2)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Neighbourhood class frequencies (optionally distance-weighted)."""
+        X = check_array(X)
+        if self._X is None or self._y_codes is None:
+            raise RuntimeError("kNN is not fitted")
+        k = min(self.n_neighbors, len(self._X))
+        distances = self._distances(X)
+        neighbor_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        probabilities = np.zeros((len(X), len(self.classes_)))
+        for row in range(len(X)):
+            neighbors = neighbor_indices[row]
+            labels = self._y_codes[neighbors]
+            if self.weights == "distance":
+                with np.errstate(divide="ignore"):
+                    weights = 1.0 / np.maximum(distances[row, neighbors], 1e-12)
+            else:
+                weights = np.ones(k)
+            for label, weight in zip(labels, weights):
+                probabilities[row, label] += weight
+            probabilities[row] /= probabilities[row].sum()
+        return probabilities

@@ -1,0 +1,178 @@
+"""Linear classifiers: logistic regression and a linear SVM.
+
+Both are trained with full-batch gradient descent (logistic) or
+stochastic sub-gradient descent on the hinge loss (SVM, Pegasos-style) with
+internal feature standardisation, since raw opcode histograms have widely
+varying column scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import ClassifierMixin, check_array, check_X_y
+from .preprocessing import StandardScaler
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+
+class LogisticRegression(ClassifierMixin):
+    """L2-regularised binary logistic regression (full-batch gradient descent)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 500,
+        reg_lambda: float = 1e-3,
+        fit_intercept: bool = True,
+        standardize: bool = True,
+        tol: float = 1e-6,
+    ):
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.reg_lambda = reg_lambda
+        self.fit_intercept = fit_intercept
+        self.standardize = standardize
+        self.tol = tol
+        self.weights_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.classes_: np.ndarray = np.zeros(0)
+        self._scaler: Optional[StandardScaler] = None
+
+    def _prepare(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if not self.standardize:
+            return X
+        if fit:
+            self._scaler = StandardScaler()
+            return self._scaler.fit_transform(X)
+        if self._scaler is None:
+            raise RuntimeError("model is not fitted")
+        return self._scaler.transform(X)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Fit by gradient descent on the regularised log-loss."""
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LogisticRegression is binary only")
+        targets = (y == self.classes_[1]).astype(float)
+        features = self._prepare(X, fit=True)
+        n_samples, n_features = features.shape
+        self.weights_ = np.zeros(n_features)
+        self.intercept_ = 0.0
+        previous_loss = np.inf
+        for _ in range(self.n_iterations):
+            logits = features @ self.weights_ + self.intercept_
+            probabilities = _sigmoid(logits)
+            errors = probabilities - targets
+            gradient_w = features.T @ errors / n_samples + self.reg_lambda * self.weights_
+            gradient_b = errors.mean() if self.fit_intercept else 0.0
+            self.weights_ -= self.learning_rate * gradient_w
+            self.intercept_ -= self.learning_rate * gradient_b
+            loss = float(
+                -np.mean(
+                    targets * np.log(probabilities + 1e-12)
+                    + (1 - targets) * np.log(1 - probabilities + 1e-12)
+                )
+                + 0.5 * self.reg_lambda * np.sum(self.weights_**2)
+            )
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw logits."""
+        X = check_array(X)
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        features = self._prepare(X, fit=False)
+        return features @ self.weights_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities via the logistic link."""
+        positive = _sigmoid(self.decision_function(X))
+        return np.column_stack([1 - positive, positive])
+
+
+class LinearSVMClassifier(ClassifierMixin):
+    """Linear SVM trained with Pegasos-style stochastic sub-gradient descent."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        n_epochs: int = 60,
+        batch_size: int = 32,
+        standardize: bool = True,
+        seed: int = 0,
+    ):
+        self.C = C
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.standardize = standardize
+        self.seed = seed
+        self.weights_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.classes_: np.ndarray = np.zeros(0)
+        self._scaler: Optional[StandardScaler] = None
+
+    def _prepare(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if not self.standardize:
+            return X
+        if fit:
+            self._scaler = StandardScaler()
+            return self._scaler.fit_transform(X)
+        if self._scaler is None:
+            raise RuntimeError("model is not fitted")
+        return self._scaler.transform(X)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVMClassifier":
+        """Fit by minimising the regularised hinge loss."""
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LinearSVMClassifier is binary only")
+        targets = np.where(y == self.classes_[1], 1.0, -1.0)
+        features = self._prepare(X, fit=True)
+        n_samples, n_features = features.shape
+        reg = 1.0 / (self.C * n_samples)
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = np.zeros(n_features)
+        self.intercept_ = 0.0
+        step = 0
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, self.batch_size):
+                step += 1
+                batch = order[start : start + self.batch_size]
+                margins = targets[batch] * (features[batch] @ self.weights_ + self.intercept_)
+                violating = margins < 1
+                learning_rate = 1.0 / (reg * step + 10.0)
+                gradient_w = reg * self.weights_
+                if np.any(violating):
+                    gradient_w -= (
+                        (targets[batch][violating, None] * features[batch][violating]).mean(axis=0)
+                    )
+                    gradient_b = -targets[batch][violating].mean()
+                else:
+                    gradient_b = 0.0
+                self.weights_ -= learning_rate * gradient_w
+                self.intercept_ -= learning_rate * gradient_b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distance to the separating hyperplane."""
+        X = check_array(X)
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        features = self._prepare(X, fit=False)
+        return features @ self.weights_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Platt-style squashing of the margin into a pseudo-probability."""
+        positive = _sigmoid(self.decision_function(X))
+        return np.column_stack([1 - positive, positive])

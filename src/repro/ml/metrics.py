@@ -1,0 +1,145 @@
+"""Classification metrics used throughout the paper's evaluation.
+
+Table II reports Accuracy, F1 Score, Precision and Recall; the
+time-resistance analysis (§IV-G) additionally uses Area Under Time (AUT) over
+the phishing-class F1 curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics are undefined on empty inputs")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> Dict[str, int]:
+    """Binary confusion matrix with the phishing class as positive."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    true_positive = int(np.sum((y_true == positive) & (y_pred == positive)))
+    true_negative = int(np.sum((y_true != positive) & (y_pred != positive)))
+    false_positive = int(np.sum((y_true != positive) & (y_pred == positive)))
+    false_negative = int(np.sum((y_true == positive) & (y_pred != positive)))
+    return {
+        "tp": true_positive,
+        "tn": true_negative,
+        "fp": false_positive,
+        "fn": false_negative,
+    }
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """TP / (TP + FP); 0.0 when nothing is predicted positive."""
+    cm = confusion_matrix(y_true, y_pred, positive)
+    denominator = cm["tp"] + cm["fp"]
+    return cm["tp"] / denominator if denominator else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """TP / (TP + FN); 0.0 when there are no positive samples."""
+    cm = confusion_matrix(y_true, y_pred, positive)
+    denominator = cm["tp"] + cm["fn"]
+    return cm["tp"] / denominator if denominator else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """The four headline metrics of Table II for one evaluation."""
+
+    accuracy: float
+    f1: float
+    precision: float
+    recall: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Render as a plain dict keyed like the paper's tables."""
+        return {
+            "accuracy": self.accuracy,
+            "f1": self.f1,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+    @classmethod
+    def from_predictions(
+        cls, y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+    ) -> "MetricReport":
+        """Compute all four metrics from a prediction vector."""
+        return cls(
+            accuracy=accuracy_score(y_true, y_pred),
+            f1=f1_score(y_true, y_pred, positive),
+            precision=precision_score(y_true, y_pred, positive),
+            recall=recall_score(y_true, y_pred, positive),
+        )
+
+
+#: Canonical metric names, in the order the paper reports them.
+METRIC_NAMES = ("accuracy", "f1", "precision", "recall")
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formulation."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    positives = scores[y_true == 1]
+    negatives = scores[y_true == 0]
+    if len(positives) == 0 or len(negatives) == 0:
+        raise ValueError("ROC AUC requires both classes to be present")
+    order = np.argsort(np.concatenate([positives, negatives]), kind="mergesort")
+    ranks = np.empty(len(order), dtype=float)
+    ranks[order] = np.arange(1, len(order) + 1)
+    # Average ranks for ties.
+    combined = np.concatenate([positives, negatives])
+    sorted_vals = np.sort(combined)
+    unique_vals, counts = np.unique(sorted_vals, return_counts=True)
+    if np.any(counts > 1):
+        value_to_rank = {}
+        start = 1
+        for value, count in zip(unique_vals, counts):
+            value_to_rank[value] = start + (count - 1) / 2.0
+            start += count
+        ranks = np.array([value_to_rank[v] for v in combined])
+    rank_sum_positive = ranks[: len(positives)].sum()
+    n_pos, n_neg = len(positives), len(negatives)
+    return float((rank_sum_positive - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg))
+
+
+def area_under_time(f1_per_period: Sequence[float]) -> float:
+    """Area Under Time (AUT) over a sequence of per-period F1 scores.
+
+    Following Pendlebury et al. (TESSERACT) as used in §IV-G: the trapezoidal
+    area under the metric-vs-time curve, normalised to [0, 1] by the number
+    of periods, so that a perfectly stable perfect classifier scores 1.0.
+    """
+    values = np.asarray(list(f1_per_period), dtype=float)
+    if values.size == 0:
+        raise ValueError("AUT requires at least one period")
+    if values.size == 1:
+        return float(values[0])
+    area = np.trapezoid(values, dx=1.0)
+    return float(area / (values.size - 1))

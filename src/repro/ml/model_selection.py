@@ -1,0 +1,200 @@
+"""Cross-validation and data-splitting utilities.
+
+The paper evaluates every model with 10-fold cross-validation repeated over
+3 runs (30 trials per model) and uses stratified splits so both classes are
+represented in every fold.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import ClassifierMixin, clone
+from .metrics import METRIC_NAMES, MetricReport
+
+
+class KFold:
+    """Plain k-fold splitter."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving the class proportions of every fold."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, y: Sequence) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs stratified on ``y``."""
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        per_class_folds: List[List[np.ndarray]] = []
+        for value in np.unique(y):
+            class_indices = np.flatnonzero(y == value)
+            if self.shuffle:
+                rng.shuffle(class_indices)
+            per_class_folds.append(np.array_split(class_indices, self.n_splits))
+        for i in range(self.n_splits):
+            test = np.concatenate([folds[i] for folds in per_class_folds])
+            train = np.concatenate(
+                [folds[j] for folds in per_class_folds for j in range(self.n_splits) if j != i]
+            )
+            yield np.sort(train), np.sort(test)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    stratify: bool = True,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_indices: List[int] = []
+    if stratify:
+        for value in np.unique(y):
+            class_indices = np.flatnonzero(y == value)
+            rng.shuffle(class_indices)
+            n_test = max(1, int(round(len(class_indices) * test_size)))
+            test_indices.extend(class_indices[:n_test].tolist())
+    else:
+        indices = np.arange(len(y))
+        rng.shuffle(indices)
+        n_test = max(1, int(round(len(y) * test_size)))
+        test_indices = indices[:n_test].tolist()
+    test_mask = np.zeros(len(y), dtype=bool)
+    test_mask[np.asarray(test_indices, dtype=int)] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+@dataclass
+class FoldResult:
+    """Metrics and timing of a single cross-validation fold."""
+
+    fold: int
+    run: int
+    report: MetricReport
+    train_time: float
+    inference_time: float
+
+
+@dataclass
+class CrossValidationResult:
+    """All fold results of a (possibly repeated) cross-validation."""
+
+    model_name: str
+    folds: List[FoldResult] = field(default_factory=list)
+
+    def metric_values(self, metric: str) -> np.ndarray:
+        """Per-trial values of ``metric`` (one per fold × run)."""
+        if metric not in METRIC_NAMES:
+            raise ValueError(f"unknown metric {metric!r}")
+        return np.array([getattr(fold.report, metric) for fold in self.folds])
+
+    def mean_metric(self, metric: str) -> float:
+        """Average of ``metric`` over all trials."""
+        return float(self.metric_values(metric).mean())
+
+    def summary(self) -> Dict[str, float]:
+        """Mean of every headline metric plus timing, as a flat dict."""
+        result = {metric: self.mean_metric(metric) for metric in METRIC_NAMES}
+        result["train_time"] = float(np.mean([fold.train_time for fold in self.folds]))
+        result["inference_time"] = float(np.mean([fold.inference_time for fold in self.folds]))
+        return result
+
+
+def cross_validate(
+    build_model: Callable[[], ClassifierMixin],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    n_runs: int = 1,
+    seed: int = 0,
+    model_name: Optional[str] = None,
+) -> CrossValidationResult:
+    """Repeated stratified k-fold cross-validation.
+
+    Args:
+        build_model: Zero-argument factory returning a fresh unfitted model.
+            A factory (rather than an estimator instance) is used because the
+            deep models in this reproduction are not trivially cloneable.
+        X: Feature matrix.
+        y: Binary labels.
+        n_splits: Number of folds per run (the paper uses 10).
+        n_runs: Number of repeated runs with different shuffles (paper: 3).
+        seed: Base seed; run ``r`` uses ``seed + r``.
+        model_name: Label stored on the result.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    result = CrossValidationResult(model_name=model_name or "model")
+    for run in range(n_runs):
+        splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, seed=seed + run)
+        for fold_index, (train_idx, test_idx) in enumerate(splitter.split(y)):
+            model = build_model()
+            start = time.perf_counter()
+            model.fit(X[train_idx], y[train_idx])
+            train_time = time.perf_counter() - start
+            start = time.perf_counter()
+            predictions = model.predict(X[test_idx])
+            inference_time = time.perf_counter() - start
+            report = MetricReport.from_predictions(y[test_idx], predictions)
+            result.folds.append(
+                FoldResult(
+                    fold=fold_index,
+                    run=run,
+                    report=report,
+                    train_time=train_time,
+                    inference_time=inference_time,
+                )
+            )
+    return result
+
+
+def cross_val_score(
+    estimator: ClassifierMixin,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-fold accuracy of ``estimator`` under stratified k-fold CV."""
+    result = cross_validate(
+        lambda: clone(estimator), X, y, n_splits=n_splits, n_runs=1, seed=seed
+    )
+    return result.metric_values("accuracy")

@@ -1,0 +1,140 @@
+"""Feature preprocessing utilities.
+
+The HSC pipeline of the paper feeds raw (unnormalised) opcode histograms to
+the classifiers, but several of the reimplemented models (SVM, logistic
+regression, the neural substrate) benefit from scaling, and the ViT+Freq
+extractor needs frequency/target encoders.  These utilities follow the
+fit/transform contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling per feature."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Scale features to the [0, 1] range."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature minimum and range."""
+        X = np.asarray(X, dtype=float)
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        return (np.asarray(X, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to integer codes."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+        self._index: Dict[object, int] = {}
+
+    def fit(self, labels: Sequence) -> "LabelEncoder":
+        """Learn the label vocabulary."""
+        self.classes_ = np.array(sorted(set(labels), key=repr))
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels: Sequence) -> np.ndarray:
+        """Encode labels as integers; unknown labels raise ``KeyError``."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before transform")
+        return np.array([self._index[label] for label in labels], dtype=int)
+
+    def fit_transform(self, labels: Sequence) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, codes: Sequence[int]) -> np.ndarray:
+        """Decode integer codes back to the original labels."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before inverse_transform")
+        return self.classes_[np.asarray(codes, dtype=int)]
+
+
+class FrequencyEncoder:
+    """Encode categorical tokens by their frequency in the training data.
+
+    This is the categorical-encoding technique behind the paper's ViT+Freq
+    feature extractor: the lookup table is built exactly once on the training
+    set, and maps each token to its number of occurrences (optionally
+    normalised to a relative frequency).
+    """
+
+    def __init__(self, normalize: bool = True, unknown_value: float = 0.0):
+        self.normalize = normalize
+        self.unknown_value = unknown_value
+        self.table_: Dict[object, float] = {}
+        self.total_: int = 0
+
+    def fit(self, tokens: Sequence) -> "FrequencyEncoder":
+        """Count token occurrences over the training corpus."""
+        counts: Dict[object, int] = {}
+        total = 0
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+            total += 1
+        self.total_ = total
+        if self.normalize and total > 0:
+            self.table_ = {token: count / total for token, count in counts.items()}
+        else:
+            self.table_ = {token: float(count) for token, count in counts.items()}
+        return self
+
+    def transform(self, tokens: Sequence) -> np.ndarray:
+        """Map tokens to their (relative) training frequency."""
+        if not self.table_ and self.total_ == 0:
+            raise RuntimeError("FrequencyEncoder must be fitted before transform")
+        return np.array(
+            [self.table_.get(token, self.unknown_value) for token in tokens], dtype=float
+        )
+
+    def fit_transform(self, tokens: Sequence) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(tokens).transform(tokens)

@@ -1,0 +1,491 @@
+"""CART decision trees.
+
+Two tree learners live here:
+
+* :class:`DecisionTreeClassifier` — Gini-impurity classification tree, the
+  building block of :class:`~repro.ml.forest.RandomForestClassifier`;
+* :class:`RegressionTreeBuilder` — second-order (gradient/hessian) regression
+  tree used by the gradient-boosting classifiers in
+  :mod:`repro.ml.boosting`, with selectable growth policies (level-wise,
+  leaf-wise, symmetric) standing in for the XGBoost / LightGBM / CatBoost
+  tree shapes.
+
+Both learners use exhaustive threshold search over sorted feature columns,
+which is exact and fast enough at the scale of the opcode-histogram features
+(a few thousand samples, ~150 features).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .base import ClassifierMixin, check_array, check_X_y
+
+
+@dataclass
+class TreeNode:
+    """A node of a fitted tree (classification or regression)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    n_samples: int = 0
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no children."""
+        return self.left < 0 and self.right < 0
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+def _best_split_classification(
+    X: np.ndarray,
+    y_codes: np.ndarray,
+    feature_indices: np.ndarray,
+    n_classes: int,
+    min_samples_leaf: int,
+) -> Tuple[int, float, float]:
+    """Exhaustive best (feature, threshold) search minimising weighted Gini.
+
+    Returns ``(feature, threshold, gain)``; feature is -1 when no valid split
+    exists.
+    """
+    n_samples = len(y_codes)
+    parent_counts = np.bincount(y_codes, minlength=n_classes).astype(float)
+    parent_impurity = _gini(parent_counts)
+    best_feature, best_threshold, best_gain = -1, 0.0, 0.0
+
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        values = X[order, feature]
+        labels = y_codes[order]
+        # One-hot cumulative class counts along the sorted order.
+        one_hot = np.zeros((n_samples, n_classes))
+        one_hot[np.arange(n_samples), labels] = 1.0
+        left_counts = np.cumsum(one_hot, axis=0)
+        total_counts = left_counts[-1]
+
+        # Candidate split positions: between distinct consecutive values.
+        distinct = np.flatnonzero(values[1:] != values[:-1])
+        if distinct.size == 0:
+            continue
+        positions = distinct  # split after index `pos` (left gets pos+1 samples)
+        left_sizes = positions + 1
+        right_sizes = n_samples - left_sizes
+        valid = (left_sizes >= min_samples_leaf) & (right_sizes >= min_samples_leaf)
+        if not np.any(valid):
+            continue
+        positions = positions[valid]
+        left_sizes = left_sizes[valid]
+        right_sizes = right_sizes[valid]
+
+        left_class_counts = left_counts[positions]
+        right_class_counts = total_counts - left_class_counts
+        left_props = left_class_counts / left_sizes[:, None]
+        right_props = right_class_counts / right_sizes[:, None]
+        left_gini = 1.0 - np.sum(left_props**2, axis=1)
+        right_gini = 1.0 - np.sum(right_props**2, axis=1)
+        weighted = (left_sizes * left_gini + right_sizes * right_gini) / n_samples
+        gains = parent_impurity - weighted
+        best_local = int(np.argmax(gains))
+        if gains[best_local] > best_gain + 1e-12:
+            best_gain = float(gains[best_local])
+            best_feature = int(feature)
+            position = positions[best_local]
+            best_threshold = float((values[position] + values[position + 1]) / 2.0)
+    return best_feature, best_threshold, best_gain
+
+
+class DecisionTreeClassifier(ClassifierMixin):
+    """Gini-impurity CART classifier."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[object] = None,
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.nodes_: List[TreeNode] = []
+        self.classes_: np.ndarray = np.zeros(0)
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(self.max_features, float):
+            return max(1, int(self.max_features * n_features))
+        return max(1, min(int(self.max_features), n_features))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        self.classes_, y_codes = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        self.n_features_ = X.shape[1]
+        max_features = self._resolve_max_features(self.n_features_)
+        rng = np.random.default_rng(self.seed)
+        self.nodes_ = []
+
+        def leaf_value(codes: np.ndarray) -> np.ndarray:
+            counts = np.bincount(codes, minlength=n_classes).astype(float)
+            return counts / counts.sum()
+
+        # Iterative depth-first growth to avoid recursion limits.
+        stack: List[Tuple[np.ndarray, int, int, bool]] = []
+        root_indices = np.arange(len(y_codes))
+        self.nodes_.append(TreeNode())
+        stack.append((root_indices, 0, 0, True))
+
+        while stack:
+            indices, node_id, depth, _ = stack.pop()
+            codes = y_codes[indices]
+            counts = np.bincount(codes, minlength=n_classes).astype(float)
+            node = self.nodes_[node_id]
+            node.n_samples = len(indices)
+            node.impurity = _gini(counts)
+            node.value = counts / counts.sum()
+
+            depth_limit = self.max_depth is not None and depth >= self.max_depth
+            pure = node.impurity <= 1e-12
+            too_small = len(indices) < self.min_samples_split
+            if depth_limit or pure or too_small:
+                continue
+
+            if max_features < self.n_features_:
+                feature_indices = rng.choice(self.n_features_, size=max_features, replace=False)
+            else:
+                feature_indices = np.arange(self.n_features_)
+            feature, threshold, gain = _best_split_classification(
+                X[indices], codes, feature_indices, n_classes, self.min_samples_leaf
+            )
+            if feature < 0 or gain <= 0:
+                continue
+
+            mask = X[indices, feature] <= threshold
+            left_indices = indices[mask]
+            right_indices = indices[~mask]
+            if len(left_indices) == 0 or len(right_indices) == 0:
+                continue
+
+            node.feature = feature
+            node.threshold = threshold
+            node.left = len(self.nodes_)
+            self.nodes_.append(TreeNode())
+            node.right = len(self.nodes_)
+            self.nodes_.append(TreeNode())
+            stack.append((left_indices, node.left, depth + 1, True))
+            stack.append((right_indices, node.right, depth + 1, False))
+        return self
+
+    def _leaf_for(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised routing of every row to its leaf node id."""
+        node_ids = np.zeros(len(X), dtype=int)
+        active = np.ones(len(X), dtype=bool)
+        while np.any(active):
+            current = node_ids[active]
+            nodes = [self.nodes_[i] for i in current]
+            is_leaf = np.array([node.is_leaf for node in nodes])
+            if np.all(is_leaf):
+                break
+            rows = np.flatnonzero(active)
+            for offset, (row, node) in enumerate(zip(rows, nodes)):
+                if node.is_leaf:
+                    active[row] = False
+                    continue
+                if X[row, node.feature] <= node.threshold:
+                    node_ids[row] = node.left
+                else:
+                    node_ids[row] = node.right
+        return node_ids
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates from leaf class frequencies."""
+        X = check_array(X)
+        if not self.nodes_:
+            raise RuntimeError("tree is not fitted")
+        leaves = self._leaf_for(X)
+        return np.vstack([self.nodes_[leaf].value for leaf in leaves])
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes of the fitted tree."""
+        return sum(1 for node in self.nodes_ if node.is_leaf)
+
+    def decision_path_features(self) -> List[int]:
+        """All feature indices used by internal nodes (for interpretability)."""
+        return [node.feature for node in self.nodes_ if not node.is_leaf]
+
+
+# ----------------------------------------------------------------------------
+# Regression trees for gradient boosting
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class RegressionTree:
+    """A fitted second-order regression tree (list-of-nodes layout)."""
+
+    nodes: List[TreeNode]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict leaf weights for every row of ``X``."""
+        X = np.asarray(X, dtype=float)
+        outputs = np.zeros(len(X))
+        for row in range(len(X)):
+            node = self.nodes[0]
+            while not node.is_leaf:
+                if X[row, node.feature] <= node.threshold:
+                    node = self.nodes[node.left]
+                else:
+                    node = self.nodes[node.right]
+            outputs[row] = float(node.value[0])
+        return outputs
+
+    def feature_indices(self) -> List[int]:
+        """Features used by the internal nodes."""
+        return [node.feature for node in self.nodes if not node.is_leaf]
+
+
+class RegressionTreeBuilder:
+    """Builds second-order regression trees for gradient boosting.
+
+    The split criterion is the standard Newton gain
+
+    ``gain = 0.5 * (GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda))``
+
+    with leaf weight ``-G/(H+lambda)``.  The ``growth`` policy controls the
+    tree shape:
+
+    * ``"level"`` — breadth-first growth to ``max_depth`` (XGBoost-style);
+    * ``"leaf"`` — best-first growth to ``max_leaves`` (LightGBM-style);
+    * ``"symmetric"`` — oblivious trees where every node at a level shares
+      the same split (CatBoost-style).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        max_leaves: int = 31,
+        min_samples_leaf: int = 5,
+        reg_lambda: float = 1.0,
+        growth: str = "level",
+        max_bins: int = 64,
+    ):
+        if growth not in {"level", "leaf", "symmetric"}:
+            raise ValueError(f"unknown growth policy {growth!r}")
+        self.max_depth = max_depth
+        self.max_leaves = max_leaves
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.growth = growth
+        self.max_bins = max_bins
+
+    # ------------------------------------------------------------------
+
+    def _leaf_weight(self, gradient_sum: float, hessian_sum: float) -> float:
+        return -gradient_sum / (hessian_sum + self.reg_lambda)
+
+    def _score(self, gradient_sum: float, hessian_sum: float) -> float:
+        return gradient_sum * gradient_sum / (hessian_sum + self.reg_lambda)
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        indices: np.ndarray,
+    ) -> Tuple[int, float, float]:
+        """Best (feature, threshold, gain) over all features for ``indices``."""
+        best_feature, best_threshold, best_gain = -1, 0.0, 0.0
+        gradient_total = gradients[indices].sum()
+        hessian_total = hessians[indices].sum()
+        parent_score = self._score(gradient_total, hessian_total)
+
+        for feature in range(X.shape[1]):
+            values = X[indices, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_gradients = gradients[indices][order]
+            sorted_hessians = hessians[indices][order]
+            gradient_cumulative = np.cumsum(sorted_gradients)
+            hessian_cumulative = np.cumsum(sorted_hessians)
+
+            distinct = np.flatnonzero(sorted_values[1:] != sorted_values[:-1])
+            if distinct.size == 0:
+                continue
+            left_sizes = distinct + 1
+            right_sizes = len(indices) - left_sizes
+            valid = (left_sizes >= self.min_samples_leaf) & (
+                right_sizes >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+            positions = distinct[valid]
+            gradient_left = gradient_cumulative[positions]
+            hessian_left = hessian_cumulative[positions]
+            gradient_right = gradient_total - gradient_left
+            hessian_right = hessian_total - hessian_left
+            gains = 0.5 * (
+                gradient_left**2 / (hessian_left + self.reg_lambda)
+                + gradient_right**2 / (hessian_right + self.reg_lambda)
+                - parent_score
+            )
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain + 1e-12:
+                best_gain = float(gains[best_local])
+                best_feature = feature
+                position = positions[best_local]
+                best_threshold = float(
+                    (sorted_values[position] + sorted_values[position + 1]) / 2.0
+                )
+        return best_feature, best_threshold, best_gain
+
+    # ------------------------------------------------------------------
+
+    def build(self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray) -> RegressionTree:
+        """Fit one regression tree to the given gradients/hessians."""
+        X = np.asarray(X, dtype=float)
+        if self.growth == "symmetric":
+            return self._build_symmetric(X, gradients, hessians)
+        return self._build_greedy(X, gradients, hessians)
+
+    def _make_leaf(self, gradients: np.ndarray, hessians: np.ndarray, indices: np.ndarray) -> TreeNode:
+        weight = self._leaf_weight(gradients[indices].sum(), hessians[indices].sum())
+        return TreeNode(value=np.array([weight]), n_samples=len(indices))
+
+    def _build_greedy(
+        self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> RegressionTree:
+        nodes: List[TreeNode] = [self._make_leaf(gradients, hessians, np.arange(len(X)))]
+        # Each heap entry: (-gain, tiebreak, node_id, indices, depth, feature, threshold)
+        heap: List[Tuple[float, int, int, np.ndarray, int, int, float]] = []
+        counter = 0
+
+        def try_push(node_id: int, indices: np.ndarray, depth: int) -> None:
+            nonlocal counter
+            if len(indices) < 2 * self.min_samples_leaf:
+                return
+            if self.growth == "level" and depth >= self.max_depth:
+                return
+            feature, threshold, gain = self._best_split(X, gradients, hessians, indices)
+            if feature < 0 or gain <= 0:
+                return
+            heapq.heappush(heap, (-gain, counter, node_id, indices, depth, feature, threshold))
+            counter += 1
+
+        try_push(0, np.arange(len(X)), 0)
+        n_leaves = 1
+        max_leaves = self.max_leaves if self.growth == "leaf" else 2**self.max_depth
+
+        while heap and n_leaves < max_leaves:
+            _, _, node_id, indices, depth, feature, threshold = heapq.heappop(heap)
+            node = nodes[node_id]
+            mask = X[indices, feature] <= threshold
+            left_indices = indices[mask]
+            right_indices = indices[~mask]
+            if len(left_indices) == 0 or len(right_indices) == 0:
+                continue
+            node.feature = feature
+            node.threshold = threshold
+            node.left = len(nodes)
+            nodes.append(self._make_leaf(gradients, hessians, left_indices))
+            node.right = len(nodes)
+            nodes.append(self._make_leaf(gradients, hessians, right_indices))
+            n_leaves += 1
+            try_push(node.left, left_indices, depth + 1)
+            try_push(node.right, right_indices, depth + 1)
+        return RegressionTree(nodes=nodes)
+
+    def _build_symmetric(
+        self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> RegressionTree:
+        """Oblivious tree: one shared (feature, threshold) per level."""
+        n_samples = len(X)
+        groups: List[np.ndarray] = [np.arange(n_samples)]
+        splits: List[Tuple[int, float]] = []
+        for _ in range(self.max_depth):
+            # Choose the split that maximises total gain across all groups.
+            best_feature, best_threshold, best_total_gain = -1, 0.0, 0.0
+            for feature in range(X.shape[1]):
+                # Candidate thresholds: quantiles of the whole column.
+                column = X[:, feature]
+                quantiles = np.unique(
+                    np.quantile(column, np.linspace(0.05, 0.95, num=min(self.max_bins, 16)))
+                )
+                for threshold in quantiles:
+                    total_gain = 0.0
+                    feasible = True
+                    for group in groups:
+                        if len(group) < 2 * self.min_samples_leaf:
+                            continue
+                        mask = X[group, feature] <= threshold
+                        left, right = group[mask], group[~mask]
+                        if len(left) < self.min_samples_leaf or len(right) < self.min_samples_leaf:
+                            continue
+                        parent = self._score(gradients[group].sum(), hessians[group].sum())
+                        left_score = self._score(gradients[left].sum(), hessians[left].sum())
+                        right_score = self._score(gradients[right].sum(), hessians[right].sum())
+                        total_gain += 0.5 * (left_score + right_score - parent)
+                    if feasible and total_gain > best_total_gain + 1e-12:
+                        best_total_gain = total_gain
+                        best_feature = feature
+                        best_threshold = float(threshold)
+            if best_feature < 0:
+                break
+            splits.append((best_feature, best_threshold))
+            new_groups: List[np.ndarray] = []
+            for group in groups:
+                mask = X[group, best_feature] <= best_threshold
+                new_groups.append(group[mask])
+                new_groups.append(group[~mask])
+            groups = new_groups
+
+        # Materialise the oblivious tree as a standard node list.
+        nodes: List[TreeNode] = []
+
+        def build_level(indices: np.ndarray, level: int) -> int:
+            node_id = len(nodes)
+            nodes.append(TreeNode(n_samples=len(indices)))
+            node = nodes[node_id]
+            if level >= len(splits) or len(indices) == 0:
+                grad_sum = gradients[indices].sum() if len(indices) else 0.0
+                hess_sum = hessians[indices].sum() if len(indices) else 0.0
+                node.value = np.array([self._leaf_weight(grad_sum, hess_sum)])
+                return node_id
+            feature, threshold = splits[level]
+            mask = X[indices, feature] <= threshold
+            node.feature = feature
+            node.threshold = threshold
+            node.left = build_level(indices[mask], level + 1)
+            node.right = build_level(indices[~mask], level + 1)
+            return node_id
+
+        build_level(np.arange(n_samples), 0)
+        return RegressionTree(nodes=nodes)

@@ -1,0 +1,63 @@
+"""Common interface of the 16 phishing detectors.
+
+Every detector consumes raw contract bytecodes and binary labels
+(1 = phishing) and owns its feature-extraction pipeline internally, exactly
+as the paper's model-evaluation module treats them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import List, Sequence
+
+import numpy as np
+
+
+class ModelCategory(str, Enum):
+    """The four model families compared in the paper."""
+
+    HISTOGRAM = "histogram"
+    VISION = "vision"
+    LANGUAGE = "language"
+    VULNERABILITY = "vulnerability"
+
+
+class PhishingDetector(ABC):
+    """Base class of every detector evaluated by PhishingHook."""
+
+    #: Human-readable name as used in Table II.
+    name: str = "detector"
+    #: Model family.
+    category: ModelCategory = ModelCategory.HISTOGRAM
+
+    @abstractmethod
+    def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "PhishingDetector":
+        """Train the detector on raw bytecodes and binary labels."""
+
+    @abstractmethod
+    def predict_proba(self, bytecodes: Sequence) -> np.ndarray:
+        """Return ``(n, 2)`` class probabilities (column 1 = phishing)."""
+
+    def predict(self, bytecodes: Sequence) -> np.ndarray:
+        """Binary predictions (1 = phishing)."""
+        probabilities = self.predict_proba(bytecodes)
+        return (probabilities[:, 1] >= 0.5).astype(int)
+
+    def score(self, bytecodes: Sequence, labels: Sequence[int]) -> float:
+        """Mean accuracy."""
+        return float(np.mean(self.predict(bytecodes) == np.asarray(labels)))
+
+
+def validate_labels(labels: Sequence[int]) -> np.ndarray:
+    """Validate that labels are binary {0, 1} and return them as an array."""
+    labels = np.asarray(labels, dtype=int)
+    unique = set(np.unique(labels).tolist())
+    if not unique.issubset({0, 1}):
+        raise ValueError(f"labels must be binary 0/1, got values {sorted(unique)}")
+    return labels
+
+
+def as_bytecode_list(bytecodes: Sequence) -> List:
+    """Materialise the bytecode sequence as a list (detectors iterate twice)."""
+    return list(bytecodes)

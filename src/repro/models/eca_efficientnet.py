@@ -1,0 +1,94 @@
+"""ECA + EfficientNet-style classifier module.
+
+Following Zhou et al. (the paper's ECA+EfficientNet baseline), bytecode RGB
+images pass through a feature extractor with Efficient Channel Attention
+(ECA): a global average pooled channel descriptor is filtered by a small 1-D
+convolution across channels and squashed to per-channel attention weights.
+The backbone is a reduced EfficientNet-B0-like stack of convolutional blocks
+with ECA attention, global average pooling and a fully connected classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, GlobalAveragePool2d, Linear, MaxPool2d, ReLU
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+
+
+class ECAModule(Module):
+    """Efficient Channel Attention: 1-D convolution over the channel descriptor."""
+
+    def __init__(self, n_channels: int, kernel_size: int = 3, seed: int = 0):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("ECA kernel size must be odd")
+        rng = np.random.default_rng(seed)
+        self.n_channels = n_channels
+        self.kernel_size = kernel_size
+        self.kernel = Parameter(rng.normal(0.0, 0.1, size=(kernel_size,)), name="eca_kernel")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Scale the channels of ``x`` (N, C, H, W) by learned attention."""
+        descriptor = x.mean(axis=3).mean(axis=2)  # (N, C)
+        pad = self.kernel_size // 2
+        padded = Tensor.concatenate(
+            [
+                Tensor(np.zeros((descriptor.shape[0], pad))),
+                descriptor,
+                Tensor(np.zeros((descriptor.shape[0], pad))),
+            ],
+            axis=1,
+        )
+        filtered = None
+        for offset in range(self.kernel_size):
+            term = padded[:, offset : offset + self.n_channels] * self.kernel[offset]
+            filtered = term if filtered is None else filtered + term
+        attention = filtered.sigmoid()  # (N, C)
+        return x * attention.reshape(x.shape[0], self.n_channels, 1, 1)
+
+
+class ConvBlock(Module):
+    """Conv → ReLU → ECA → MaxPool block (a reduced MBConv stand-in)."""
+
+    def __init__(self, in_channels: int, out_channels: int, pool: int = 2, seed: int = 0):
+        super().__init__()
+        self.conv = Conv2d(in_channels, out_channels, kernel_size=3, padding=1, seed=seed)
+        self.activation = ReLU()
+        self.attention = ECAModule(out_channels, seed=seed + 1)
+        self.pool = MaxPool2d(pool)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.attention(self.activation(self.conv(x))))
+
+
+class ECAEfficientNet(Module):
+    """Reduced ECA + EfficientNet-B0 style classifier over bytecode images."""
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        widths: tuple = (16, 32),
+        n_classes: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.image_size = image_size
+        blocks = []
+        in_channels = 3
+        for index, width in enumerate(widths):
+            blocks.append(ConvBlock(in_channels, width, pool=2, seed=seed + 10 * index))
+            in_channels = width
+        self.blocks = blocks
+        self.global_pool = GlobalAveragePool2d()
+        self.head = Linear(in_channels, n_classes, seed=seed + 99)
+
+    def forward(self, images: Tensor) -> Tensor:
+        """Return classification logits for a batch of images."""
+        if not isinstance(images, Tensor):
+            images = Tensor(images)
+        x = images
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.global_pool(x))

@@ -1,0 +1,133 @@
+"""Histogram Similarity Classifiers (HSC).
+
+For each contract an opcode-occurrence histogram is built (vector length =
+number of unique opcodes in the training set) and fed, without normalisation
+or standardisation, to seven classical classifiers: Random Forest, LightGBM,
+kNN, XGBoost, CatBoost, Logistic Regression and SVM — the best-performing
+family of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..features.histogram import OpcodeHistogramExtractor
+from ..ml.base import ClassifierMixin
+from ..ml.boosting import CatBoostClassifier, LightGBMClassifier, XGBoostClassifier
+from ..ml.forest import RandomForestClassifier
+from ..ml.knn import KNeighborsClassifier
+from ..ml.linear import LinearSVMClassifier, LogisticRegression
+from .base import ModelCategory, PhishingDetector, as_bytecode_list, validate_labels
+
+
+class HistogramDetector(PhishingDetector):
+    """Generic HSC: opcode histogram features + a pluggable classifier."""
+
+    category = ModelCategory.HISTOGRAM
+
+    def __init__(self, classifier: ClassifierMixin, name: str = "HSC"):
+        self.name = name
+        self.classifier = classifier
+        self.extractor = OpcodeHistogramExtractor(normalize=False)
+
+    def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "HistogramDetector":
+        """Fit the histogram vocabulary and the underlying classifier."""
+        bytecodes = as_bytecode_list(bytecodes)
+        labels = validate_labels(labels)
+        features = self.extractor.fit_transform(bytecodes)
+        self.classifier.fit(features, labels)
+        return self
+
+    def predict_proba(self, bytecodes: Sequence) -> np.ndarray:
+        """Probabilities from the underlying classifier."""
+        features = self.extractor.transform(as_bytecode_list(bytecodes))
+        probabilities = self.classifier.predict_proba(features)
+        return _as_two_columns(probabilities, self.classifier.classes_)
+
+    def feature_names(self):
+        """Mnemonic names of the histogram columns (after fit)."""
+        return self.extractor.feature_names()
+
+
+def _as_two_columns(probabilities: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Reorder/expand classifier probabilities into [P(benign), P(phishing)]."""
+    output = np.zeros((len(probabilities), 2))
+    for column, class_value in enumerate(classes):
+        output[:, int(class_value)] = probabilities[:, column]
+    if len(classes) == 1:
+        only = int(classes[0])
+        output[:, only] = 1.0
+    return output
+
+
+# ----------------------------------------------------------------------------
+# The seven HSC variants of Table II
+# ----------------------------------------------------------------------------
+
+
+def _default_hyperparameters(seed: int) -> Dict[str, Dict]:
+    return {
+        "Random Forest": {"n_estimators": 60, "max_depth": 16, "max_features": "sqrt", "seed": seed},
+        "k-NN": {"n_neighbors": 5, "weights": "distance"},
+        "SVM": {"C": 1.0, "n_epochs": 40, "seed": seed},
+        "Logistic Regression": {"learning_rate": 0.2, "n_iterations": 300, "reg_lambda": 1e-3},
+        "XGBoost": {"n_estimators": 60, "max_depth": 4, "learning_rate": 0.2, "seed": seed},
+        "LightGBM": {"n_estimators": 60, "max_leaves": 31, "learning_rate": 0.2, "seed": seed},
+        "CatBoost": {"n_estimators": 30, "max_depth": 4, "learning_rate": 0.25, "seed": seed},
+    }
+
+
+def make_random_forest_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """Random Forest HSC (the paper's best overall model)."""
+    params = {**_default_hyperparameters(seed)["Random Forest"], **overrides}
+    return HistogramDetector(RandomForestClassifier(**params), name="Random Forest")
+
+
+def make_knn_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """k-nearest-neighbours HSC."""
+    params = {**_default_hyperparameters(seed)["k-NN"], **overrides}
+    return HistogramDetector(KNeighborsClassifier(**params), name="k-NN")
+
+
+def make_svm_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """Linear SVM HSC."""
+    params = {**_default_hyperparameters(seed)["SVM"], **overrides}
+    return HistogramDetector(LinearSVMClassifier(**params), name="SVM")
+
+
+def make_logistic_regression_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """Logistic-regression HSC (the weakest HSC in the paper)."""
+    params = {**_default_hyperparameters(seed)["Logistic Regression"], **overrides}
+    return HistogramDetector(LogisticRegression(**params), name="Logistic Regression")
+
+
+def make_xgboost_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """XGBoost-style HSC."""
+    params = {**_default_hyperparameters(seed)["XGBoost"], **overrides}
+    return HistogramDetector(XGBoostClassifier(**params), name="XGBoost")
+
+
+def make_lightgbm_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """LightGBM-style HSC."""
+    params = {**_default_hyperparameters(seed)["LightGBM"], **overrides}
+    return HistogramDetector(LightGBMClassifier(**params), name="LightGBM")
+
+
+def make_catboost_hsc(seed: int = 0, **overrides) -> HistogramDetector:
+    """CatBoost-style HSC."""
+    params = {**_default_hyperparameters(seed)["CatBoost"], **overrides}
+    return HistogramDetector(CatBoostClassifier(**params), name="CatBoost")
+
+
+#: Factory map used by the model registry.
+HSC_FACTORIES: Dict[str, Callable[..., HistogramDetector]] = {
+    "Random Forest": make_random_forest_hsc,
+    "k-NN": make_knn_hsc,
+    "SVM": make_svm_hsc,
+    "Logistic Regression": make_logistic_regression_hsc,
+    "XGBoost": make_xgboost_hsc,
+    "LightGBM": make_lightgbm_hsc,
+    "CatBoost": make_catboost_hsc,
+}

@@ -1,0 +1,116 @@
+"""SCSGuard: n-gram embedding + multi-head attention + GRU detector.
+
+Following Hu et al. (INFOCOM'22 workshop) as described in §IV-B of the
+paper: hexadecimal bytecode is read as n-grams, numerically encoded into a
+vocabulary, embedded into dense vectors, processed by multi-head attention
+to capture long-range dependencies, then a GRU models sequential patterns
+and a final linear layer produces the logits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..features.ngram import HexNgramEncoder
+from ..nn.attention import MultiHeadAttention
+from ..nn.layers import Dropout, Embedding, LayerNorm, Linear
+from ..nn.module import Module
+from ..nn.recurrent import GRU
+from ..nn.trainer import Trainer, TrainerConfig
+from .base import ModelCategory, PhishingDetector, as_bytecode_list, validate_labels
+
+
+class SCSGuardNetwork(Module):
+    """Embedding → multi-head attention → GRU → linear classifier."""
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        d_embed: int = 32,
+        n_heads: int = 4,
+        d_hidden: int = 32,
+        n_classes: int = 2,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.embedding = Embedding(vocabulary_size, d_embed, seed=seed)
+        self.attention_norm = LayerNorm(d_embed)
+        self.attention = MultiHeadAttention(d_embed, n_heads, dropout=dropout, seed=seed + 1)
+        self.gru = GRU(d_embed, d_hidden, seed=seed + 2)
+        self.dropout = Dropout(dropout, seed=seed + 3)
+        self.head = Linear(d_hidden, n_classes, seed=seed + 4)
+
+    def forward(self, token_ids: np.ndarray):
+        """Return logits for a batch of id sequences ``(B, T)``."""
+        embedded = self.embedding(token_ids)
+        attended = embedded + self.attention(self.attention_norm(embedded))
+        _, final_state = self.gru(attended)
+        return self.head(self.dropout(final_state))
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SCSGuardDetector(PhishingDetector):
+    """The SCSGuard language-model detector."""
+
+    category = ModelCategory.LANGUAGE
+    name = "SCSGuard"
+
+    def __init__(
+        self,
+        chars_per_gram: int = 6,
+        max_length: int = 96,
+        max_vocabulary: int = 2048,
+        d_embed: int = 32,
+        n_heads: int = 4,
+        d_hidden: int = 32,
+        trainer_config: Optional[TrainerConfig] = None,
+        seed: int = 0,
+    ):
+        self.encoder = HexNgramEncoder(
+            chars_per_gram=chars_per_gram,
+            max_length=max_length,
+            max_vocabulary=max_vocabulary,
+        )
+        self.d_embed = d_embed
+        self.n_heads = n_heads
+        self.d_hidden = d_hidden
+        self.seed = seed
+        self.trainer_config = trainer_config or TrainerConfig(
+            epochs=4, batch_size=16, learning_rate=2e-3
+        )
+        self.network: Optional[SCSGuardNetwork] = None
+        self._trainer: Optional[Trainer] = None
+
+    def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "SCSGuardDetector":
+        """Build the n-gram vocabulary and train the network."""
+        bytecodes = as_bytecode_list(bytecodes)
+        labels = validate_labels(labels)
+        sequences = self.encoder.fit_transform(bytecodes)
+        self.network = SCSGuardNetwork(
+            vocabulary_size=self.encoder.vocabulary_size,
+            d_embed=self.d_embed,
+            n_heads=self.n_heads,
+            d_hidden=self.d_hidden,
+            seed=self.seed,
+        )
+        self._trainer = Trainer(
+            self.network, self.trainer_config, forward_fn=lambda model, batch: model(batch)
+        )
+        self._trainer.fit(sequences, labels)
+        return self
+
+    def predict_proba(self, bytecodes: Sequence) -> np.ndarray:
+        """Class probabilities for new bytecodes."""
+        if self._trainer is None:
+            raise RuntimeError("detector must be fitted before prediction")
+        sequences = self.encoder.transform(as_bytecode_list(bytecodes))
+        logits = self._trainer.predict_logits(sequences)
+        return _softmax(logits)

@@ -1,0 +1,161 @@
+"""T5-style encoder detector (α and β variants).
+
+The paper fine-tunes the pretrained Hugging Face T5 as a text classifier.
+Offline, the reproduction keeps the *bidirectional encoder* character of T5
+(as opposed to GPT-2's causal decoder): token + positional embeddings, a
+stack of non-causal pre-norm transformer blocks, mean pooling over the
+sequence, and a classification head.  The decoder stack, which T5
+classification fine-tuning reduces to emitting a single class token, is
+folded into the pooled classification head; DESIGN.md documents this
+simplification.
+
+Variants α (truncation) and β (sliding-window chunks) mirror Table II.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..features.chunking import aggregate_chunk_logits, flatten_chunks, sliding_window_chunks
+from ..features.tokenizer import OpcodeTokenizer
+from ..nn.layers import Dropout, Embedding, Linear
+from ..nn.module import Module
+from ..nn.trainer import Trainer, TrainerConfig
+from ..nn.transformer import PositionalEmbedding, TransformerEncoder
+from .base import ModelCategory, PhishingDetector, as_bytecode_list, validate_labels
+
+
+class EncoderTransformerClassifier(Module):
+    """Bidirectional transformer encoder with a mean-pooled classification head."""
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        max_length: int = 128,
+        d_model: int = 32,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        d_hidden: int = 64,
+        n_classes: int = 2,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.token_embedding = Embedding(vocabulary_size, d_model, seed=seed)
+        self.positional = PositionalEmbedding(max_length, d_model, seed=seed + 1)
+        self.dropout = Dropout(dropout, seed=seed + 2)
+        self.encoder = TransformerEncoder(
+            n_layers, d_model, n_heads, d_hidden, dropout=dropout, causal=False, seed=seed + 3
+        )
+        self.head = Linear(d_model, n_classes, seed=seed + 4)
+
+    def forward(self, token_ids: np.ndarray):
+        """Return logits from the mean-pooled encoder representation."""
+        hidden = self.dropout(self.positional(self.token_embedding(token_ids)))
+        encoded = self.encoder(hidden)
+        pooled = encoded.mean(axis=1)
+        return self.head(pooled)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class T5Detector(PhishingDetector):
+    """T5-style detector; ``variant`` selects α (truncate) or β (chunked)."""
+
+    category = ModelCategory.LANGUAGE
+
+    def __init__(
+        self,
+        variant: str = "alpha",
+        max_length: int = 96,
+        d_model: int = 32,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        d_hidden: int = 64,
+        chunk_stride: Optional[int] = None,
+        max_chunks: int = 4,
+        trainer_config: Optional[TrainerConfig] = None,
+        seed: int = 0,
+    ):
+        if variant not in {"alpha", "beta"}:
+            raise ValueError("variant must be 'alpha' or 'beta'")
+        self.variant = variant
+        self.name = "T5a" if variant == "alpha" else "T5b"
+        self.max_length = max_length
+        self.d_model = d_model
+        self.n_layers = n_layers
+        self.n_heads = n_heads
+        self.d_hidden = d_hidden
+        self.chunk_stride = chunk_stride or max_length // 2
+        self.max_chunks = max_chunks
+        self.seed = seed
+        self.trainer_config = trainer_config or TrainerConfig(
+            epochs=4, batch_size=16, learning_rate=2e-3
+        )
+        self.tokenizer = OpcodeTokenizer(max_length=max_length)
+        self.network: Optional[EncoderTransformerClassifier] = None
+        self._trainer: Optional[Trainer] = None
+
+    def _build_network(self) -> EncoderTransformerClassifier:
+        return EncoderTransformerClassifier(
+            vocabulary_size=self.tokenizer.vocabulary_size,
+            max_length=self.max_length,
+            d_model=self.d_model,
+            n_layers=self.n_layers,
+            n_heads=self.n_heads,
+            d_hidden=self.d_hidden,
+            seed=self.seed,
+        )
+
+    def _full_token_ids(self, bytecodes: Sequence) -> List[np.ndarray]:
+        sequences = []
+        for bytecode in bytecodes:
+            tokens = self.tokenizer.tokenize(bytecode)
+            sequences.append(self.tokenizer.encode_tokens(tokens, length=len(tokens)))
+        return sequences
+
+    def _chunked(self, bytecodes: Sequence):
+        sequences = self._full_token_ids(bytecodes)
+        chunked = sliding_window_chunks(
+            sequences,
+            window=self.max_length,
+            stride=self.chunk_stride,
+            pad_id=self.tokenizer.pad_id,
+            max_chunks=self.max_chunks,
+        )
+        return flatten_chunks(chunked)
+
+    def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "T5Detector":
+        """Tokenize and train the encoder classifier."""
+        bytecodes = as_bytecode_list(bytecodes)
+        labels = validate_labels(labels)
+        self.network = self._build_network()
+        self._trainer = Trainer(
+            self.network, self.trainer_config, forward_fn=lambda model, batch: model(batch)
+        )
+        if self.variant == "alpha":
+            inputs = self.tokenizer.transform(bytecodes)
+            self._trainer.fit(inputs, labels)
+        else:
+            chunks, owners = self._chunked(bytecodes)
+            self._trainer.fit(chunks, labels[owners])
+        return self
+
+    def predict_proba(self, bytecodes: Sequence) -> np.ndarray:
+        """Class probabilities; β aggregates chunk logits per contract."""
+        if self._trainer is None:
+            raise RuntimeError("detector must be fitted before prediction")
+        bytecodes = as_bytecode_list(bytecodes)
+        if self.variant == "alpha":
+            logits = self._trainer.predict_logits(self.tokenizer.transform(bytecodes))
+        else:
+            chunks, owners = self._chunked(bytecodes)
+            chunk_logits = self._trainer.predict_logits(chunks)
+            logits = aggregate_chunk_logits(chunk_logits, owners, len(bytecodes), how="mean")
+        return _softmax(logits)

@@ -1,0 +1,116 @@
+"""Vision-model detectors: ViT+R2D2, ViT+Freq and ECA+EfficientNet.
+
+Each detector pairs an image encoder from :mod:`repro.features.image` with a
+convolutional or transformer classifier from this package, trained with the
+generic :class:`~repro.nn.trainer.Trainer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..features.image import FrequencyImageEncoder, R2D2ImageEncoder
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from ..nn.trainer import Trainer, TrainerConfig
+from .base import ModelCategory, PhishingDetector, as_bytecode_list, validate_labels
+from .eca_efficientnet import ECAEfficientNet
+from .vit import VisionTransformer
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class VisionDetector(PhishingDetector):
+    """Generic vision detector: image encoder + neural classifier + trainer."""
+
+    category = ModelCategory.VISION
+
+    def __init__(
+        self,
+        encoder,
+        network: Module,
+        trainer_config: Optional[TrainerConfig] = None,
+        name: str = "VisionDetector",
+    ):
+        self.name = name
+        self.encoder = encoder
+        self.network = network
+        self.trainer_config = trainer_config or TrainerConfig(
+            epochs=4, batch_size=16, learning_rate=2e-3
+        )
+        self._trainer: Optional[Trainer] = None
+
+    def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "VisionDetector":
+        """Encode bytecodes as images and train the classifier."""
+        bytecodes = as_bytecode_list(bytecodes)
+        labels = validate_labels(labels)
+        images = self.encoder.fit_transform(bytecodes)
+        self._trainer = Trainer(
+            self.network,
+            self.trainer_config,
+            forward_fn=lambda model, batch: model(Tensor(batch)),
+        )
+        self._trainer.fit(images, labels)
+        return self
+
+    def predict_proba(self, bytecodes: Sequence) -> np.ndarray:
+        """Class probabilities via a batched evaluation forward pass."""
+        if self._trainer is None:
+            raise RuntimeError("detector must be fitted before prediction")
+        images = self.encoder.transform(as_bytecode_list(bytecodes))
+        logits = self._trainer.predict_logits(images)
+        return _softmax(logits)
+
+
+def make_vit_r2d2(
+    image_size: int = 32,
+    trainer_config: Optional[TrainerConfig] = None,
+    seed: int = 0,
+    **vit_kwargs,
+) -> VisionDetector:
+    """ViT+R2D2: raw-byte RGB images classified by a Vision Transformer."""
+    network = VisionTransformer(image_size=image_size, seed=seed, **vit_kwargs)
+    return VisionDetector(
+        encoder=R2D2ImageEncoder(image_size=image_size),
+        network=network,
+        trainer_config=trainer_config,
+        name="ViT+R2D2",
+    )
+
+
+def make_vit_freq(
+    image_size: int = 32,
+    trainer_config: Optional[TrainerConfig] = None,
+    seed: int = 0,
+    **vit_kwargs,
+) -> VisionDetector:
+    """ViT+Freq: frequency-lookup images classified by a Vision Transformer."""
+    network = VisionTransformer(image_size=image_size, seed=seed, **vit_kwargs)
+    return VisionDetector(
+        encoder=FrequencyImageEncoder(image_size=image_size),
+        network=network,
+        trainer_config=trainer_config,
+        name="ViT+Freq",
+    )
+
+
+def make_eca_efficientnet(
+    image_size: int = 32,
+    trainer_config: Optional[TrainerConfig] = None,
+    seed: int = 0,
+    **net_kwargs,
+) -> VisionDetector:
+    """ECA+EfficientNet: raw-byte RGB images + channel-attention CNN."""
+    network = ECAEfficientNet(image_size=image_size, seed=seed, **net_kwargs)
+    return VisionDetector(
+        encoder=R2D2ImageEncoder(image_size=image_size),
+        network=network,
+        trainer_config=trainer_config,
+        name="ECA+EfficientNet",
+    )

@@ -1,0 +1,67 @@
+"""Vision Transformer (ViT) classifier module.
+
+The paper fine-tunes a ViT-B/16 pretrained on ImageNet-1k.  Offline, the
+reproduction trains a reduced-width ViT from scratch: patch embedding via a
+strided convolution, learned positional embeddings, a prepended CLS token,
+a stack of pre-norm transformer blocks and a linear classification head.
+The architecture is identical in shape to ViT-B/16; width, depth and image
+size are scaled down for CPU training (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Dropout, Linear
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+from ..nn.transformer import PositionalEmbedding, TransformerEncoder
+
+
+class VisionTransformer(Module):
+    """ViT-style image classifier over ``(N, 3, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        patch_size: int = 8,
+        d_model: int = 48,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        d_hidden: int = 96,
+        n_classes: int = 2,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError("patch_size must divide image_size")
+        rng = np.random.default_rng(seed)
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.d_model = d_model
+        n_patches = (image_size // patch_size) ** 2
+
+        self.patch_embed = Conv2d(3, d_model, kernel_size=patch_size, stride=patch_size, seed=seed)
+        self.cls_token = Parameter(rng.normal(0.0, 0.02, size=(1, 1, d_model)), name="cls")
+        self.positional = PositionalEmbedding(n_patches + 1, d_model, seed=seed + 1)
+        self.dropout = Dropout(dropout, seed=seed + 2)
+        self.encoder = TransformerEncoder(
+            n_layers, d_model, n_heads, d_hidden, dropout=dropout, seed=seed + 3
+        )
+        self.head = Linear(d_model, n_classes, seed=seed + 4)
+
+    def forward(self, images: Tensor) -> Tensor:
+        """Return classification logits for a batch of images."""
+        if not isinstance(images, Tensor):
+            images = Tensor(images)
+        batch = images.shape[0]
+        patches = self.patch_embed(images)  # (N, D, H/p, W/p)
+        n_patches = patches.shape[2] * patches.shape[3]
+        tokens = patches.reshape(batch, self.d_model, n_patches).transpose(0, 2, 1)
+        cls = Tensor(np.ones((batch, 1, 1))) * self.cls_token
+        sequence = Tensor.concatenate([cls, tokens], axis=1)
+        sequence = self.dropout(self.positional(sequence))
+        encoded = self.encoder(sequence)
+        cls_representation = encoded[:, 0, :]
+        return self.head(cls_representation)

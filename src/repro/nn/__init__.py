@@ -1,0 +1,76 @@
+"""Neural-network substrate: numpy autograd engine, layers, optimizers.
+
+Replaces PyTorch for the reduced-scale deep detectors of this reproduction.
+"""
+
+from .attention import MultiHeadAttention
+from .init import kaiming_normal, normal, xavier_uniform
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAveragePool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    pad2d,
+)
+from .losses import binary_cross_entropy_with_logits, cross_entropy, log_softmax, mse_loss
+from .module import Module, Parameter
+from .optim import Adam, Optimizer, SGD, clip_gradients
+from .recurrent import GRU
+from .tensor import Tensor, stack
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .transformer import (
+    FeedForward,
+    PositionalEmbedding,
+    TransformerBlock,
+    TransformerEncoder,
+)
+
+__all__ = [
+    "MultiHeadAttention",
+    "kaiming_normal",
+    "normal",
+    "xavier_uniform",
+    "AvgPool2d",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "GlobalAveragePool2d",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "pad2d",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "log_softmax",
+    "mse_loss",
+    "Module",
+    "Parameter",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "clip_gradients",
+    "GRU",
+    "Tensor",
+    "stack",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "FeedForward",
+    "PositionalEmbedding",
+    "TransformerBlock",
+    "TransformerEncoder",
+]

@@ -1,0 +1,63 @@
+"""Multi-head attention.
+
+Used by the transformer encoders (ViT, T5-style), the causal decoder
+(GPT-2-style) and SCSGuard's attention-over-n-grams block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention over (B, T, D) inputs."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        dropout: float = 0.0,
+        causal: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.causal = causal
+        self.query_proj = Linear(d_model, d_model, seed=seed)
+        self.key_proj = Linear(d_model, d_model, seed=seed + 1)
+        self.value_proj = Linear(d_model, d_model, seed=seed + 2)
+        self.output_proj = Linear(d_model, d_model, seed=seed + 3)
+        self.dropout = Dropout(dropout, seed=seed + 4)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, context: Optional[Tensor] = None) -> Tensor:
+        """Self-attention over ``x`` or cross-attention against ``context``."""
+        batch, length, _ = x.shape
+        source = context if context is not None else x
+        source_length = source.shape[1]
+
+        queries = self._split_heads(self.query_proj(x), batch, length)
+        keys = self._split_heads(self.key_proj(source), batch, source_length)
+        values = self._split_heads(self.value_proj(source), batch, source_length)
+
+        scores = (queries @ keys.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if self.causal and context is None:
+            mask = np.triu(np.ones((length, length)), k=1) * -1e9
+            scores = scores + Tensor(mask[None, None, :, :])
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        attended = weights @ values  # (B, H, T, d_head)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, length, self.d_model)
+        return self.output_proj(merged)

@@ -1,0 +1,34 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialisation for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small-std normal initialisation (GPT-2 style)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fans(shape: tuple) -> tuple:
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv weight (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size

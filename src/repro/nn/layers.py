@@ -1,0 +1,245 @@
+"""Neural-network layers built on the autograd tensor.
+
+Contains everything the reimplemented detectors need: dense and embedding
+layers, layer normalisation, dropout, 2-D convolution (im2col formulation),
+pooling, and small composition helpers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .init import kaiming_normal, normal, xavier_uniform
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(normal((num_embeddings, embedding_dim), rng), name="embedding")
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=int)
+        if np.any(token_ids < 0) or np.any(token_ids >= self.num_embeddings):
+            raise ValueError("token id out of range for embedding table")
+        return self.weight[token_ids]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(np.zeros(dim), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered * ((variance + self.eps) ** -0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, p: float = 0.1, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p).astype(float) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    """Rectified linear unit as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian error linear unit as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Sigmoid(Module):
+    """Sigmoid as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+# ----------------------------------------------------------------------------
+# Convolution and pooling
+# ----------------------------------------------------------------------------
+
+
+def _im2col_indices(
+    channels: int, height: int, width: int, kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    out_height = (height - kernel) // stride + 1
+    out_width = (width - kernel) // stride + 1
+    channel_idx = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    row_offsets = np.tile(np.repeat(np.arange(kernel), kernel), channels).reshape(-1, 1)
+    col_offsets = np.tile(np.arange(kernel), kernel * channels).reshape(-1, 1)
+    row_starts = stride * np.repeat(np.arange(out_height), out_width).reshape(1, -1)
+    col_starts = stride * np.tile(np.arange(out_width), out_height).reshape(1, -1)
+    rows = row_offsets + row_starts
+    cols = col_offsets + col_starts
+    channel_matrix = np.broadcast_to(channel_idx, rows.shape)
+    return channel_matrix, rows, cols, out_height, out_width
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    n, c, h, w = x.shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    padded[:, :, padding : padding + h, padding : padding + w] = x.data
+
+    def backward(gradient: np.ndarray) -> None:
+        x._accumulate(gradient[:, :, padding : padding + h, padding : padding + w])
+
+    out = Tensor(padded, requires_grad=x.requires_grad)
+    if out.requires_grad:
+        out._parents = (x,)
+        out._backward = backward
+    return out
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW layout) via the im2col formulation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(kaiming_normal(weight_shape, rng), name="conv_weight")
+        self.bias = Parameter(np.zeros(out_channels), name="conv_bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = pad2d(x, self.padding)
+        n, channels, height, width = x.shape
+        channel_matrix, rows, cols, out_height, out_width = _im2col_indices(
+            channels, height, width, self.kernel_size, self.stride
+        )
+        # (N, C*k*k, out_h*out_w) gathered differentiably through advanced indexing.
+        patches = x[:, channel_matrix, rows, cols]
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        out = weight_matrix @ patches  # (N, out_channels, out_h*out_w) via broadcasting matmul
+        out = out.reshape(n, self.out_channels, out_height, out_width)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1, 1)
+        return out
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling; kernel must divide the spatial size."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k != 0 or w % k != 0:
+            raise ValueError(f"pooling kernel {k} must divide spatial dims ({h}, {w})")
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        return reshaped.mean(axis=5).mean(axis=3)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling; kernel must divide the spatial size."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k != 0 or w % k != 0:
+            raise ValueError(f"pooling kernel {k} must divide spatial dims ({h}, {w})")
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        return reshaped.max(axis=5).max(axis=3)
+
+
+class GlobalAveragePool2d(Module):
+    """Average over both spatial dimensions, producing (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=3).mean(axis=2)

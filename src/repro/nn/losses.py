@@ -1,0 +1,44 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy between ``logits`` (B, C) and integer targets (B,)."""
+    targets = np.asarray(targets, dtype=int)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if targets.ndim != 1 or len(targets) != logits.shape[0]:
+        raise ValueError("targets must be 1-D and aligned with logits")
+    log_probabilities = log_softmax(logits)
+    batch = np.arange(len(targets))
+    picked = log_probabilities[batch, targets]
+    return -picked.mean()
+
+
+def log_softmax(logits: Tensor) -> Tensor:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    log_normaliser = shifted.exp().sum(axis=-1, keepdims=True).log()
+    return shifted - log_normaliser
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """BCE between 1-D logits and {0,1} targets."""
+    targets_tensor = Tensor(np.asarray(targets, dtype=float))
+    probabilities = logits.sigmoid()
+    loss = -(
+        targets_tensor * probabilities.log()
+        + (1.0 - targets_tensor) * (1.0 - probabilities).log()
+    )
+    return loss.mean()
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    difference = predictions - Tensor(np.asarray(targets, dtype=float))
+    return (difference * difference).mean()

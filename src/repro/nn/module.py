@@ -1,0 +1,106 @@
+"""Module system: parameter containers with a PyTorch-like surface."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` discovers them recursively.  The
+    ``training`` flag switches behaviours such as dropout.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        """Compute the module output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs recursively."""
+        for attribute_name, value in vars(self).items():
+            if attribute_name == "training":
+                continue
+            full_name = f"{prefix}{attribute_name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{index}", item
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of the module tree."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def n_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = mode
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value.train(mode)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter value keyed by its dotted name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        parameters = dict(self.named_parameters())
+        for name, value in state.items():
+            if name not in parameters:
+                raise KeyError(f"unexpected parameter {name!r}")
+            if parameters[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{parameters[name].data.shape} vs {value.shape}"
+                )
+            parameters[name].data[...] = value

@@ -1,0 +1,113 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; subclasses must override."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one SGD update to every parameter with a gradient."""
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.setdefault(id(parameter), np.zeros_like(parameter.data))
+                velocity *= self.momentum
+                velocity += gradient
+                gradient = velocity
+            parameter.data -= self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, learning_rate)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._moment1: Dict[int, np.ndarray] = {}
+        self._moment2: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
+        self._step += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                parameter.data -= self.learning_rate * self.weight_decay * parameter.data
+            m = self._moment1.setdefault(id(parameter), np.zeros_like(parameter.data))
+            v = self._moment2.setdefault(id(parameter), np.zeros_like(parameter.data))
+            m *= self.beta1
+            m += (1 - self.beta1) * gradient
+            v *= self.beta2
+            v += (1 - self.beta2) * gradient**2
+            m_hat = m / (1 - self.beta1**self._step)
+            v_hat = v / (1 - self.beta2**self._step)
+            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_gradients(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float(np.sum(parameter.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad *= scale
+    return norm

@@ -1,0 +1,59 @@
+"""Gated recurrent unit (GRU).
+
+SCSGuard models sequential patterns over n-gram embeddings with a GRU layer
+following its multi-head attention block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .init import xavier_uniform
+from .module import Module, Parameter
+from .tensor import Tensor, stack
+
+
+class GRU(Module):
+    """Single-layer GRU over (B, T, D) inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gate weights: update (z), reset (r) and candidate (h).
+        self.weight_input = Parameter(
+            xavier_uniform((input_size, 3 * hidden_size), rng), name="gru_wi"
+        )
+        self.weight_hidden = Parameter(
+            xavier_uniform((hidden_size, 3 * hidden_size), rng), name="gru_wh"
+        )
+        self.bias = Parameter(np.zeros(3 * hidden_size), name="gru_bias")
+
+    def forward(self, x: Tensor, initial_state: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Run the GRU over the time dimension.
+
+        Returns:
+            ``(outputs, final_state)`` where ``outputs`` has shape (B, T, H)
+            and ``final_state`` has shape (B, H).
+        """
+        batch, length, _ = x.shape
+        hidden = initial_state if initial_state is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        h_size = self.hidden_size
+        outputs = []
+        for t in range(length):
+            x_t = x[:, t, :]
+            gates_input = x_t @ self.weight_input + self.bias
+            gates_hidden = hidden @ self.weight_hidden
+            update_gate = (gates_input[:, :h_size] + gates_hidden[:, :h_size]).sigmoid()
+            reset_gate = (
+                gates_input[:, h_size : 2 * h_size] + gates_hidden[:, h_size : 2 * h_size]
+            ).sigmoid()
+            candidate = (
+                gates_input[:, 2 * h_size :] + reset_gate * gates_hidden[:, 2 * h_size :]
+            ).tanh()
+            hidden = update_gate * hidden + (1.0 - update_gate) * candidate
+            outputs.append(hidden)
+        return stack(outputs, axis=1), hidden

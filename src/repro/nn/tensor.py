@@ -1,0 +1,426 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+The paper trains its deep detectors (ViT, ECA+EfficientNet, SCSGuard, GPT-2,
+T5, ESCORT) with PyTorch on GPUs.  Offline, this module provides the minimal
+autograd engine those architectures need: a :class:`Tensor` wrapping a numpy
+array, a tape of backward closures, and the differentiable operations used by
+the layers in :mod:`repro.nn.layers` (matmul, broadcasting arithmetic,
+reductions, softmax, layer-norm statistics, embedding gather, im2col-based
+convolution, etc.).
+
+The engine is deliberately eager and simple: every operation immediately
+computes its forward value and records a closure that accumulates gradients
+into its inputs when :meth:`Tensor.backward` is called.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``gradient`` so it matches ``shape`` after numpy broadcasting."""
+    if gradient.shape == shape:
+        return gradient
+    # Sum over leading dimensions added by broadcasting.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str = "",
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """The raw numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """The scalar value of a single-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wrap(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += gradient
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        data = self.data + other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient, self.shape))
+            other._accumulate(_unbroadcast(gradient, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(-gradient)
+
+        return self._make(data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(self._wrap(other).__neg__())
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        data = self.data * other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient * other.data, self.shape))
+            other._accumulate(_unbroadcast(gradient * self.data, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        data = self.data / other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(gradient / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-gradient * self.data / (other.data**2), other.shape)
+            )
+
+        return self._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * exponent * self.data ** (exponent - 1))
+
+        return self._make(data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._wrap(other)
+        data = self.data @ other.data
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_self = gradient @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ gradient
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape (differentiable)."""
+        original = self.shape
+        data = self.data.reshape(*shape)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient.reshape(original))
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute dimensions (differentiable)."""
+        axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes_tuple)
+        inverse = np.argsort(axes_tuple)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient.transpose(inverse))
+
+        return self._make(data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+
+        def backward(gradient: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, gradient)
+            self._accumulate(full)
+
+        return self._make(data, (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along ``axis`` (differentiable)."""
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(gradient: np.ndarray) -> None:
+            for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * gradient.ndim
+                index[axis] = slice(start, end)
+                tensor._accumulate(gradient[tuple(index)])
+
+        out = Tensor(data, requires_grad=any(t.requires_grad for t in tensors))
+        if out.requires_grad:
+            out._parents = tuple(tensors)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Sum reduction (differentiable)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(gradient: np.ndarray) -> None:
+            grad = np.asarray(gradient)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Mean reduction (differentiable)."""
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Max reduction along ``axis`` (differentiable, ties split evenly)."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(gradient: np.ndarray) -> None:
+            grad = np.asarray(gradient)
+            expanded_max = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded_max).astype(float)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            if not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(mask * grad)
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        data = np.exp(np.clip(self.data, -60, 60))
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * data)
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm (clamped for stability)."""
+        clamped = np.maximum(self.data, 1e-12)
+        data = np.log(clamped)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient / clamped)
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        data = np.maximum(self.data, 0.0)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * (self.data > 0))
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid."""
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * data * (1 - data))
+
+        return self._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Hyperbolic tangent."""
+        data = np.tanh(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * (1 - data**2))
+
+        return self._make(data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation, as in GPT-2)."""
+        x = self.data
+        inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        data = 0.5 * x * (1.0 + tanh_inner)
+
+        def backward(gradient: np.ndarray) -> None:
+            sech2 = 1.0 - tanh_inner**2
+            d_inner = np.sqrt(2.0 / np.pi) * (1.0 + 3 * 0.044715 * x**2)
+            derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            self._accumulate(gradient * derivative)
+
+        return self._make(data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(gradient: np.ndarray) -> None:
+            dot = np.sum(gradient * data, axis=axis, keepdims=True)
+            self._accumulate(data * (gradient - dot))
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # backprop driver
+    # ------------------------------------------------------------------
+
+    def backward(self, gradient: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Args:
+            gradient: Upstream gradient; defaults to 1 for scalar outputs.
+        """
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar output")
+            gradient = np.ones_like(self.data)
+        # Topological ordering of the graph reachable from self.
+        ordering: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            ordering.append(node)
+
+        visit(self)
+        gradients = {id(self): np.asarray(gradient, dtype=np.float64)}
+        self._accumulate(gradients[id(self)])
+        for node in reversed(ordering):
+            if node._backward is None:
+                continue
+            upstream = node.grad
+            if upstream is None:
+                continue
+            node._backward(upstream)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = [Tensor._wrap(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(gradient: np.ndarray) -> None:
+        slices = np.split(gradient, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    out = Tensor(data, requires_grad=any(t.requires_grad for t in tensors))
+    if out.requires_grad:
+        out._parents = tuple(tensors)
+        out._backward = backward
+    return out

@@ -1,0 +1,114 @@
+"""Mini-batch training loop shared by the deep detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .losses import cross_entropy
+from .module import Module
+from .optim import Adam, clip_gradients
+from .tensor import Tensor
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy bookkeeping."""
+
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch (NaN if never trained)."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+@dataclass
+class TrainerConfig:
+    """Hyperparameters of the generic training loop."""
+
+    epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 1.0
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+
+class Trainer:
+    """Trains a classification :class:`Module` whose forward returns logits."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainerConfig] = None,
+        forward_fn: Optional[Callable] = None,
+    ):
+        """Create a trainer.
+
+        Args:
+            model: The module to optimise.
+            config: Loop hyperparameters.
+            forward_fn: Optional override called as ``forward_fn(model, batch)``
+                when the model's forward needs non-tensor inputs (e.g. integer
+                token id arrays); defaults to ``model(Tensor(batch))``.
+        """
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.forward_fn = forward_fn or (lambda module, batch: module(Tensor(batch)))
+        self.history = TrainingHistory()
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> TrainingHistory:
+        """Train the model on ``(inputs, labels)``."""
+        labels = np.asarray(labels, dtype=int)
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        optimizer = Adam(
+            self.model.parameters(),
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        n_samples = len(labels)
+        self.model.train(True)
+        for epoch in range(config.epochs):
+            order = rng.permutation(n_samples) if config.shuffle else np.arange(n_samples)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n_samples, config.batch_size):
+                batch_indices = order[start : start + config.batch_size]
+                batch_inputs = inputs[batch_indices]
+                batch_labels = labels[batch_indices]
+                optimizer.zero_grad()
+                logits = self.forward_fn(self.model, batch_inputs)
+                loss = cross_entropy(logits, batch_labels)
+                loss.backward()
+                if config.grad_clip:
+                    clip_gradients(self.model.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_loss += float(loss.item()) * len(batch_indices)
+                correct += int(np.sum(np.argmax(logits.data, axis=1) == batch_labels))
+            self.history.losses.append(epoch_loss / n_samples)
+            self.history.accuracies.append(correct / n_samples)
+            if config.verbose:  # pragma: no cover - console output
+                print(
+                    f"epoch {epoch + 1}/{config.epochs} "
+                    f"loss={self.history.losses[-1]:.4f} acc={self.history.accuracies[-1]:.3f}"
+                )
+        self.model.train(False)
+        return self.history
+
+    def predict_logits(self, inputs: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Forward pass in evaluation mode, batched to bound memory."""
+        batch_size = batch_size or self.config.batch_size
+        self.model.train(False)
+        outputs = []
+        for start in range(0, len(inputs), batch_size):
+            batch = inputs[start : start + batch_size]
+            logits = self.forward_fn(self.model, batch)
+            outputs.append(logits.data)
+        return np.vstack(outputs)

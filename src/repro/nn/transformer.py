@@ -1,0 +1,100 @@
+"""Transformer building blocks (pre-norm encoder/decoder blocks).
+
+Shared by the ViT-style vision models, the GPT-2-style causal language model
+and the T5-style encoder classifier in :mod:`repro.models`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .layers import Dropout, GELU, LayerNorm, Linear, Sequential
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with GELU activation."""
+
+    def __init__(self, d_model: int, d_hidden: int, dropout: float = 0.0, seed: int = 0):
+        super().__init__()
+        self.net = Sequential(
+            Linear(d_model, d_hidden, seed=seed),
+            GELU(),
+            Linear(d_hidden, d_model, seed=seed + 1),
+            Dropout(dropout, seed=seed + 2),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: LN → MHA → residual, LN → FF → residual."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        d_hidden: int,
+        dropout: float = 0.0,
+        causal: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.attention_norm = LayerNorm(d_model)
+        self.attention = MultiHeadAttention(
+            d_model, n_heads, dropout=dropout, causal=causal, seed=seed
+        )
+        self.feedforward_norm = LayerNorm(d_model)
+        self.feedforward = FeedForward(d_model, d_hidden, dropout=dropout, seed=seed + 10)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.attention_norm(x))
+        x = x + self.feedforward(self.feedforward_norm(x))
+        return x
+
+
+class PositionalEmbedding(Module):
+    """Learned positional embeddings added to token/patch embeddings."""
+
+    def __init__(self, max_length: int, d_model: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.max_length = max_length
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(max_length, d_model)), name="pos")
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        if length > self.max_length:
+            raise ValueError(f"sequence length {length} exceeds maximum {self.max_length}")
+        return x + self.weight[np.arange(length)]
+
+
+class TransformerEncoder(Module):
+    """A stack of (optionally causal) transformer blocks with a final norm."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        d_model: int,
+        n_heads: int,
+        d_hidden: int,
+        dropout: float = 0.0,
+        causal: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.blocks = [
+            TransformerBlock(
+                d_model, n_heads, d_hidden, dropout=dropout, causal=causal, seed=seed + 100 * i
+            )
+            for i in range(n_layers)
+        ]
+        self.final_norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return self.final_norm(x)

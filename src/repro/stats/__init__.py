@@ -1,0 +1,44 @@
+"""Statistical analysis substrate (the paper's R-based PAM, reimplemented)."""
+
+from .aut import TimeDecayCurve, aut_table
+from .cdd import CriticalDifferenceDiagram, compute_cdd
+from .correction import bonferroni, holm_bonferroni
+from .dunn import DunnPair, DunnResult, dunn_test
+from .effect_size import CliffsDeltaResult, cliffs_delta
+from .normality import NormalityResult, count_non_normal, normality_by_group, shapiro_wilk
+from .rank_tests import (
+    FriedmanResult,
+    KruskalWallisResult,
+    WilcoxonResult,
+    friedman,
+    kruskal_wallis,
+    kruskal_wallis_by_metric,
+    pairwise_wilcoxon,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "TimeDecayCurve",
+    "aut_table",
+    "CriticalDifferenceDiagram",
+    "compute_cdd",
+    "bonferroni",
+    "holm_bonferroni",
+    "DunnPair",
+    "DunnResult",
+    "dunn_test",
+    "CliffsDeltaResult",
+    "cliffs_delta",
+    "NormalityResult",
+    "count_non_normal",
+    "normality_by_group",
+    "shapiro_wilk",
+    "FriedmanResult",
+    "KruskalWallisResult",
+    "WilcoxonResult",
+    "friedman",
+    "kruskal_wallis",
+    "kruskal_wallis_by_metric",
+    "pairwise_wilcoxon",
+    "wilcoxon_signed_rank",
+]

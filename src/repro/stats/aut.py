@@ -1,0 +1,40 @@
+"""Area Under Time (AUT) — temporal robustness metric of §IV-G.
+
+Following TESSERACT (Pendlebury et al.), the AUT of a metric observed over k
+test periods is the normalised trapezoidal area under the metric-vs-time
+curve, so a classifier that never decays scores the mean of a flat curve and
+decaying classifiers are penalised by the area they lose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..ml.metrics import area_under_time
+
+
+@dataclass(frozen=True)
+class TimeDecayCurve:
+    """A per-period metric curve for one model."""
+
+    model_name: str
+    metric_name: str
+    values: List[float]
+
+    @property
+    def aut(self) -> float:
+        """Area Under Time of this curve."""
+        return area_under_time(self.values)
+
+    @property
+    def final_drop(self) -> float:
+        """First-period value minus last-period value (positive = decay)."""
+        if not self.values:
+            return 0.0
+        return self.values[0] - self.values[-1]
+
+
+def aut_table(curves: Sequence[TimeDecayCurve]) -> Dict[str, float]:
+    """AUT per model, as annotated on Fig. 8."""
+    return {curve.model_name: curve.aut for curve in curves}

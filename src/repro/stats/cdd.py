@@ -1,0 +1,132 @@
+"""Critical Difference Diagram (CDD) computation.
+
+Fig. 6 of the paper summarises the scalability post-hoc with a CDD (Demšar
+2006): classifiers are placed on an axis by their average rank across
+datasets/splits, and classifiers whose pairwise Wilcoxon tests are *not*
+significant are connected by a thick bar (a "clique").  This module computes
+the data behind the diagram: average ranks, pairwise significance, and the
+cliques, plus an ASCII rendering for terminal reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .rank_tests import FriedmanResult, friedman, pairwise_wilcoxon
+
+
+@dataclass
+class CriticalDifferenceDiagram:
+    """Average ranks, pairwise significance and cliques of a CDD."""
+
+    names: List[str]
+    average_ranks: Dict[str, float]
+    friedman_result: FriedmanResult
+    pairwise_significant: Dict[str, bool]
+    cliques: List[List[str]] = field(default_factory=list)
+
+    def ordered_names(self) -> List[str]:
+        """Names sorted from worst (highest rank) to best (lowest rank)."""
+        return sorted(self.names, key=lambda name: -self.average_ranks[name])
+
+    def best(self) -> str:
+        """The classifier with the lowest (best) average rank."""
+        return min(self.names, key=lambda name: self.average_ranks[name])
+
+    def render(self) -> str:
+        """ASCII rendering: one line per classifier plus clique markers."""
+        lines = ["Critical Difference Diagram (lower rank is better)"]
+        for name in sorted(self.names, key=lambda n: self.average_ranks[n]):
+            lines.append(f"  {self.average_ranks[name]:5.2f}  {name}")
+        for index, clique in enumerate(self.cliques):
+            if len(clique) > 1:
+                lines.append(f"  clique {index + 1}: {' ~ '.join(clique)} (no significant difference)")
+        return "\n".join(lines)
+
+
+def compute_cdd(
+    measurements: np.ndarray,
+    names: Sequence[str],
+    alpha: float = 0.05,
+    higher_is_better: bool = True,
+) -> CriticalDifferenceDiagram:
+    """Compute the critical-difference data for a score matrix.
+
+    Args:
+        measurements: ``(n_datasets, n_classifiers)`` score matrix (e.g. one
+            row per data split, one column per model).
+        names: Classifier names (columns).
+        alpha: Significance level for the pairwise Wilcoxon tests.
+        higher_is_better: Rank direction of the scores.
+    """
+    measurements = np.asarray(measurements, dtype=float)
+    names = list(names)
+    if measurements.ndim != 2 or measurements.shape[1] != len(names):
+        raise ValueError("measurements must be (n_datasets, n_classifiers)")
+
+    # Rank per dataset row: rank 1 = best.
+    oriented = -measurements if higher_is_better else measurements
+    ranks = np.vstack([scipy_stats.rankdata(row) for row in oriented])
+    average_ranks = {name: float(ranks[:, j].mean()) for j, name in enumerate(names)}
+
+    if measurements.shape[1] >= 3:
+        friedman_result = friedman(measurements, alpha=alpha)
+    else:
+        # With only two classifiers the omnibus test degenerates to the
+        # paired Wilcoxon signed-rank test.
+        from .rank_tests import wilcoxon_signed_rank
+
+        wilcoxon = wilcoxon_signed_rank(measurements[:, 0], measurements[:, 1], alpha=alpha)
+        friedman_result = FriedmanResult(
+            statistic=wilcoxon.statistic,
+            p_value=wilcoxon.p_value,
+            n_subjects=measurements.shape[0],
+            n_treatments=measurements.shape[1],
+            alpha=alpha,
+        )
+    if friedman_result.is_significant:
+        wilcoxon_results = pairwise_wilcoxon(measurements, names, alpha=alpha)
+        pairwise_significant = {
+            key: result.is_significant for key, result in wilcoxon_results.items()
+        }
+    else:
+        # If Friedman does not reject, no pair is considered different.
+        pairwise_significant = {
+            f"{names[i]}|{names[j]}": False
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+        }
+
+    cliques = _maximal_cliques(names, pairwise_significant)
+    return CriticalDifferenceDiagram(
+        names=names,
+        average_ranks=average_ranks,
+        friedman_result=friedman_result,
+        pairwise_significant=pairwise_significant,
+        cliques=cliques,
+    )
+
+
+def _not_different(first: str, second: str, significant: Dict[str, bool]) -> bool:
+    key = f"{first}|{second}"
+    alternate = f"{second}|{first}"
+    value = significant.get(key, significant.get(alternate, False))
+    return not value
+
+
+def _maximal_cliques(names: Sequence[str], significant: Dict[str, bool]) -> List[List[str]]:
+    """Greedy maximal groups of mutually not-different classifiers."""
+    names = list(names)
+    cliques: List[List[str]] = []
+    for start in range(len(names)):
+        clique = [names[start]]
+        for candidate in names[start + 1 :]:
+            if all(_not_different(candidate, member, significant) for member in clique):
+                clique.append(candidate)
+        if len(clique) > 1 and not any(set(clique).issubset(set(existing)) for existing in cliques):
+            cliques.append(clique)
+    return cliques

@@ -1,0 +1,36 @@
+"""Multiple-comparison corrections (Holm–Bonferroni)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def holm_bonferroni(p_values: Sequence[float]) -> List[float]:
+    """Holm–Bonferroni step-down adjustment of p-values.
+
+    Sort the m raw p-values ascending; the i-th (1-based) is multiplied by
+    ``m - i + 1``, a running maximum enforces monotonicity, and values are
+    clipped to 1.  The output preserves the input order.
+    """
+    p_values = np.asarray(list(p_values), dtype=float)
+    if p_values.size == 0:
+        return []
+    if np.any((p_values < 0) | (p_values > 1)):
+        raise ValueError("p-values must lie in [0, 1]")
+    m = len(p_values)
+    order = np.argsort(p_values)
+    adjusted = np.empty(m, dtype=float)
+    running_max = 0.0
+    for rank, index in enumerate(order):
+        value = p_values[index] * (m - rank)
+        running_max = max(running_max, value)
+        adjusted[index] = min(1.0, running_max)
+    return adjusted.tolist()
+
+
+def bonferroni(p_values: Sequence[float]) -> List[float]:
+    """Plain Bonferroni adjustment (used as a conservative reference)."""
+    p_values = np.asarray(list(p_values), dtype=float)
+    return np.minimum(1.0, p_values * len(p_values)).tolist()

@@ -1,0 +1,46 @@
+"""Effect sizes: Cliff's delta.
+
+Used in the scalability post-hoc (§IV-F) to quantify how strongly one model's
+metric distribution dominates another's, independently of significance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CliffsDeltaResult:
+    """Cliff's delta with its conventional magnitude label."""
+
+    delta: float
+
+    @property
+    def magnitude(self) -> str:
+        """Conventional interpretation thresholds (Romano et al.)."""
+        magnitude = abs(self.delta)
+        if magnitude < 0.147:
+            return "negligible"
+        if magnitude < 0.33:
+            return "small"
+        if magnitude < 0.474:
+            return "medium"
+        return "large"
+
+
+def cliffs_delta(first: Sequence[float], second: Sequence[float]) -> CliffsDeltaResult:
+    """Cliff's delta between two samples.
+
+    ``delta = (#(x > y) − #(x < y)) / (n_x · n_y)`` over all cross pairs;
+    positive values mean ``first`` tends to dominate ``second``.
+    """
+    first = np.asarray(list(first), dtype=float)
+    second = np.asarray(list(second), dtype=float)
+    if first.size == 0 or second.size == 0:
+        raise ValueError("both samples must be non-empty")
+    comparisons = np.sign(first[:, None] - second[None, :])
+    delta = comparisons.sum() / (first.size * second.size)
+    return CliffsDeltaResult(delta=float(delta))

@@ -1,0 +1,47 @@
+"""Normality testing (Shapiro–Wilk), the first step of the paper's PAM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class NormalityResult:
+    """Outcome of one Shapiro–Wilk test."""
+
+    statistic: float
+    p_value: float
+    alpha: float = 0.05
+
+    @property
+    def is_normal(self) -> bool:
+        """Whether the null hypothesis of normality is *not* rejected."""
+        return self.p_value >= self.alpha
+
+
+def shapiro_wilk(values: Sequence[float], alpha: float = 0.05) -> NormalityResult:
+    """Shapiro–Wilk test of normality on one sample."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size < 3:
+        raise ValueError("Shapiro–Wilk requires at least 3 observations")
+    if np.allclose(values, values[0]):
+        # Degenerate constant sample: treat as non-normal with W = 1, p = 0.
+        return NormalityResult(statistic=1.0, p_value=0.0, alpha=alpha)
+    statistic, p_value = scipy_stats.shapiro(values)
+    return NormalityResult(statistic=float(statistic), p_value=float(p_value), alpha=alpha)
+
+
+def normality_by_group(
+    groups: Dict[str, Sequence[float]], alpha: float = 0.05
+) -> Dict[str, NormalityResult]:
+    """Run Shapiro–Wilk per group (e.g. per model-metric pair)."""
+    return {name: shapiro_wilk(values, alpha=alpha) for name, values in groups.items()}
+
+
+def count_non_normal(results: Dict[str, NormalityResult]) -> int:
+    """How many groups rejected normality (drives the parametric choice)."""
+    return sum(1 for result in results.values() if not result.is_normal)

@@ -1,0 +1,164 @@
+"""Rank-based group-comparison tests: Kruskal–Wallis, Friedman, Wilcoxon.
+
+These are the non-parametric procedures the paper's PAM applies once the
+Shapiro–Wilk step rejects normality for a substantial share of model-metric
+pairs (§IV-E) and in the scalability post-hoc (§IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .correction import holm_bonferroni
+
+
+@dataclass(frozen=True)
+class KruskalWallisResult:
+    """Kruskal–Wallis H test outcome for one metric."""
+
+    statistic: float
+    p_value: float
+    adjusted_p_value: float
+    n_groups: int
+    n_observations: int
+    alpha: float = 0.05
+
+    @property
+    def is_significant(self) -> bool:
+        """Whether the adjusted p-value rejects the equal-medians null."""
+        return self.adjusted_p_value < self.alpha
+
+
+def kruskal_wallis(groups: Sequence[Sequence[float]], alpha: float = 0.05) -> KruskalWallisResult:
+    """Kruskal–Wallis test over ``groups`` (adjusted p set to the raw p).
+
+    Use :func:`kruskal_wallis_by_metric` to obtain Holm–Bonferroni adjusted
+    p-values across several metrics, as Table III does.
+    """
+    arrays = [np.asarray(list(group), dtype=float) for group in groups]
+    if len(arrays) < 2:
+        raise ValueError("Kruskal–Wallis needs at least two groups")
+    statistic, p_value = scipy_stats.kruskal(*arrays)
+    return KruskalWallisResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        adjusted_p_value=float(p_value),
+        n_groups=len(arrays),
+        n_observations=sum(len(a) for a in arrays),
+        alpha=alpha,
+    )
+
+
+def kruskal_wallis_by_metric(
+    groups_by_metric: Dict[str, Sequence[Sequence[float]]], alpha: float = 0.05
+) -> Dict[str, KruskalWallisResult]:
+    """Kruskal–Wallis per metric with Holm–Bonferroni correction across metrics.
+
+    This reproduces Table III: one test per performance metric (Accuracy,
+    F1, Precision, Recall), p-values adjusted jointly.
+    """
+    names = list(groups_by_metric)
+    raw = {name: kruskal_wallis(groups_by_metric[name], alpha=alpha) for name in names}
+    adjusted = holm_bonferroni([raw[name].p_value for name in names])
+    return {
+        name: KruskalWallisResult(
+            statistic=raw[name].statistic,
+            p_value=raw[name].p_value,
+            adjusted_p_value=adjusted[index],
+            n_groups=raw[name].n_groups,
+            n_observations=raw[name].n_observations,
+            alpha=alpha,
+        )
+        for index, name in enumerate(names)
+    }
+
+
+@dataclass(frozen=True)
+class FriedmanResult:
+    """Friedman test outcome (repeated-measures rank test)."""
+
+    statistic: float
+    p_value: float
+    n_subjects: int
+    n_treatments: int
+    alpha: float = 0.05
+
+    @property
+    def is_significant(self) -> bool:
+        """Whether the equal-treatments null is rejected."""
+        return self.p_value < self.alpha
+
+
+def friedman(measurements: np.ndarray, alpha: float = 0.05) -> FriedmanResult:
+    """Friedman test on a ``(n_subjects, n_treatments)`` matrix."""
+    measurements = np.asarray(measurements, dtype=float)
+    if measurements.ndim != 2 or measurements.shape[1] < 3:
+        raise ValueError("Friedman requires a 2-D matrix with at least 3 treatments")
+    columns = [measurements[:, j] for j in range(measurements.shape[1])]
+    statistic, p_value = scipy_stats.friedmanchisquare(*columns)
+    return FriedmanResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        n_subjects=measurements.shape[0],
+        n_treatments=measurements.shape[1],
+        alpha=alpha,
+    )
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Wilcoxon signed-rank test outcome for one treatment pair."""
+
+    statistic: float
+    p_value: float
+    alpha: float = 0.05
+
+    @property
+    def is_significant(self) -> bool:
+        """Whether the paired-difference null is rejected."""
+        return self.p_value < self.alpha
+
+
+def wilcoxon_signed_rank(
+    first: Sequence[float], second: Sequence[float], alpha: float = 0.05
+) -> WilcoxonResult:
+    """Wilcoxon signed-rank test between two paired samples."""
+    first = np.asarray(list(first), dtype=float)
+    second = np.asarray(list(second), dtype=float)
+    if first.shape != second.shape:
+        raise ValueError("paired samples must have the same length")
+    differences = first - second
+    if np.allclose(differences, 0):
+        return WilcoxonResult(statistic=0.0, p_value=1.0, alpha=alpha)
+    statistic, p_value = scipy_stats.wilcoxon(first, second, zero_method="wilcox")
+    return WilcoxonResult(statistic=float(statistic), p_value=float(p_value), alpha=alpha)
+
+
+def pairwise_wilcoxon(
+    measurements: np.ndarray, names: Sequence[str], alpha: float = 0.05
+) -> Dict[str, WilcoxonResult]:
+    """All pairwise Wilcoxon tests over the columns of ``measurements``.
+
+    Keys are ``"name_i|name_j"``; p-values are Holm–Bonferroni adjusted
+    across the pairs (as in the paper's critical-difference analysis).
+    """
+    measurements = np.asarray(measurements, dtype=float)
+    names = list(names)
+    pairs: List[tuple] = [
+        (i, j) for i in range(len(names)) for j in range(i + 1, len(names))
+    ]
+    raw = [
+        wilcoxon_signed_rank(measurements[:, i], measurements[:, j], alpha=alpha)
+        for i, j in pairs
+    ]
+    adjusted = holm_bonferroni([result.p_value for result in raw])
+    return {
+        f"{names[i]}|{names[j]}": WilcoxonResult(
+            statistic=raw[index].statistic, p_value=adjusted[index], alpha=alpha
+        )
+        for index, (i, j) in enumerate(pairs)
+    }

@@ -1,0 +1,53 @@
+"""Shared fixtures: a small deterministic corpus and dataset reused by tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.generator import ContractCorpusGenerator, CorpusConfig
+from repro.core.config import Scale
+from repro.core.dataset import PhishingDataset
+
+
+@pytest.fixture(scope="session")
+def smoke_scale() -> Scale:
+    """The smallest experiment scale (used throughout the unit tests)."""
+    return Scale.smoke()
+
+
+@pytest.fixture(scope="session")
+def corpus(smoke_scale):
+    """A small synthetic corpus generated once per test session."""
+    return ContractCorpusGenerator(smoke_scale.corpus).generate()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus, smoke_scale) -> PhishingDataset:
+    """A balanced deduplicated dataset built from the session corpus."""
+    return PhishingDataset.build(
+        corpus.records, target_size=smoke_scale.dataset_size, seed=smoke_scale.seed
+    )
+
+
+@pytest.fixture(scope="session")
+def bytecodes(dataset):
+    """Raw bytecodes of the session dataset."""
+    return dataset.bytecodes
+
+
+@pytest.fixture(scope="session")
+def labels(dataset) -> np.ndarray:
+    """Binary labels of the session dataset."""
+    return dataset.labels
+
+
+@pytest.fixture(scope="session")
+def toy_classification():
+    """A small separable numeric classification problem for the ML substrate."""
+    rng = np.random.default_rng(42)
+    n, d = 240, 12
+    X = rng.normal(size=(n, d))
+    weights = rng.normal(size=d)
+    y = (X @ weights + 0.3 * rng.normal(size=n) > 0).astype(int)
+    return X, y

@@ -1,0 +1,62 @@
+"""Tests for address and hash utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.addresses import bytecode_hash, derive_address, is_valid_address, normalize_address
+
+
+class TestAddressValidation:
+    def test_valid_address(self):
+        assert is_valid_address("0x" + "ab" * 20)
+
+    def test_rejects_short_address(self):
+        assert not is_valid_address("0x1234")
+
+    def test_rejects_missing_prefix(self):
+        assert not is_valid_address("ab" * 20)
+
+    def test_rejects_non_hex(self):
+        assert not is_valid_address("0x" + "zz" * 20)
+
+    def test_rejects_non_string(self):
+        assert not is_valid_address(1234)
+
+    def test_normalize_lowercases(self):
+        mixed = "0x" + "AB" * 20
+        assert normalize_address(mixed) == "0x" + "ab" * 20
+
+    def test_normalize_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            normalize_address("0x123")
+
+
+class TestDeriveAddress:
+    def test_deterministic(self):
+        assert derive_address(42) == derive_address(42)
+
+    def test_different_seeds_differ(self):
+        assert derive_address(1) != derive_address(2)
+
+    def test_accepts_string_and_bytes(self):
+        assert is_valid_address(derive_address("seed"))
+        assert is_valid_address(derive_address(b"seed"))
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, seed):
+        assert is_valid_address(derive_address(seed))
+
+
+class TestBytecodeHash:
+    def test_deterministic(self):
+        assert bytecode_hash(b"\x60\x80") == bytecode_hash(b"\x60\x80")
+
+    def test_hex_and_bytes_agree(self):
+        assert bytecode_hash("0x6080") == bytecode_hash(b"\x60\x80")
+
+    def test_distinct_bytecodes_differ(self):
+        assert bytecode_hash(b"\x60\x80") != bytecode_hash(b"\x60\x81")
+
+    def test_hash_length(self):
+        assert len(bytecode_hash(b"")) == 64

@@ -1,0 +1,100 @@
+"""Tests for contract records, deployment months and dedup helpers."""
+
+import pytest
+
+from repro.chain.addresses import derive_address
+from repro.chain.contracts import (
+    ContractLabel,
+    ContractRecord,
+    DeploymentMonth,
+    STUDY_END,
+    STUDY_START,
+    monthly_counts,
+    study_months,
+    unique_by_bytecode,
+)
+
+
+def make_record(code: bytes, label=ContractLabel.BENIGN, month=DeploymentMonth(2024, 1), seed=0):
+    return ContractRecord(
+        address=derive_address(seed),
+        bytecode=code,
+        label=label,
+        deployed_month=month,
+    )
+
+
+class TestDeploymentMonth:
+    def test_ordering(self):
+        assert DeploymentMonth(2023, 10) < DeploymentMonth(2024, 1)
+        assert DeploymentMonth(2024, 1) <= DeploymentMonth(2024, 1)
+
+    def test_offset_forward(self):
+        assert DeploymentMonth(2023, 12).offset(1) == DeploymentMonth(2024, 1)
+
+    def test_offset_backward(self):
+        assert DeploymentMonth(2024, 1).offset(-3) == DeploymentMonth(2023, 10)
+
+    def test_parse_and_str_roundtrip(self):
+        month = DeploymentMonth.parse("2024-07")
+        assert str(month) == "2024-07"
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentMonth(2024, 13)
+
+    def test_study_window_is_13_months(self):
+        months = study_months()
+        assert len(months) == 13
+        assert months[0] == STUDY_START
+        assert months[-1] == STUDY_END
+
+
+class TestContractLabel:
+    def test_binary_encoding(self):
+        assert ContractLabel.PHISHING.as_int == 1
+        assert ContractLabel.BENIGN.as_int == 0
+
+
+class TestContractRecord:
+    def test_hex_roundtrip(self):
+        record = make_record(b"\x60\x80")
+        assert record.bytecode_hex == "0x6080"
+        assert record.size == 2
+
+    def test_code_hash_matches_duplicates(self):
+        first = make_record(b"\x60\x80", seed=1)
+        second = make_record(b"\x60\x80", seed=2)
+        assert first.code_hash == second.code_hash
+        assert first.address != second.address
+
+    def test_is_phishing(self):
+        assert make_record(b"", label=ContractLabel.PHISHING).is_phishing
+        assert not make_record(b"").is_phishing
+
+
+class TestDeduplication:
+    def test_unique_by_bytecode_keeps_first(self):
+        records = [make_record(b"\x01", seed=1), make_record(b"\x01", seed=2), make_record(b"\x02", seed=3)]
+        unique = unique_by_bytecode(records)
+        assert len(unique) == 2
+        assert unique[0].address == records[0].address
+
+    def test_unique_empty(self):
+        assert unique_by_bytecode([]) == []
+
+
+class TestMonthlyCounts:
+    def test_counts_by_label(self):
+        records = [
+            make_record(b"\x01", ContractLabel.PHISHING, DeploymentMonth(2024, 2), seed=1),
+            make_record(b"\x02", ContractLabel.PHISHING, DeploymentMonth(2024, 2), seed=2),
+            make_record(b"\x03", ContractLabel.BENIGN, DeploymentMonth(2024, 2), seed=3),
+        ]
+        counts = monthly_counts(records, label=ContractLabel.PHISHING)
+        assert counts["2024-02"] == 2
+
+    def test_all_study_months_present(self):
+        counts = monthly_counts([])
+        assert len(counts) == 13
+        assert all(value == 0 for value in counts.values())

@@ -1,0 +1,147 @@
+"""Tests for the simulated Etherscan explorer, BigQuery index and RPC node."""
+
+import pytest
+
+from repro.chain.bigquery import SimulatedBigQueryIndex
+from repro.chain.contracts import ContractLabel, DeploymentMonth
+from repro.chain.errors import RPCError, UnknownContractError
+from repro.chain.explorer import PHISH_HACK_TAG, SimulatedExplorer
+from repro.chain.rpc import SimulatedEthereumNode
+
+
+@pytest.fixture(scope="module")
+def services(corpus_module):
+    records = corpus_module.records
+    return (
+        SimulatedBigQueryIndex.from_records(records),
+        SimulatedExplorer.from_records(records),
+        SimulatedEthereumNode.from_records(records),
+        records,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus_module():
+    from repro.chain.generator import CorpusConfig, generate_corpus
+
+    return generate_corpus(CorpusConfig(n_phishing=80, n_benign=50, seed=13))
+
+
+class TestExplorer:
+    def test_indexes_every_record(self, services):
+        _, explorer, _, records = services
+        assert len(explorer) == len(records)
+
+    def test_phishing_records_are_flagged(self, services):
+        _, explorer, _, records = services
+        phishing = next(r for r in records if r.is_phishing)
+        entry = explorer.lookup(phishing.address)
+        assert entry.tag == PHISH_HACK_TAG
+        assert entry.is_flagged
+
+    def test_benign_records_not_flagged(self, services):
+        _, explorer, _, records = services
+        benign = next(r for r in records if not r.is_phishing)
+        assert not explorer.lookup(benign.address).is_flagged
+
+    def test_label_of_matches_ground_truth(self, services):
+        _, explorer, _, records = services
+        for record in records[:30]:
+            assert explorer.label_of(record.address) is record.label
+
+    def test_unknown_address_raises(self, services):
+        _, explorer, _, _ = services
+        with pytest.raises(UnknownContractError):
+            explorer.lookup("0x" + "00" * 20)
+
+    def test_scrape_defaults_unknown_to_benign(self, services):
+        _, explorer, _, _ = services
+        labels = explorer.scrape(["0x" + "00" * 20])
+        assert list(labels.values()) == [ContractLabel.BENIGN]
+
+    def test_flagged_addresses_count(self, services):
+        _, explorer, _, records = services
+        assert len(explorer.flagged_addresses()) == sum(r.is_phishing for r in records)
+
+    def test_lookup_counter_increments(self, services):
+        _, explorer, _, records = services
+        before = explorer.lookup_count
+        explorer.lookup(records[0].address)
+        assert explorer.lookup_count == before + 1
+
+
+class TestBigQueryIndex:
+    def test_indexes_every_record(self, services):
+        index, _, _, records = services
+        assert len(index) == len(records)
+
+    def test_window_query_filters_months(self, services):
+        index, _, _, _ = services
+        window = index.query_window(DeploymentMonth(2024, 5), DeploymentMonth(2024, 7))
+        assert all(
+            DeploymentMonth(2024, 5) <= row.deployed_month and row.deployed_month <= DeploymentMonth(2024, 7)
+            for row in window
+        )
+
+    def test_limit_samples_subset(self, services):
+        index, _, _, _ = services
+        sampled = index.query_window(DeploymentMonth(2023, 10), DeploymentMonth(2024, 10), limit=10, seed=1)
+        assert len(sampled) == 10
+
+    def test_limit_larger_than_window_returns_all(self, services):
+        index, _, _, records = services
+        rows = index.query_window(DeploymentMonth(2023, 10), DeploymentMonth(2024, 10), limit=10**6)
+        assert len(rows) == len(records)
+
+    def test_sampling_is_deterministic(self, services):
+        index, _, _, _ = services
+        a = index.query_window(DeploymentMonth(2023, 10), DeploymentMonth(2024, 10), limit=20, seed=3)
+        b = index.query_window(DeploymentMonth(2023, 10), DeploymentMonth(2024, 10), limit=20, seed=3)
+        assert [r.address for r in a] == [r.address for r in b]
+
+
+class TestRPCNode:
+    def test_get_code_roundtrip(self, services):
+        _, _, node, records = services
+        record = records[0]
+        assert node.get_code(record.address) == record.bytecode
+
+    def test_unknown_address_returns_empty_code(self, services):
+        _, _, node, _ = services
+        assert node.get_code("0x" + "00" * 20) == b""
+        assert not node.has_code("0x" + "00" * 20)
+
+    def test_has_code_for_known_contract(self, services):
+        _, _, node, records = services
+        assert node.has_code(records[0].address)
+
+    def test_jsonrpc_envelope(self, services):
+        _, _, node, records = services
+        response = node.request("eth_getCode", [records[0].address, "latest"])
+        assert response["jsonrpc"] == "2.0"
+        assert response["result"].startswith("0x")
+
+    def test_chain_id_and_block_number(self, services):
+        _, _, node, _ = services
+        assert node.request("eth_chainId")["result"] == "0x1"
+        assert int(node.request("eth_blockNumber")["result"], 16) == node.latest_block
+
+    def test_unknown_method_is_rpc_error(self, services):
+        _, _, node, _ = services
+        response = node.request("eth_call", [])
+        assert response["error"]["code"] == -32601
+
+    def test_invalid_address_is_rpc_error(self, services):
+        _, _, node, _ = services
+        response = node.request("eth_getCode", ["nonsense"])
+        assert response["error"]["code"] == -32602
+
+    def test_get_code_raises_on_invalid_address(self, services):
+        _, _, node, _ = services
+        with pytest.raises(RPCError):
+            node.get_code("nonsense")
+
+    def test_missing_params_is_rpc_error(self, services):
+        _, _, node, _ = services
+        response = node.request("eth_getCode", [])
+        assert "error" in response

@@ -1,0 +1,110 @@
+"""Tests for the synthetic contract templates."""
+
+import numpy as np
+import pytest
+
+from repro.chain.contracts import ContractLabel
+from repro.chain.templates import (
+    ALL_FAMILIES,
+    BENIGN_FAMILIES,
+    PHISHING_FAMILIES,
+    build_family_bytecode,
+    families_for_label,
+    minimal_proxy_bytecode,
+)
+from repro.evm.disassembler import disassemble_mnemonics
+from repro.evm.interpreter import EVMInterpreter
+
+
+class TestFamilies:
+    def test_families_are_labelled_consistently(self):
+        assert all(f.label is ContractLabel.BENIGN for f in BENIGN_FAMILIES)
+        assert all(f.label is ContractLabel.PHISHING for f in PHISHING_FAMILIES)
+
+    def test_families_for_label(self):
+        benign_names = {f.name for f in families_for_label(ContractLabel.BENIGN)}
+        phishing_names = {f.name for f in families_for_label(ContractLabel.PHISHING)}
+        assert benign_names == {f.name for f in BENIGN_FAMILIES}
+        assert phishing_names == {f.name for f in PHISHING_FAMILIES}
+
+    def test_both_labels_have_proxy_families(self):
+        assert any(f.is_proxy for f in BENIGN_FAMILIES)
+        assert any(f.is_proxy for f in PHISHING_FAMILIES)
+
+    def test_family_names_unique(self):
+        names = [f.name for f in ALL_FAMILIES]
+        assert len(names) == len(set(names))
+
+
+class TestMinimalProxy:
+    def test_eip1167_layout(self):
+        implementation = "0x" + "11" * 20
+        code = minimal_proxy_bytecode(implementation)
+        assert code.hex().startswith("363d3d373d3d3d363d73")
+        assert code.hex().endswith("5af43d82803e903d91602b57fd5bf3")
+        assert "11" * 20 in code.hex()
+
+    def test_same_implementation_gives_identical_bytes(self):
+        implementation = "0x" + "22" * 20
+        assert minimal_proxy_bytecode(implementation) == minimal_proxy_bytecode(implementation)
+
+    def test_invalid_implementation_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_proxy_bytecode("0x1234")
+
+    def test_proxy_contains_delegatecall(self):
+        mnemonics = disassemble_mnemonics(minimal_proxy_bytecode("0x" + "33" * 20))
+        assert "DELEGATECALL" in mnemonics
+
+
+class TestBuildFamilyBytecode:
+    @pytest.mark.parametrize("family", [f for f in ALL_FAMILIES if not f.is_proxy], ids=lambda f: f.name)
+    def test_every_family_builds_and_terminates(self, family):
+        rng = np.random.default_rng(3)
+        code = build_family_bytecode(family, rng)
+        assert len(code) > 20
+        result = EVMInterpreter().execute(code)
+        assert result.success or result.reverted, result.error
+
+    def test_prologue_is_solidity_style(self):
+        family = BENIGN_FAMILIES[0]
+        code = build_family_bytecode(family, np.random.default_rng(0))
+        assert disassemble_mnemonics(code)[:3] == ["PUSH1", "PUSH1", "MSTORE"]
+
+    def test_randomness_produces_distinct_bytecodes(self):
+        family = BENIGN_FAMILIES[0]
+        rng = np.random.default_rng(0)
+        codes = {build_family_bytecode(family, rng) for _ in range(10)}
+        assert len(codes) == 10
+
+    def test_deterministic_given_rng_seed(self):
+        family = PHISHING_FAMILIES[0]
+        first = build_family_bytecode(family, np.random.default_rng(7))
+        second = build_family_bytecode(family, np.random.default_rng(7))
+        assert first == second
+
+    def test_proxy_family_rejected(self):
+        proxy = next(f for f in ALL_FAMILIES if f.is_proxy)
+        with pytest.raises(ValueError):
+            build_family_bytecode(proxy, np.random.default_rng(0))
+
+    def test_mix_bias_changes_output(self):
+        family = BENIGN_FAMILIES[0]
+        plain = build_family_bytecode(family, np.random.default_rng(5))
+        biased = build_family_bytecode(
+            family, np.random.default_rng(5), mix_bias={"selfbalance_sweep": 10.0}
+        )
+        assert plain != biased
+
+    def test_phishing_families_use_drain_primitives_more(self):
+        rng = np.random.default_rng(11)
+        phishing_counts = 0
+        benign_counts = 0
+        for _ in range(25):
+            phishing_family = PHISHING_FAMILIES[0]
+            benign_family = BENIGN_FAMILIES[0]
+            phishing_mnemonics = disassemble_mnemonics(build_family_bytecode(phishing_family, rng))
+            benign_mnemonics = disassemble_mnemonics(build_family_bytecode(benign_family, rng))
+            phishing_counts += phishing_mnemonics.count("SELFBALANCE")
+            benign_counts += benign_mnemonics.count("SELFBALANCE")
+        assert phishing_counts > benign_counts

@@ -1,0 +1,192 @@
+"""Tests for the framework core: BEM, BDM, dataset construction, MEM, PAM."""
+
+import numpy as np
+import pytest
+
+from repro.chain.contracts import DeploymentMonth
+from repro.core.bdm import BytecodeDisassemblerModule
+from repro.core.bem import BytecodeExtractionModule
+from repro.core.config import Scale
+from repro.core.dataset import PhishingDataset, build_temporal_split
+from repro.core.mem import ModelEvaluationModule
+from repro.core.pam import PostHocAnalysisModule
+from repro.core.results import EvaluationSuite, render_table, render_table2
+
+
+class TestBEM:
+    def test_extraction_matches_corpus(self, corpus):
+        bem = BytecodeExtractionModule.from_corpus(corpus)
+        records = bem.extract()
+        assert len(records) == len(corpus.records)
+        assert bem.report.extracted == len(records)
+        assert bem.report.labeled_phishing == len(corpus.phishing)
+
+    def test_extraction_respects_window(self, corpus):
+        bem = BytecodeExtractionModule.from_corpus(corpus)
+        records = bem.extract(start=DeploymentMonth(2024, 6), end=DeploymentMonth(2024, 8))
+        assert all(DeploymentMonth(2024, 6) <= r.deployed_month for r in records)
+        assert all(r.deployed_month <= DeploymentMonth(2024, 8) for r in records)
+
+    def test_extraction_limit(self, corpus):
+        bem = BytecodeExtractionModule.from_corpus(corpus)
+        records = bem.extract(limit=25)
+        assert len(records) == 25
+
+    def test_labels_match_ground_truth(self, corpus):
+        bem = BytecodeExtractionModule.from_corpus(corpus)
+        truth = {r.address.lower(): r.label for r in corpus.records}
+        for record in bem.extract(limit=40):
+            assert record.label is truth[record.address.lower()]
+
+
+class TestBDM:
+    def test_disassembles_records(self, corpus):
+        bdm = BytecodeDisassemblerModule()
+        contracts = bdm.disassemble_many(corpus.records[:5])
+        assert len(contracts) == 5
+        assert all(len(contract.instructions) > 0 for contract in contracts)
+
+    def test_csv_roundtrip(self, corpus, tmp_path):
+        bdm = BytecodeDisassemblerModule()
+        contracts = bdm.disassemble_many(corpus.records[:4])
+        path = tmp_path / "bdm" / "instructions.csv"
+        written = bdm.export_csv(contracts, path)
+        assert written == sum(len(c.instructions) for c in contracts)
+        loaded = bdm.load_csv(path)
+        assert set(loaded) == {c.address for c in contracts}
+        first = contracts[0]
+        assert [row["mnemonic"] for row in loaded[first.address]] == first.mnemonics
+
+
+class TestDatasetConstruction:
+    def test_balanced_and_deduplicated(self, corpus):
+        dataset = PhishingDataset.build(corpus.records, seed=0)
+        assert dataset.phishing_fraction == pytest.approx(0.5)
+        hashes = [record.code_hash for record in dataset.records]
+        assert len(hashes) == len(set(hashes))
+
+    def test_target_size_respected(self, corpus):
+        dataset = PhishingDataset.build(corpus.records, target_size=60, seed=0)
+        assert len(dataset) == 60
+
+    def test_requires_both_classes(self, corpus):
+        phishing_only = [r for r in corpus.records if r.is_phishing]
+        with pytest.raises(ValueError):
+            PhishingDataset.build(phishing_only)
+
+    def test_split_fraction_stratified(self, dataset):
+        third = dataset.split_fraction(1 / 3, seed=0)
+        assert abs(len(third) - len(dataset) / 3) <= 2
+        assert abs(third.phishing_fraction - 0.5) < 0.1
+
+    def test_split_fraction_full_is_copy(self, dataset):
+        full = dataset.split_fraction(1.0)
+        assert len(full) == len(dataset)
+
+    def test_split_fraction_invalid(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split_fraction(0.0)
+
+    def test_subset_ordering(self, dataset):
+        subset = dataset.subset([2, 0, 1])
+        assert subset.records[0] is dataset.records[2]
+
+    def test_monthly_phishing_counts_totals(self, dataset):
+        counts = dataset.monthly_phishing_counts()
+        assert sum(counts.values()) == int(dataset.labels.sum())
+
+
+class TestTemporalSplit:
+    def test_windows_do_not_overlap_training(self, corpus):
+        split = build_temporal_split(corpus.records, seed=0)
+        train_end = DeploymentMonth(2024, 1)
+        assert all(r.deployed_month <= train_end for r in split.train.records)
+        for period, period_dataset in split.test_periods:
+            month = DeploymentMonth.parse(period)
+            assert train_end < month
+            assert all(r.deployed_month == month for r in period_dataset.records)
+
+    def test_each_window_is_balanced(self, corpus):
+        split = build_temporal_split(corpus.records, seed=0)
+        for _, period_dataset in split.test_periods:
+            assert period_dataset.phishing_fraction == pytest.approx(0.5)
+
+    def test_has_up_to_nine_periods(self, corpus):
+        split = build_temporal_split(corpus.records, seed=0)
+        assert 1 <= split.n_periods <= 9
+
+
+class TestMEMAndPAM:
+    @pytest.fixture(scope="class")
+    def suite(self, dataset, smoke_scale) -> EvaluationSuite:
+        mem = ModelEvaluationModule(scale=smoke_scale)
+        return mem.evaluate_suite(["Random Forest", "Logistic Regression", "k-NN"], dataset)
+
+    def test_suite_contains_requested_models(self, suite):
+        assert suite.model_names() == ["Random Forest", "Logistic Regression", "k-NN"]
+
+    def test_fold_counts_follow_scale(self, suite, smoke_scale):
+        expected = smoke_scale.n_folds * smoke_scale.n_runs
+        assert all(len(evaluation.cv_result.folds) == expected for evaluation in suite)
+
+    def test_metrics_in_unit_interval(self, suite):
+        for evaluation in suite:
+            for metric in ("accuracy", "f1", "precision", "recall"):
+                assert 0.0 <= evaluation.mean(metric) <= 1.0
+
+    def test_best_model_and_category_means(self, suite):
+        best = suite.best_model("accuracy")
+        assert best.model_name in suite.model_names()
+        means = suite.category_means("accuracy")
+        assert "histogram" in means
+
+    def test_metric_matrix_shape(self, suite, smoke_scale):
+        matrix = suite.metric_matrix("accuracy")
+        assert matrix.shape == (smoke_scale.n_folds * smoke_scale.n_runs, 3)
+
+    def test_get_unknown_model(self, suite):
+        with pytest.raises(KeyError):
+            suite.get("GPT-2a")
+
+    def test_render_table2(self, suite):
+        text = render_table2(suite)
+        assert "Random Forest" in text
+        assert "Accuracy (%)" in text
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_pam_report_structure(self, suite):
+        report = PostHocAnalysisModule().analyze(suite)
+        assert report.n_model_metric_pairs == 3 * 4
+        assert set(report.kruskal) == {"accuracy", "f1", "precision", "recall"}
+        assert len(report.table3_rows()) == 4
+        for metric, result in report.dunn.items():
+            assert len(result.pairs) == 3
+        assert set(report.breakdown) == {"accuracy", "f1", "precision", "recall"}
+
+    def test_fit_and_score_outcome_fields(self, dataset, smoke_scale):
+        mem = ModelEvaluationModule(scale=smoke_scale)
+        train = dataset.subset(range(0, len(dataset), 2))
+        test = dataset.subset(range(1, len(dataset), 2))
+        outcome = mem.fit_and_score("Random Forest", train, test, seed=0)
+        assert {"accuracy", "f1", "precision", "recall", "train_time", "inference_time"} <= set(outcome)
+        assert outcome["n_train"] == len(train)
+
+
+class TestScaleConfig:
+    def test_presets_exist(self):
+        assert Scale.smoke().n_folds <= Scale.ci().n_folds <= Scale.paper().n_folds
+
+    def test_paper_matches_paper_protocol(self):
+        paper = Scale.paper()
+        assert paper.n_folds == 10
+        assert paper.n_runs == 3
+        assert paper.dataset_size == 7000
+
+    def test_folds_for_deep_models_reduced_outside_paper(self):
+        ci = Scale.ci()
+        assert ci.folds_for("histogram") == (ci.n_folds, ci.n_runs)
+        assert ci.folds_for("language") == (ci.deep_folds, ci.deep_runs)
+        paper = Scale.paper()
+        assert paper.folds_for("language") == (paper.n_folds, paper.n_runs)

@@ -1,0 +1,77 @@
+"""Tests for the assembler."""
+
+import pytest
+
+from repro.evm.assembler import AssemblyError, assemble, assemble_hex, program, push
+from repro.evm.disassembler import disassemble_mnemonics
+from repro.evm.instruction import Instruction
+from repro.evm.opcodes import get_mnemonic
+
+
+class TestAssemble:
+    def test_bare_mnemonics(self):
+        assert assemble(["STOP"]) == b"\x00"
+        assert assemble(["ADD", "MUL"]) == b"\x01\x02"
+
+    def test_push_tuple(self):
+        assert assemble([("PUSH1", 0x80)]) == b"\x60\x80"
+
+    def test_push_helper_minimal_width(self):
+        assert push(0x80) == ("PUSH1", 0x80)
+        assert push(0x1234) == ("PUSH2", 0x1234)
+
+    def test_push_helper_forced_width(self):
+        assert assemble([push(1, 4)]) == b"\x63\x00\x00\x00\x01"
+
+    def test_push_bytes_operand_padded(self):
+        assert assemble([("PUSH4", b"\x01")]) == b"\x63\x00\x00\x00\x01"
+
+    def test_assemble_hex(self):
+        assert assemble_hex([push(0x80, 1), push(0x40, 1), "MSTORE"]) == "0x6080604052"
+
+    def test_instruction_objects_accepted(self):
+        instruction = Instruction(offset=0, opcode=get_mnemonic("PUSH1"), operand=b"\x42")
+        assert assemble([instruction]) == b"\x60\x42"
+
+    def test_program_helper(self):
+        assert program("STOP", "ADD") == ["STOP", "ADD"]
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble(["stop"]) == b"\x00"
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble(["NOPE"])
+
+    def test_operand_on_non_push(self):
+        with pytest.raises(AssemblyError):
+            assemble([("ADD", 1)])
+
+    def test_operand_too_large(self):
+        with pytest.raises(AssemblyError):
+            assemble([("PUSH1", 0x1FF)])
+
+    def test_operand_bytes_too_long(self):
+        with pytest.raises(AssemblyError):
+            assemble([("PUSH1", b"\x01\x02")])
+
+    def test_negative_push_value(self):
+        with pytest.raises(AssemblyError):
+            push(-1)
+
+    def test_bad_push_width(self):
+        with pytest.raises(AssemblyError):
+            push(1, 33)
+
+    def test_negative_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble([("PUSH1", -5)])
+
+
+class TestRoundTrip:
+    def test_roundtrip_with_disassembler(self):
+        items = [push(0x80, 1), push(0x40, 1), "MSTORE", "CALLVALUE", "DUP1", "ISZERO", "STOP"]
+        mnemonics = disassemble_mnemonics(assemble(items))
+        assert mnemonics == ["PUSH1", "PUSH1", "MSTORE", "CALLVALUE", "DUP1", "ISZERO", "STOP"]

@@ -1,0 +1,132 @@
+"""Tests for the bytecode disassembler (the BDM core)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evm.assembler import assemble, push
+from repro.evm.disassembler import (
+    Disassembler,
+    disassemble,
+    disassemble_mnemonics,
+    format_listing,
+    normalize_bytecode,
+    total_static_gas,
+)
+from repro.evm.errors import BytecodeFormatError
+
+
+class TestNormalizeBytecode:
+    def test_accepts_bytes(self):
+        assert normalize_bytecode(b"\x60\x80") == b"\x60\x80"
+
+    def test_accepts_hex_with_prefix(self):
+        assert normalize_bytecode("0x6080") == b"\x60\x80"
+
+    def test_accepts_hex_without_prefix(self):
+        assert normalize_bytecode("6080") == b"\x60\x80"
+
+    def test_empty_string_is_empty_bytes(self):
+        assert normalize_bytecode("0x") == b""
+
+    def test_odd_length_hex_rejected(self):
+        with pytest.raises(BytecodeFormatError):
+            normalize_bytecode("0x608")
+
+    def test_non_hex_rejected(self):
+        with pytest.raises(BytecodeFormatError):
+            normalize_bytecode("0xzz")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(BytecodeFormatError):
+            normalize_bytecode(1234)
+
+
+class TestDisassembly:
+    def test_paper_example(self):
+        # The paper's example: 0x6080604052 -> PUSH1 0x80, PUSH1 0x40, MSTORE.
+        instructions = disassemble("0x6080604052")
+        assert [str(i) for i in instructions] == ["PUSH1 0x80", "PUSH1 0x40", "MSTORE"]
+        assert [i.gas for i in instructions] == [3, 3, 3]
+
+    def test_offsets_are_cumulative(self):
+        instructions = disassemble("0x6080604052")
+        assert [i.offset for i in instructions] == [0, 2, 4]
+
+    def test_undefined_byte_is_invalid(self):
+        instructions = disassemble(bytes([0x0C]))
+        assert instructions[0].mnemonic == "INVALID"
+
+    def test_truncated_push_operand(self):
+        # PUSH32 with only 2 operand bytes available.
+        instructions = disassemble(bytes([0x7F, 0xAA, 0xBB]))
+        assert instructions[0].mnemonic == "PUSH32"
+        assert instructions[0].operand == b"\xaa\xbb"
+
+    def test_empty_bytecode(self):
+        assert disassemble(b"") == []
+
+    def test_mnemonics_helper(self):
+        assert disassemble_mnemonics("0x6080604052") == ["PUSH1", "PUSH1", "MSTORE"]
+
+    def test_jump_destinations(self):
+        code = assemble(["JUMPDEST", push(1), "POP", "JUMPDEST", "STOP"])
+        assert Disassembler().jump_destinations(code) == [0, 4]
+
+    def test_operand_properties(self):
+        instruction = disassemble(bytes([0x61, 0x01, 0x02]))[0]
+        assert instruction.operand_hex == "0x0102"
+        assert instruction.operand_int == 0x0102
+        assert instruction.size == 3
+        assert instruction.end_offset == 3
+
+    def test_record_format_matches_bdm(self):
+        record = disassemble("0x52")[0].to_record()
+        assert record == {"offset": 0, "mnemonic": "MSTORE", "operand": "NaN", "gas": 3}
+
+    def test_invalid_record_gas_is_nan_string(self):
+        record = disassemble(bytes([0xFE]))[0].to_record()
+        assert record["gas"] == "NaN"
+
+    def test_total_static_gas(self):
+        assert total_static_gas(disassemble("0x6080604052")) == 9
+
+    def test_format_listing(self):
+        listing = format_listing(disassemble("0x6080604052"))
+        assert "PUSH1 0x80" in listing
+        assert listing.count("\n") == 2
+
+
+class TestRoundTripProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["ADD", "MSTORE", "CALLER", "POP", "JUMPDEST", "STOP", "SLOAD"]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_assemble_disassemble_roundtrip_simple(self, mnemonics):
+        code = assemble(mnemonics)
+        assert disassemble_mnemonics(code) == mnemonics
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_push_operands_roundtrip(self, values):
+        items = [push(value, 4) for value in values]
+        instructions = disassemble(assemble(items))
+        assert [i.operand_int for i in instructions] == values
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_disassembly_covers_every_byte(self, blob):
+        instructions = disassemble(blob)
+        covered = sum(i.size for i in instructions)
+        # The final PUSH may claim fewer operand bytes than declared, but
+        # coverage never exceeds the input and never leaves a gap.
+        assert covered == len(blob)
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_offsets_strictly_increasing(self, blob):
+        offsets = [i.offset for i in disassemble(blob)]
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))

@@ -1,0 +1,38 @@
+"""Tests for the static gas profiling helpers."""
+
+from repro.evm.assembler import assemble, push
+from repro.evm.disassembler import disassemble
+from repro.evm.gas import cumulative_gas, profile
+
+
+class TestGasProfile:
+    def test_total_matches_sum(self):
+        instructions = disassemble(assemble([push(0x80, 1), push(0x40, 1), "MSTORE", "STOP"]))
+        gas_profile = profile(instructions)
+        assert gas_profile.total == 9
+        assert gas_profile.instruction_count == 4
+
+    def test_mean_per_instruction(self):
+        instructions = disassemble(assemble([push(1), push(2), "ADD"]))
+        assert profile(instructions).mean_per_instruction == 3.0
+
+    def test_empty_profile(self):
+        gas_profile = profile([])
+        assert gas_profile.total == 0
+        assert gas_profile.mean_per_instruction == 0.0
+
+    def test_per_category_accounting(self):
+        instructions = disassemble(assemble([push(1), push(1), "SSTORE", "STOP"]))
+        gas_profile = profile(instructions)
+        assert gas_profile.per_category["storage"] == 100
+        assert gas_profile.per_category["push"] == 6
+
+    def test_invalid_counts_zero(self):
+        instructions = disassemble(bytes([0xFE]))
+        assert profile(instructions).total == 0
+
+    def test_cumulative_gas_monotonic(self):
+        instructions = disassemble(assemble([push(1), push(2), "ADD", "MSTORE" , "STOP"]))
+        series = cumulative_gas(instructions)
+        assert series == sorted(series)
+        assert series[-1] == profile(instructions).total

@@ -1,0 +1,221 @@
+"""Tests for the miniature EVM interpreter."""
+
+import pytest
+
+from repro.evm.assembler import assemble, push
+from repro.evm.interpreter import CallContext, EVMInterpreter, ExecutionResult
+
+
+@pytest.fixture
+def interpreter():
+    return EVMInterpreter(gas_limit=200_000)
+
+
+def run(interpreter, items, **kwargs):
+    return interpreter.execute(assemble(items), **kwargs)
+
+
+class TestArithmetic:
+    def test_add(self, interpreter):
+        result = run(
+            interpreter,
+            [push(2), push(3), "ADD", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 5
+
+    def test_sub_wraps_modulo_2_256(self, interpreter):
+        result = run(
+            interpreter,
+            [push(5), push(3), "SUB", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        # Stack order: top is 3, so 3 - 5 wraps around.
+        assert int.from_bytes(result.return_data, "big") == (3 - 5) % 2**256
+
+    def test_div_by_zero_is_zero(self, interpreter):
+        result = run(
+            interpreter,
+            [push(0), push(7), "DIV", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_exp(self, interpreter):
+        result = run(
+            interpreter,
+            [push(8), push(2), "EXP", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == 256
+
+    def test_addmod(self, interpreter):
+        result = run(
+            interpreter,
+            [push(7), push(5), push(6), "ADDMOD", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == (6 + 5) % 7
+
+    def test_iszero_and_comparisons(self, interpreter):
+        result = run(
+            interpreter,
+            [push(0), "ISZERO", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_bitwise(self, interpreter):
+        result = run(
+            interpreter,
+            [push(0b1100), push(0b1010), "AND", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == 0b1000
+
+    def test_shl(self, interpreter):
+        result = run(
+            interpreter,
+            [push(1), push(4), "SHL", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == 16
+
+
+class TestControlFlow:
+    def test_stop_halts(self, interpreter):
+        result = run(interpreter, ["STOP"])
+        assert result.success and not result.reverted
+
+    def test_revert_reports(self, interpreter):
+        result = run(interpreter, [push(0), push(0), "REVERT"])
+        assert not result.success
+        assert result.reverted
+
+    def test_invalid_instruction_fails(self, interpreter):
+        result = interpreter.execute(bytes([0xFE]))
+        assert not result.success
+        assert "InvalidInstruction" in result.error
+
+    def test_jump_to_jumpdest(self, interpreter):
+        # PUSH1 4; JUMP; INVALID; JUMPDEST; STOP  (offsets: 0,2,3,4,5)
+        code = assemble([push(4, 1), "JUMP", "INVALID", "JUMPDEST", "STOP"])
+        result = interpreter.execute(code)
+        assert result.success
+
+    def test_jump_to_non_jumpdest_fails(self, interpreter):
+        code = assemble([push(3, 1), "JUMP", "STOP"])
+        result = interpreter.execute(code)
+        assert not result.success
+        assert "InvalidJump" in result.error
+
+    def test_jumpi_not_taken(self, interpreter):
+        code = assemble([push(0, 1), push(40, 1), "JUMPI", "STOP"])
+        result = interpreter.execute(code)
+        assert result.success
+
+    def test_falling_off_code_end_is_stop(self, interpreter):
+        result = run(interpreter, [push(1), "POP"])
+        assert result.success
+
+    def test_selfdestruct_halts(self, interpreter):
+        result = run(interpreter, ["CALLER", "SELFDESTRUCT"])
+        assert result.success
+
+
+class TestStackAndMemory:
+    def test_stack_underflow(self, interpreter):
+        result = run(interpreter, ["ADD"])
+        assert not result.success
+        assert "StackUnderflow" in result.error
+
+    def test_dup_and_swap(self, interpreter):
+        result = run(
+            interpreter,
+            [push(1), push(2), "DUP2", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_mstore8(self, interpreter):
+        result = run(
+            interpreter,
+            [push(0xAB), push(0), "MSTORE8", push(1), push(0), "RETURN"],
+        )
+        assert result.return_data == b"\xab"
+
+    def test_storage_persists_in_result(self, interpreter):
+        result = run(interpreter, [push(0x2A), push(1), "SSTORE", "STOP"])
+        assert result.storage == {1: 0x2A}
+
+    def test_sload_reads_initial_storage(self, interpreter):
+        result = run(
+            interpreter,
+            [push(5), "SLOAD", push(0), "MSTORE", push(32), push(0), "RETURN"],
+            storage={5: 99},
+        )
+        assert int.from_bytes(result.return_data, "big") == 99
+
+    def test_sha3(self, interpreter):
+        result = run(
+            interpreter,
+            [push(0), push(0), "SHA3", push(0), "MSTORE", push(32), push(0), "RETURN"],
+        )
+        import hashlib
+
+        assert result.return_data == hashlib.sha3_256(b"").digest()
+
+
+class TestEnvironment:
+    def test_caller_and_callvalue(self, interpreter):
+        context = CallContext(caller=0x1234, callvalue=7)
+        result = run(
+            interpreter,
+            ["CALLER", push(0), "MSTORE", push(32), push(0), "RETURN"],
+            context=context,
+        )
+        assert int.from_bytes(result.return_data, "big") == 0x1234
+
+    def test_calldataload(self, interpreter):
+        context = CallContext(calldata=bytes.fromhex("11" * 32))
+        result = run(
+            interpreter,
+            [push(0), "CALLDATALOAD", push(0), "MSTORE", push(32), push(0), "RETURN"],
+            context=context,
+        )
+        assert result.return_data == bytes.fromhex("11" * 32)
+
+    def test_calldatasize(self, interpreter):
+        context = CallContext(calldata=b"\x01\x02\x03")
+        result = run(
+            interpreter,
+            ["CALLDATASIZE", push(0), "MSTORE", push(32), push(0), "RETURN"],
+            context=context,
+        )
+        assert int.from_bytes(result.return_data, "big") == 3
+
+    def test_external_call_is_modelled_as_success(self, interpreter):
+        items = [push(0)] * 6 + ["CALLER", "GAS", "CALL", push(0), "MSTORE", push(32), push(0), "RETURN"]
+        result = run(interpreter, [push(0), push(0), push(0), push(0), push(0), push(0), "CALLER", "GAS", "CALL",
+                                   push(0), "MSTORE", push(32), push(0), "RETURN"])
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_gas_is_accounted(self, interpreter):
+        result = run(interpreter, [push(1), push(2), "ADD", "POP", "STOP"])
+        assert result.gas_used == 3 + 3 + 3 + 2 + 0
+
+    def test_out_of_gas(self):
+        tiny = EVMInterpreter(gas_limit=4)
+        result = tiny.execute(assemble([push(1), push(2), "ADD", "STOP"]))
+        assert not result.success
+        assert "OutOfGas" in result.error
+
+    def test_step_limit(self):
+        looping = assemble(["JUMPDEST", push(0, 1), "JUMP"])
+        limited = EVMInterpreter(gas_limit=10**9, max_steps=500)
+        result = limited.execute(looping)
+        assert not result.success
+        assert "step limit" in result.error
+
+
+class TestGeneratedContracts:
+    def test_all_generated_contracts_terminate_cleanly(self, corpus):
+        interpreter = EVMInterpreter()
+        for record in corpus.records[:60]:
+            if record.family in ("drainer_proxy", "minimal_proxy"):
+                continue
+            result = interpreter.execute(record.bytecode)
+            assert result.success or result.reverted, result.error

@@ -1,0 +1,125 @@
+"""Tests for the Shanghai opcode registry (Table I)."""
+
+import math
+
+import pytest
+
+from repro.evm.opcodes import (
+    CANONICAL_MNEMONICS,
+    OPCODES_BY_MNEMONIC,
+    SHANGHAI_OPCODE_COUNT,
+    SHANGHAI_OPCODES,
+    OpcodeCategory,
+    get_mnemonic,
+    get_opcode,
+    is_defined,
+    iter_opcodes,
+    opcode_table_rows,
+)
+
+
+class TestRegistryShape:
+    def test_shanghai_has_144_opcodes(self):
+        assert SHANGHAI_OPCODE_COUNT == 144
+
+    def test_registry_and_mnemonic_index_agree(self):
+        assert len(OPCODES_BY_MNEMONIC) == len(SHANGHAI_OPCODES)
+
+    def test_canonical_mnemonics_sorted_by_byte_value(self):
+        values = [OPCODES_BY_MNEMONIC[m].value for m in CANONICAL_MNEMONICS]
+        assert values == sorted(values)
+
+    def test_iteration_order_is_by_value(self):
+        values = [info.value for info in iter_opcodes()]
+        assert values == sorted(values)
+
+    def test_all_byte_values_unique(self):
+        assert len({info.value for info in SHANGHAI_OPCODES.values()}) == 144
+
+
+class TestKnownOpcodes:
+    @pytest.mark.parametrize(
+        "value,name,gas",
+        [
+            (0x00, "STOP", 0),
+            (0x01, "ADD", 3),
+            (0x02, "MUL", 5),
+            (0xFD, "REVERT", 0),
+            (0xFF, "SELFDESTRUCT", 5000),
+            (0x5F, "PUSH0", 2),
+            (0x20, "SHA3", 30),
+            (0x54, "SLOAD", 100),
+            (0xF4, "DELEGATECALL", 100),
+        ],
+    )
+    def test_table1_rows(self, value, name, gas):
+        info = get_opcode(value)
+        assert info is not None
+        assert info.mnemonic == name
+        assert info.gas == gas
+
+    def test_invalid_opcode_has_nan_gas(self):
+        assert get_opcode(0xFE).gas is None
+
+    def test_push_family_has_operands(self):
+        for width in range(1, 33):
+            info = get_mnemonic(f"PUSH{width}")
+            assert info.operand_size == width
+            assert info.is_push
+
+    def test_push0_is_push_without_operand_bytes(self):
+        info = get_mnemonic("PUSH0")
+        assert info.operand_size == 0
+        assert info.is_push
+
+    def test_dup_and_swap_ranges(self):
+        for depth in range(1, 17):
+            assert get_mnemonic(f"DUP{depth}").value == 0x7F + depth
+            assert get_mnemonic(f"SWAP{depth}").value == 0x8F + depth
+
+    def test_log_gas_scales_with_topics(self):
+        costs = [get_mnemonic(f"LOG{i}").gas for i in range(5)]
+        assert costs == [375, 750, 1125, 1500, 1875]
+
+    def test_terminators(self):
+        for name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT"):
+            assert get_mnemonic(name).is_terminator
+        assert not get_mnemonic("ADD").is_terminator
+
+
+class TestLookups:
+    def test_get_opcode_unknown_returns_none(self):
+        assert get_opcode(0x0C) is None
+        assert get_opcode(0xEF) is None
+
+    def test_is_defined(self):
+        assert is_defined(0x01)
+        assert not is_defined(0x0C)
+
+    def test_get_mnemonic_is_case_insensitive(self):
+        assert get_mnemonic("mstore").value == 0x52
+
+    def test_get_mnemonic_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_mnemonic("NOTANOPCODE")
+
+    def test_categories_cover_registry(self):
+        categories = {info.category for info in SHANGHAI_OPCODES.values()}
+        assert OpcodeCategory.PUSH in categories
+        assert OpcodeCategory.SYSTEM in categories
+        assert all(isinstance(c, OpcodeCategory) for c in categories)
+
+
+class TestTableRows:
+    def test_row_count_matches_registry(self):
+        assert len(opcode_table_rows()) == 144
+
+    def test_rows_have_expected_fields(self):
+        row = opcode_table_rows()[0]
+        assert set(row) == {"opcode", "name", "gas", "description"}
+        assert row["opcode"] == "0x00"
+        assert row["name"] == "STOP"
+
+    def test_invalid_row_gas_is_nan(self):
+        rows = {row["name"]: row for row in opcode_table_rows()}
+        assert math.isnan(rows["INVALID"]["gas"])

@@ -1,0 +1,168 @@
+"""Tests for the experiment drivers (one per table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mem import ModelEvaluationModule
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import FIG3_OPCODES, run_fig3
+from repro.experiments.hpo_search import run_hpo
+from repro.experiments.interpretability import run_fig9
+from repro.experiments.posthoc import run_posthoc
+from repro.experiments.scalability import SPLIT_RATIOS, run_scalability
+from repro.experiments.table1 import run_table1, summarize_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.time_resistance import run_time_resistance
+from repro.core.dataset import build_temporal_split
+
+
+class TestTable1:
+    def test_full_table_has_144_rows(self):
+        assert len(run_table1()) == 144
+
+    def test_limit(self):
+        assert len(run_table1(limit=5)) == 5
+
+    def test_summary_matches_paper_facts(self):
+        summary = summarize_table1()
+        assert summary["n_opcodes"] == 144
+        assert summary["first"]["name"] == "STOP"
+        assert summary["last"]["name"] == "SELFDESTRUCT"
+        assert summary["selfdestruct_gas"] == 5000
+        assert summary["add_gas"] == 3
+        assert summary["mul_gas"] == 5
+        assert summary["has_push0"] and summary["has_invalid"]
+
+
+class TestFig2:
+    def test_series_structure(self, smoke_scale, corpus):
+        series = run_fig2(smoke_scale, corpus)
+        assert series.total_obtained == len(corpus.phishing)
+        assert series.total_unique <= series.total_obtained
+        assert series.duplication_ratio >= 1.0
+        assert len(series.rows()) == len(series.months)
+
+    def test_obtained_always_at_least_unique_per_month(self, smoke_scale, corpus):
+        series = run_fig2(smoke_scale, corpus)
+        for row in series.rows():
+            assert row["obtained"] >= row["unique"]
+
+
+class TestFig3:
+    def test_usage_distribution_shapes(self, dataset):
+        distribution = run_fig3(dataset)
+        assert distribution.opcodes == list(FIG3_OPCODES)
+        summaries = distribution.summaries()
+        assert len(summaries) == 20
+        assert all(s.benign_mean >= 0 and s.phishing_mean >= 0 for s in summaries)
+
+    def test_paper_claim_no_single_opcode_separates(self, dataset):
+        distribution = run_fig3(dataset)
+        assert distribution.no_single_opcode_separates()
+
+    def test_custom_opcode_list(self, dataset):
+        distribution = run_fig3(dataset, opcodes=["PUSH1", "MSTORE"])
+        assert distribution.opcodes == ["PUSH1", "MSTORE"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, dataset, smoke_scale):
+        return run_table2(
+            dataset, smoke_scale, model_names=["Random Forest", "Logistic Regression", "ESCORT"]
+        )
+
+    def test_rows_and_render(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        assert "Random Forest" in result.render()
+
+    def test_family_means(self, result):
+        means = result.family_means("accuracy")
+        assert "histogram" in means and "vulnerability" in means
+
+    def test_shape_checks(self, result):
+        checks = result.shape_checks()
+        assert checks["best_is_hsc"]
+        assert checks["escort_is_weakest"]
+
+
+class TestPostHocExperiment:
+    def test_report_rendering_and_fractions(self, dataset, smoke_scale):
+        suite = ModelEvaluationModule(scale=smoke_scale).evaluate_suite(
+            ["Random Forest", "Logistic Regression", "k-NN"], dataset
+        )
+        experiment = run_posthoc(suite)
+        assert len(experiment.table3_rows()) == 4
+        assert "Metric" in experiment.render_table3()
+        matrix = experiment.dunn_matrix("accuracy")
+        assert matrix.shape == (3, 3)
+        fractions = experiment.significant_fractions()
+        assert set(fractions) == {"accuracy", "f1", "precision", "recall"}
+        checks = experiment.shape_checks()
+        assert set(checks) == {"all_metrics_reject", "cross_family_more_significant"}
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def result(self, dataset, smoke_scale):
+        return run_scalability(
+            dataset, smoke_scale, model_names=["Random Forest", "k-NN", "Logistic Regression"]
+        )
+
+    def test_cells_cover_grid(self, result):
+        assert len(result.cells) == 3 * len(SPLIT_RATIOS)
+
+    def test_series_lengths(self, result):
+        assert len(result.metric_series("Random Forest", "accuracy")) == 3
+        assert len(result.time_series("Random Forest")) == 3
+
+    def test_rows(self, result):
+        assert len(result.fig5_rows()) == 9
+        assert len(result.fig7_rows()) == 9
+
+    def test_cdd_and_cliffs(self, result):
+        cdd = result.critical_difference("accuracy")
+        assert set(cdd.average_ranks) == {"Random Forest", "k-NN", "Logistic Regression"}
+        deltas = result.cliffs_deltas("accuracy")
+        assert len(deltas) == 3
+        assert all(-1.0 <= value <= 1.0 for value in deltas.values())
+
+    def test_unknown_cell(self, result):
+        with pytest.raises(KeyError):
+            result.cell("Random Forest", 0.42)
+
+
+class TestTimeResistance:
+    def test_curves_and_aut(self, corpus, smoke_scale):
+        split = build_temporal_split(corpus.records, seed=0)
+        result = run_time_resistance(split, smoke_scale, model_names=["Random Forest"])
+        assert result.periods == [period for period, _ in split.test_periods]
+        curve = result.f1_curve("Random Forest")
+        assert len(curve.values) == len(result.periods)
+        aut = result.aut()["Random Forest"]
+        assert 0.0 <= aut <= 1.0
+        assert len(result.fig8_rows()) == len(result.periods)
+
+
+class TestFig9:
+    def test_shap_analysis(self, dataset, smoke_scale):
+        result = run_fig9(dataset, smoke_scale, n_explained=8, n_permutations=3, top_k=10)
+        assert len(result.top_opcodes) == 10
+        rows = result.fig9_rows(k=5)
+        assert len(rows) == 5
+        assert all(row["mean_abs_shap"] >= 0 for row in rows)
+        assert all(0.0 <= row["pushes_towards_phishing"] <= 1.0 for row in rows)
+        assert set(result.top_opcodes) <= set(result.feature_names)
+
+
+class TestHPOExperiment:
+    def test_knn_search(self, dataset, smoke_scale):
+        result = run_hpo(dataset, "k-NN", n_trials=4, scale=smoke_scale)
+        assert 0.5 <= result.best_value <= 1.0
+        assert "n_neighbors" in result.best_params
+        assert result.n_trials == 4
+
+    def test_unknown_model_rejected(self, dataset, smoke_scale):
+        with pytest.raises(KeyError):
+            run_hpo(dataset, "SCSGuard", scale=smoke_scale)

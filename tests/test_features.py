@@ -1,0 +1,216 @@
+"""Tests for the feature extractors: histograms, images, n-grams, tokenizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evm.assembler import assemble, push
+from repro.features.chunking import aggregate_chunk_logits, flatten_chunks, sliding_window_chunks
+from repro.features.histogram import OpcodeHistogramExtractor, opcode_usage_distribution
+from repro.features.image import FrequencyImageEncoder, R2D2ImageEncoder
+from repro.features.ngram import HexNgramEncoder, PAD_ID, UNKNOWN_ID
+from repro.features.tokenizer import CLS_TOKEN, EOS_TOKEN, OpcodeTokenizer
+
+
+class TestHistogramExtractor:
+    def test_counts_match_disassembly(self):
+        code = assemble([push(0x80, 1), push(0x40, 1), "MSTORE", "MSTORE", "STOP"])
+        extractor = OpcodeHistogramExtractor()
+        features = extractor.fit_transform([code])
+        names = extractor.feature_names()
+        assert features[0, names.index("PUSH1")] == 2
+        assert features[0, names.index("MSTORE")] == 2
+        assert features[0, names.index("STOP")] == 1
+
+    def test_vocabulary_learned_from_training_set_only(self):
+        train_code = assemble(["ADD", "STOP"])
+        test_code = assemble(["MUL", "STOP"])
+        extractor = OpcodeHistogramExtractor().fit([train_code])
+        features = extractor.transform([test_code])
+        # MUL was unseen at fit time, so only STOP is counted.
+        assert features.sum() == 1
+
+    def test_vector_length_equals_training_vocabulary(self, bytecodes):
+        extractor = OpcodeHistogramExtractor().fit(bytecodes[:40])
+        features = extractor.transform(bytecodes[:10])
+        assert features.shape == (10, extractor.vocabulary_.size)
+
+    def test_normalized_histograms_sum_to_one(self, bytecodes):
+        extractor = OpcodeHistogramExtractor(normalize=True)
+        features = extractor.fit_transform(bytecodes[:10])
+        sums = features.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OpcodeHistogramExtractor().transform([b"\x00"])
+
+    def test_counts_are_nonnegative_integers(self, bytecodes):
+        features = OpcodeHistogramExtractor().fit_transform(bytecodes[:20])
+        assert np.all(features >= 0)
+        assert np.allclose(features, np.round(features))
+
+    def test_opcode_usage_distribution(self, bytecodes):
+        usage = opcode_usage_distribution(bytecodes[:15], ["PUSH1", "MSTORE"])
+        assert set(usage) == {"PUSH1", "MSTORE"}
+        assert all(len(values) == 15 for values in usage.values())
+
+
+class TestR2D2ImageEncoder:
+    def test_shape_and_range(self, bytecodes):
+        encoder = R2D2ImageEncoder(image_size=16)
+        images = encoder.transform(bytecodes[:5])
+        assert images.shape == (5, 3, 16, 16)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_truncates_long_bytecode(self):
+        encoder = R2D2ImageEncoder(image_size=4)
+        image = encoder.encode_one(bytes(range(256)))
+        assert image.shape == (3, 4, 4)
+
+    def test_zero_padding_for_short_bytecode(self):
+        encoder = R2D2ImageEncoder(image_size=8)
+        image = encoder.encode_one(b"\xff")
+        assert image.reshape(-1)[0] == pytest.approx(1.0)
+        assert image.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self, bytecodes):
+        encoder = R2D2ImageEncoder(image_size=8)
+        assert np.array_equal(encoder.encode_one(bytecodes[0]), encoder.encode_one(bytecodes[0]))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            R2D2ImageEncoder(image_size=1)
+
+
+class TestFrequencyImageEncoder:
+    def test_requires_fit(self, bytecodes):
+        with pytest.raises(RuntimeError):
+            FrequencyImageEncoder(image_size=8).encode_one(bytecodes[0])
+
+    def test_shape_and_range(self, bytecodes):
+        encoder = FrequencyImageEncoder(image_size=8)
+        images = encoder.fit_transform(bytecodes[:8])
+        assert images.shape == (8, 3, 8, 8)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_frequent_mnemonics_brighter(self, bytecodes):
+        encoder = FrequencyImageEncoder(image_size=8)
+        encoder.fit(bytecodes[:20])
+        common = encoder._mnemonic_encoder.transform(["PUSH1"])[0]
+        rare = encoder._mnemonic_encoder.transform(["SELFDESTRUCT"])[0]
+        assert common >= rare
+
+
+class TestHexNgramEncoder:
+    def test_fixed_length_output(self, bytecodes):
+        encoder = HexNgramEncoder(max_length=32)
+        sequences = encoder.fit_transform(bytecodes[:10])
+        assert sequences.shape == (10, 32)
+
+    def test_padding_and_unknown_ids(self):
+        encoder = HexNgramEncoder(chars_per_gram=2, max_length=8)
+        encoder.fit([b"\x01\x02\x03"])
+        encoded = encoder.encode_one(b"\xff")
+        assert encoded[0] == UNKNOWN_ID
+        assert encoded[-1] == PAD_ID
+
+    def test_vocabulary_cap(self, bytecodes):
+        encoder = HexNgramEncoder(max_vocabulary=16)
+        encoder.fit(bytecodes[:20])
+        assert len(encoder.vocabulary_) <= 16
+        assert encoder.vocabulary_size <= 18
+
+    def test_invalid_gram_size(self):
+        with pytest.raises(ValueError):
+            HexNgramEncoder(chars_per_gram=3)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            HexNgramEncoder().encode_one(b"\x00")
+
+    @given(st.binary(min_size=0, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_ids_always_in_vocabulary_range(self, blob):
+        encoder = HexNgramEncoder(max_length=16)
+        encoder.fit([b"\x60\x80\x60\x40\x52" * 4])
+        encoded = encoder.encode_one(blob)
+        assert encoded.shape == (16,)
+        assert encoded.max() < encoder.vocabulary_size
+
+
+class TestOpcodeTokenizer:
+    def test_special_tokens_present(self, bytecodes):
+        tokenizer = OpcodeTokenizer(max_length=32)
+        tokens = tokenizer.tokenize(bytecodes[0])
+        assert tokens[0] == CLS_TOKEN
+        assert tokens[-1] == EOS_TOKEN
+
+    def test_fixed_length_ids(self, bytecodes):
+        tokenizer = OpcodeTokenizer(max_length=24)
+        ids = tokenizer.transform(bytecodes[:6])
+        assert ids.shape == (6, 24)
+        assert ids.max() < tokenizer.vocabulary_size
+
+    def test_vocabulary_is_closed_over_mnemonics(self):
+        tokenizer = OpcodeTokenizer()
+        assert "MSTORE" in tokenizer.vocabulary
+        assert "PUSH32" in tokenizer.vocabulary
+        assert tokenizer.vocabulary_size > 144
+
+    def test_operand_buckets_interleaved(self):
+        code = assemble([push(0x80, 1), "MSTORE", "STOP"])
+        tokens = OpcodeTokenizer(include_operands=True).tokenize(code)
+        assert "<imm1>" in tokens
+        without = OpcodeTokenizer(include_operands=False).tokenize(code)
+        assert "<imm1>" not in without
+
+    def test_padding(self):
+        tokenizer = OpcodeTokenizer(max_length=50)
+        ids = tokenizer.encode_one(assemble(["STOP"]))
+        assert (ids == tokenizer.pad_id).sum() > 40
+
+
+class TestChunking:
+    def test_chunk_shapes(self):
+        sequences = [np.arange(10), np.arange(3), np.arange(25)]
+        chunked = sliding_window_chunks(sequences, window=8, stride=4, pad_id=0, max_chunks=4)
+        assert len(chunked) == 3
+        assert all(item.chunks.shape[1] == 8 for item in chunked)
+
+    def test_short_sequence_single_chunk(self):
+        chunked = sliding_window_chunks([np.arange(3)], window=8, stride=4)
+        assert chunked[0].chunks.shape == (1, 8)
+        assert list(chunked[0].chunks[0][:3]) == [0, 1, 2]
+
+    def test_max_chunks_respected(self):
+        chunked = sliding_window_chunks([np.arange(1000)], window=10, stride=5, max_chunks=3)
+        assert chunked[0].chunks.shape[0] == 3
+
+    def test_empty_sequence_padded(self):
+        chunked = sliding_window_chunks([np.array([])], window=4, stride=2, pad_id=9)
+        assert chunked[0].chunks.shape == (1, 4)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_chunks([np.arange(5)], window=0, stride=1)
+
+    def test_flatten_and_aggregate_roundtrip(self):
+        sequences = [np.arange(12), np.arange(20)]
+        chunked = sliding_window_chunks(sequences, window=8, stride=8)
+        chunks, owners = flatten_chunks(chunked)
+        logits = np.column_stack([owners.astype(float), 1 - owners.astype(float)])
+        aggregated = aggregate_chunk_logits(logits, owners, n_contracts=2, how="mean")
+        assert aggregated.shape == (2, 2)
+        assert aggregated[0, 0] == pytest.approx(0.0)
+        assert aggregated[1, 0] == pytest.approx(1.0)
+
+    def test_aggregate_max(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        owners = np.array([0, 0])
+        aggregated = aggregate_chunk_logits(logits, owners, n_contracts=1, how="max")
+        assert aggregated[0, 0] == pytest.approx(0.8)
+
+    def test_aggregate_invalid_mode(self):
+        with pytest.raises(ValueError):
+            aggregate_chunk_logits(np.zeros((1, 2)), np.array([0]), 1, how="median")

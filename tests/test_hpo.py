@@ -1,0 +1,113 @@
+"""Tests for the hyperparameter-optimisation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.samplers import GridSampler, RandomSampler, TPESampler
+from repro.hpo.space import Trial, grid_from_specs
+from repro.hpo.study import create_study
+
+
+class TestTrialSuggestions:
+    def test_categorical_in_choices(self):
+        trial = Trial(0, np.random.default_rng(0))
+        value = trial.suggest_categorical("kind", ["a", "b", "c"])
+        assert value in {"a", "b", "c"}
+        assert trial.params["kind"] == value
+
+    def test_int_in_range(self):
+        trial = Trial(0, np.random.default_rng(0))
+        value = trial.suggest_int("n", 3, 9)
+        assert 3 <= value <= 9
+        assert isinstance(value, int)
+
+    def test_float_in_range(self):
+        trial = Trial(0, np.random.default_rng(0))
+        value = trial.suggest_float("lr", 0.1, 0.5)
+        assert 0.1 <= value <= 0.5
+
+    def test_loguniform_in_range(self):
+        trial = Trial(0, np.random.default_rng(0))
+        value = trial.suggest_float("reg", 1e-5, 1e-1, log=True)
+        assert 1e-5 <= value <= 1e-1
+
+    def test_assigned_values_override_sampling(self):
+        trial = Trial(0, np.random.default_rng(0), assigned={"n": 7})
+        assert trial.suggest_int("n", 1, 100) == 7
+
+    def test_specs_recorded(self):
+        trial = Trial(0, np.random.default_rng(0))
+        trial.suggest_int("n", 1, 5)
+        trial.suggest_categorical("kind", ["x"])
+        assert set(trial.specs) == {"n", "kind"}
+
+
+class TestGridExpansion:
+    def test_grid_size_is_product_of_axes(self):
+        trial = Trial(0, np.random.default_rng(0))
+        trial.suggest_categorical("a", ["x", "y"])
+        trial.suggest_int("b", 1, 3)
+        grid = grid_from_specs(trial.specs, resolution=3)
+        assert len(grid) == 2 * 3
+
+    def test_grid_covers_categorical_choices(self):
+        trial = Trial(0, np.random.default_rng(0))
+        trial.suggest_categorical("a", ["x", "y", "z"])
+        grid = grid_from_specs(trial.specs)
+        assert {point["a"] for point in grid} == {"x", "y", "z"}
+
+
+class TestStudy:
+    @staticmethod
+    def quadratic_objective(trial):
+        x = trial.suggest_float("x", -4.0, 4.0)
+        return -(x - 1.0) ** 2
+
+    def test_random_search_improves(self):
+        study = create_study(sampler=RandomSampler(), seed=0)
+        study.optimize(self.quadratic_objective, n_trials=40)
+        assert study.best_value > -1.0
+        assert abs(study.best_params["x"] - 1.0) < 1.5
+
+    def test_grid_search_enumerates(self):
+        study = create_study(sampler=GridSampler(resolution=5), seed=0)
+        study.optimize(self.quadratic_objective, n_trials=10)
+        assert len(study.completed_trials) == 10
+
+    def test_tpe_sampler_runs(self):
+        study = create_study(sampler=TPESampler(n_startup_trials=3), seed=1)
+        study.optimize(self.quadratic_objective, n_trials=25)
+        assert study.best_value > -1.5
+
+    def test_minimize_direction(self):
+        study = create_study(direction="minimize", sampler=RandomSampler(), seed=0)
+        study.optimize(lambda t: (t.suggest_float("x", -2, 2)) ** 2, n_trials=30)
+        assert study.best_value < 0.5
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            create_study(direction="sideways")
+
+    def test_failed_trials_recorded_not_fatal(self):
+        def flaky(trial):
+            value = trial.suggest_float("x", 0, 1)
+            if value < 0.5:
+                raise RuntimeError("boom")
+            return value
+
+        study = create_study(sampler=RandomSampler(), seed=0)
+        study.optimize(flaky, n_trials=20)
+        assert any(trial.state.startswith("failed") for trial in study.trials)
+        assert study.best_value >= 0.5
+
+    def test_best_trial_requires_completions(self):
+        study = create_study(seed=0)
+        with pytest.raises(RuntimeError):
+            _ = study.best_trial
+
+    def test_trials_dataframe(self):
+        study = create_study(sampler=RandomSampler(), seed=0)
+        study.optimize(self.quadratic_objective, n_trials=5)
+        records = study.trials_dataframe()
+        assert len(records) == 5
+        assert {"number", "value", "state"} <= set(records[0])

@@ -1,0 +1,209 @@
+"""Tests for the classical classifiers (tree, forest, boosting, kNN, linear)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone
+from repro.ml.boosting import CatBoostClassifier, LightGBMClassifier, XGBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LinearSVMClassifier, LogisticRegression
+from repro.ml.tree import DecisionTreeClassifier, RegressionTreeBuilder
+
+ALL_CLASSIFIERS = [
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_estimators=15, max_depth=8, seed=0),
+    XGBoostClassifier(n_estimators=25, max_depth=3),
+    LightGBMClassifier(n_estimators=25, max_leaves=15),
+    CatBoostClassifier(n_estimators=10, max_depth=3),
+    KNeighborsClassifier(5),
+    LinearSVMClassifier(n_epochs=20),
+    LogisticRegression(n_iterations=200),
+]
+
+
+@pytest.mark.parametrize("classifier", ALL_CLASSIFIERS, ids=lambda c: type(c).__name__)
+class TestCommonBehaviour:
+    def test_fit_predict_accuracy(self, classifier, toy_classification):
+        X, y = toy_classification
+        model = clone(classifier)
+        model.fit(X[:180], y[:180])
+        accuracy = model.score(X[180:], y[180:])
+        assert accuracy > 0.6
+
+    def test_predict_proba_shape_and_sum(self, classifier, toy_classification):
+        X, y = toy_classification
+        model = clone(classifier).fit(X[:150], y[:150])
+        probabilities = model.predict_proba(X[150:170])
+        assert probabilities.shape == (20, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0, atol=1e-6)
+        assert np.all(probabilities >= -1e-9)
+
+    def test_predictions_are_known_classes(self, classifier, toy_classification):
+        X, y = toy_classification
+        model = clone(classifier).fit(X[:150], y[:150])
+        assert set(np.unique(model.predict(X[150:]))) <= {0, 1}
+
+    def test_unfitted_predict_raises(self, classifier, toy_classification):
+        X, _ = toy_classification
+        with pytest.raises(RuntimeError):
+            clone(classifier).predict_proba(X[:3])
+
+    def test_clone_preserves_params(self, classifier, toy_classification):
+        fresh = clone(classifier)
+        assert fresh.get_params() == classifier.get_params()
+
+
+class TestDecisionTree:
+    def test_pure_leaf_on_trivial_data(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.n_leaves >= 2
+
+    def test_max_depth_limits_leaves(self, toy_classification):
+        X, y = toy_classification
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert shallow.n_leaves <= 2
+        assert deep.n_leaves >= shallow.n_leaves
+
+    def test_min_samples_leaf_respected(self, toy_classification):
+        X, y = toy_classification
+        tree = DecisionTreeClassifier(min_samples_leaf=40).fit(X, y)
+        for node in tree.nodes_:
+            if node.is_leaf:
+                assert node.n_samples >= 40 or node.n_samples == len(y)
+
+    def test_constant_features_yield_single_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_leaves == 1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((3, 2, 1)), np.array([0, 1, 0]))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((3, 2)), np.array([0, 1]))
+
+
+class TestRandomForest:
+    def test_more_trees_not_worse_than_one(self, toy_classification):
+        X, y = toy_classification
+        single = RandomForestClassifier(n_estimators=1, max_depth=4, seed=0).fit(X[:180], y[:180])
+        many = RandomForestClassifier(n_estimators=30, max_depth=4, seed=0).fit(X[:180], y[:180])
+        assert many.score(X[180:], y[180:]) >= single.score(X[180:], y[180:]) - 0.05
+
+    def test_feature_importances_sum_to_one(self, toy_classification):
+        X, y = toy_classification
+        forest = RandomForestClassifier(n_estimators=10, max_depth=5, seed=1).fit(X, y)
+        importances = forest.feature_importances()
+        assert importances.shape == (X.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self, toy_classification):
+        X, y = toy_classification
+        a = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict(X[:20])
+        b = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict(X[:20])
+        assert np.array_equal(a, b)
+
+
+class TestBoosting:
+    def test_training_improves_over_base_rate(self, toy_classification):
+        X, y = toy_classification
+        model = XGBoostClassifier(n_estimators=40, max_depth=3).fit(X[:180], y[:180])
+        assert model.score(X[180:], y[180:]) > max(y.mean(), 1 - y.mean())
+
+    def test_decision_function_monotonic_with_probability(self, toy_classification):
+        X, y = toy_classification
+        model = LightGBMClassifier(n_estimators=20).fit(X, y)
+        scores = model.decision_function(X[:30])
+        probabilities = model.predict_proba(X[:30])[:, 1]
+        assert np.all(np.argsort(scores) == np.argsort(probabilities))
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.array([0, 1, 2] * 10)
+        with pytest.raises(ValueError):
+            XGBoostClassifier(n_estimators=2).fit(X, y)
+
+    def test_feature_importances_normalised(self, toy_classification):
+        X, y = toy_classification
+        model = CatBoostClassifier(n_estimators=5, max_depth=2).fit(X, y)
+        importances = model.feature_importances()
+        assert importances.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_regression_tree_growth_policies(self, toy_classification):
+        X, y = toy_classification
+        gradients = (y - 0.5).astype(float)
+        hessians = np.full(len(y), 0.25)
+        for growth in ("level", "leaf", "symmetric"):
+            builder = RegressionTreeBuilder(max_depth=3, max_leaves=7, growth=growth)
+            tree = builder.build(X, gradients, hessians)
+            predictions = tree.predict(X)
+            assert predictions.shape == (len(y),)
+            assert np.all(np.isfinite(predictions))
+
+    def test_unknown_growth_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTreeBuilder(growth="bogus")
+
+
+class TestKNN:
+    def test_k_larger_than_dataset_is_clamped(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=10).fit(X, y)
+        assert model.predict(np.array([[1.5]]))[0] in (0, 1)
+
+    def test_distance_weighting_prefers_nearest(self):
+        X = np.array([[0.0], [0.1], [10.0]])
+        y = np.array([1, 1, 0])
+        model = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.05]]))[0] == 1
+
+    def test_manhattan_metric(self, toy_classification):
+        X, y = toy_classification
+        model = KNeighborsClassifier(n_neighbors=5, metric="manhattan").fit(X[:150], y[:150])
+        assert model.score(X[150:], y[150:]) > 0.55
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(metric="cosine")
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0).fit(np.ones((3, 1)), np.array([0, 1, 0]))
+
+
+class TestLinearModels:
+    def test_logreg_learns_linear_boundary(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_svm_learns_linear_boundary(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 2))
+        y = (2 * X[:, 0] - X[:, 1] > 0).astype(int)
+        model = LinearSVMClassifier(n_epochs=50, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.array([0, 1, 2] * 10)
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            LinearSVMClassifier().fit(X, y)
+
+    def test_decision_function_sign_matches_prediction(self, toy_classification):
+        X, y = toy_classification
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(X[:20])
+        predictions = model.predict(X[:20])
+        assert np.array_equal(predictions, (scores > 0).astype(int))

@@ -1,0 +1,120 @@
+"""Tests for classification metrics and AUT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.metrics import (
+    METRIC_NAMES,
+    MetricReport,
+    accuracy_score,
+    area_under_time,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0])
+        cm = confusion_matrix(y, y)
+        assert cm == {"tp": 2, "tn": 2, "fp": 0, "fn": 0}
+
+    def test_all_wrong(self):
+        cm = confusion_matrix(np.array([0, 1]), np.array([1, 0]))
+        assert cm == {"tp": 0, "tn": 0, "fp": 1, "fn": 1}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+
+class TestBasicMetrics:
+    def test_known_values(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0])
+        assert accuracy_score(y_true, y_pred) == pytest.approx(4 / 6)
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        y_true = np.array([1, 0])
+        y_pred = np.array([0, 0])
+        assert precision_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_no_positive_samples(self):
+        assert recall_score(np.array([0, 0]), np.array([0, 1])) == 0.0
+
+    def test_metric_report(self):
+        report = MetricReport.from_predictions(np.array([1, 0, 1]), np.array([1, 0, 0]))
+        as_dict = report.as_dict()
+        assert set(as_dict) == set(METRIC_NAMES)
+        assert as_dict["accuracy"] == pytest.approx(2 / 3)
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounds(self, bits):
+        y = np.array(bits)
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 2, size=len(y))
+        value = accuracy_score(y, predictions)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_f1_between_precision_and_recall_bounds(self, bits):
+        y = np.array(bits)
+        rng = np.random.default_rng(1)
+        predictions = rng.integers(0, 2, size=len(y))
+        p = precision_score(y, predictions)
+        r = recall_score(y, predictions)
+        f = f1_score(y, predictions)
+        assert f <= max(p, r) + 1e-12
+        assert f >= 0.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, scores) == 1.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=400)
+        scores = rng.random(400)
+        assert abs(roc_auc_score(y, scores) - 0.5) < 0.1
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([1, 1]), np.array([0.5, 0.6]))
+
+
+class TestAreaUnderTime:
+    def test_constant_curve(self):
+        assert area_under_time([0.8] * 9) == pytest.approx(0.8)
+
+    def test_decaying_curve_lower_than_stable(self):
+        stable = area_under_time([0.9] * 9)
+        decaying = area_under_time(np.linspace(0.9, 0.3, 9))
+        assert decaying < stable
+
+    def test_single_period(self):
+        assert area_under_time([0.7]) == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            area_under_time([])
+
+    def test_bounded_by_01_for_bounded_inputs(self):
+        values = [0.2, 0.9, 0.4, 1.0, 0.0]
+        assert 0.0 <= area_under_time(values) <= 1.0

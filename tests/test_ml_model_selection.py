@@ -1,0 +1,122 @@
+"""Tests for splitters and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    cross_validate,
+    train_test_split,
+)
+
+
+class TestKFold:
+    def test_covers_all_indices_exactly_once(self):
+        splitter = KFold(n_splits=5, seed=1)
+        seen = []
+        for train, test in splitter.split(53):
+            seen.extend(test.tolist())
+            assert set(train) & set(test) == set()
+        assert sorted(seen) == list(range(53))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_deterministic_given_seed(self):
+        a = [test.tolist() for _, test in KFold(n_splits=4, seed=7).split(20)]
+        b = [test.tolist() for _, test in KFold(n_splits=4, seed=7).split(20)]
+        assert a == b
+
+
+class TestStratifiedKFold:
+    def test_class_balance_preserved(self):
+        y = np.array([0] * 40 + [1] * 20)
+        for train, test in StratifiedKFold(n_splits=4, seed=0).split(y):
+            test_ratio = y[test].mean()
+            assert 0.15 < test_ratio < 0.5
+
+    def test_covers_all_indices(self):
+        y = np.array([0, 1] * 15)
+        seen = []
+        for _, test in StratifiedKFold(n_splits=3, seed=0).split(y):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(30))
+
+    def test_train_and_test_disjoint(self):
+        y = np.array([0, 1] * 20)
+        for train, test in StratifiedKFold(n_splits=5, seed=0).split(y):
+            assert set(train).isdisjoint(test)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.array([0, 1] * 50)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, seed=0)
+        assert len(X_test) == 20
+        assert len(X_train) == 80
+        assert len(y_train) == 80
+
+    def test_stratified_keeps_both_classes(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.array([0] * 36 + [1] * 4)
+        _, _, _, y_test = train_test_split(X, y, test_size=0.25, stratify=True, seed=0)
+        assert set(np.unique(y_test)) == {0, 1}
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.array([0, 1, 0, 1]), test_size=1.5)
+
+    def test_unstratified_split(self):
+        X = np.arange(30).reshape(-1, 1)
+        y = np.array([0, 1] * 15)
+        X_train, X_test, _, _ = train_test_split(X, y, test_size=0.3, stratify=False, seed=1)
+        assert len(X_test) == 9
+
+
+class TestCrossValidate:
+    def test_number_of_folds_and_runs(self, toy_classification):
+        X, y = toy_classification
+        result = cross_validate(
+            lambda: LogisticRegression(n_iterations=100), X, y, n_splits=4, n_runs=2, seed=0
+        )
+        assert len(result.folds) == 8
+        assert {fold.run for fold in result.folds} == {0, 1}
+
+    def test_summary_contains_all_metrics(self, toy_classification):
+        X, y = toy_classification
+        result = cross_validate(lambda: KNeighborsClassifier(5), X, y, n_splits=3)
+        summary = result.summary()
+        for key in ("accuracy", "f1", "precision", "recall", "train_time", "inference_time"):
+            assert key in summary
+
+    def test_reasonable_accuracy_on_separable_data(self, toy_classification):
+        X, y = toy_classification
+        result = cross_validate(lambda: LogisticRegression(), X, y, n_splits=4)
+        assert result.mean_metric("accuracy") > 0.8
+
+    def test_metric_values_shape(self, toy_classification):
+        X, y = toy_classification
+        result = cross_validate(lambda: KNeighborsClassifier(3), X, y, n_splits=5)
+        assert len(result.metric_values("f1")) == 5
+
+    def test_unknown_metric_rejected(self, toy_classification):
+        X, y = toy_classification
+        result = cross_validate(lambda: KNeighborsClassifier(3), X, y, n_splits=3)
+        with pytest.raises(ValueError):
+            result.metric_values("auc")
+
+    def test_cross_val_score_shape(self, toy_classification):
+        X, y = toy_classification
+        scores = cross_val_score(KNeighborsClassifier(3), X, y, n_splits=4)
+        assert scores.shape == (4,)
+        assert np.all((scores >= 0) & (scores <= 1))

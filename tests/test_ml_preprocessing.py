@@ -1,0 +1,92 @@
+"""Tests for scalers and encoders."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import FrequencyEncoder, LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+
+
+class TestMinMaxScaler:
+    def test_range_01(self):
+        X = np.array([[1.0, -5.0], [3.0, 5.0], [2.0, 0.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_constant_column_not_nan(self):
+        scaled = MinMaxScaler().fit_transform(np.ones((5, 2)))
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        codes = encoder.fit_transform(["b", "a", "b", "c"])
+        assert list(encoder.inverse_transform(codes)) == ["b", "a", "b", "c"]
+
+    def test_codes_are_contiguous(self):
+        encoder = LabelEncoder().fit(["x", "y", "z"])
+        assert sorted(encoder.transform(["x", "y", "z"])) == [0, 1, 2]
+
+    def test_unknown_label_raises(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(KeyError):
+            encoder.transform(["b"])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+
+
+class TestFrequencyEncoder:
+    def test_relative_frequencies(self):
+        encoder = FrequencyEncoder(normalize=True)
+        encoder.fit(["PUSH1", "PUSH1", "MSTORE", "PUSH1"])
+        values = encoder.transform(["PUSH1", "MSTORE"])
+        assert values[0] == pytest.approx(0.75)
+        assert values[1] == pytest.approx(0.25)
+
+    def test_absolute_counts(self):
+        encoder = FrequencyEncoder(normalize=False)
+        encoder.fit(["a", "a", "b"])
+        assert list(encoder.transform(["a", "b"])) == [2.0, 1.0]
+
+    def test_unknown_token_default(self):
+        encoder = FrequencyEncoder(unknown_value=-1.0)
+        encoder.fit(["a"])
+        assert encoder.transform(["zzz"])[0] == -1.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FrequencyEncoder().transform(["a"])
+
+    def test_higher_frequency_maps_to_higher_value(self):
+        encoder = FrequencyEncoder().fit(["x"] * 9 + ["y"])
+        x_value, y_value = encoder.transform(["x", "y"])
+        assert x_value > y_value

@@ -1,0 +1,86 @@
+"""Tests for the permutation Shapley explainer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.shap import PermutationShapExplainer, positive_class_predictor
+
+
+@pytest.fixture(scope="module")
+def linear_problem():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 5))
+    # Only features 0 and 1 matter.
+    y = (2 * X[:, 0] - 3 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestExplainer:
+    def test_shapes(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        explainer = PermutationShapExplainer(
+            positive_class_predictor(model), X[:50], n_permutations=8, seed=0
+        )
+        explanation = explainer.shap_values(X[:6], feature_names=list("abcde"))
+        assert explanation.values.shape == (6, 5)
+        assert explanation.feature_names == list("abcde")
+
+    def test_informative_features_rank_highest(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        explainer = PermutationShapExplainer(
+            positive_class_predictor(model), X[:60], n_permutations=16, seed=1
+        )
+        explanation = explainer.shap_values(X[:20])
+        top_two = set(explanation.top_features(2))
+        assert top_two == {0, 1}
+
+    def test_additivity_approximately_holds(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        predict = positive_class_predictor(model)
+        explainer = PermutationShapExplainer(predict, X[:60], n_permutations=40, seed=2)
+        explanation = explainer.shap_values(X[:5])
+        reconstructed = explanation.base_value + explanation.values.sum(axis=1)
+        actual = predict(X[:5])
+        assert np.allclose(reconstructed, actual, atol=0.15)
+
+    def test_works_with_tree_model(self, linear_problem):
+        X, y = linear_problem
+        model = RandomForestClassifier(n_estimators=10, max_depth=4, seed=0).fit(X, y)
+        explainer = PermutationShapExplainer(
+            positive_class_predictor(model), X[:40], n_permutations=4, seed=0
+        )
+        explanation = explainer.shap_values(X[:3])
+        assert np.all(np.isfinite(explanation.values))
+
+    def test_background_subsampling(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        explainer = PermutationShapExplainer(
+            positive_class_predictor(model), X, max_background=10, seed=0
+        )
+        assert len(explainer.background) == 10
+
+    def test_invalid_background_rejected(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            PermutationShapExplainer(positive_class_predictor(model), np.zeros((0, 5)))
+
+    def test_invalid_explained_shape_rejected(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        explainer = PermutationShapExplainer(positive_class_predictor(model), X[:10])
+        with pytest.raises(ValueError):
+            explainer.shap_values(X[0])
+
+    def test_mean_absolute_importance_nonnegative(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        explainer = PermutationShapExplainer(positive_class_predictor(model), X[:30], n_permutations=4)
+        explanation = explainer.shap_values(X[:4])
+        assert np.all(explanation.mean_absolute_importance() >= 0)

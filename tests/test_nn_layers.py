@@ -1,0 +1,311 @@
+"""Tests for layers, attention, GRU, transformer blocks and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAveragePool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    pad2d,
+)
+from repro.nn.losses import binary_cross_entropy_with_logits, cross_entropy, log_softmax, mse_loss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, clip_gradients
+from repro.nn.recurrent import GRU
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import Trainer, TrainerConfig
+from repro.nn.transformer import PositionalEmbedding, TransformerBlock, TransformerEncoder
+
+
+class TestLinearAndEmbedding:
+    def test_linear_shapes(self):
+        layer = Linear(4, 3, seed=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup(self):
+        table = Embedding(10, 6, seed=0)
+        out = table(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_embedding_out_of_range(self):
+        table = Embedding(5, 2)
+        with pytest.raises(ValueError):
+            table(np.array([7]))
+
+    def test_embedding_gradient_flows_to_rows(self):
+        table = Embedding(5, 3, seed=0)
+        out = table(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = table.weight.grad
+        assert np.allclose(grad[1], 2.0)
+        assert np.allclose(grad[2], 1.0)
+        assert np.allclose(grad[0], 0.0)
+
+
+class TestNormalisationAndDropout:
+    def test_layernorm_output_statistics(self):
+        layer = LayerNorm(16)
+        out = layer(Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 16))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        x = np.random.default_rng(0).normal(size=(8, 8))
+        assert np.array_equal(layer(Tensor(x)).data, x)
+
+    def test_dropout_train_scales_expectation(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((2000,))
+        out = layer(Tensor(x)).data
+        assert abs(out.mean() - 1.0) < 0.1
+        assert (out == 0).sum() > 0
+
+    def test_invalid_dropout_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestConvAndPooling:
+    def test_conv_output_shape(self):
+        conv = Conv2d(3, 8, kernel_size=3, padding=1, seed=0)
+        out = conv(Tensor(np.ones((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_conv_stride(self):
+        conv = Conv2d(3, 4, kernel_size=4, stride=4, seed=0)
+        out = conv(Tensor(np.ones((1, 3, 16, 16))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_conv_gradcheck_small(self):
+        rng = np.random.default_rng(0)
+        x_data = rng.normal(size=(1, 2, 4, 4))
+        conv = Conv2d(2, 3, kernel_size=3, padding=1, seed=1)
+        x = Tensor(x_data, requires_grad=True)
+        conv(x).sum().backward()
+        # numerical check on a few entries of the input gradient
+        eps = 1e-5
+        for index in [(0, 0, 0, 0), (0, 1, 2, 3), (0, 0, 3, 1)]:
+            plus = x_data.copy()
+            plus[index] += eps
+            minus = x_data.copy()
+            minus[index] -= eps
+            numeric = (conv(Tensor(plus)).sum().item() - conv(Tensor(minus)).sum().item()) / (2 * eps)
+            assert abs(numeric - x.grad[index]) < 1e-4
+
+    def test_pad2d(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = pad2d(x, 1)
+        assert padded.shape == (1, 1, 4, 4)
+        padded.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_avg_and_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        avg = AvgPool2d(2)(Tensor(x))
+        mx = MaxPool2d(2)(Tensor(x))
+        assert avg.shape == (1, 1, 2, 2)
+        assert mx.data[0, 0, 0, 0] == 5.0
+        assert avg.data[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_pool_requires_divisible_size(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(3)(Tensor(np.ones((1, 1, 4, 4))))
+
+    def test_global_average_pool(self):
+        out = GlobalAveragePool2d()(Tensor(np.ones((2, 3, 4, 4)) * 2.0))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, 2.0)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.ones((2, 3, 4)))).shape == (2, 12)
+
+
+class TestAttentionAndTransformer:
+    def test_attention_shape(self):
+        attention = MultiHeadAttention(d_model=16, n_heads=4, seed=0)
+        out = attention(Tensor(np.random.default_rng(0).normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_attention_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(d_model=10, n_heads=3)
+
+    def test_causal_mask_blocks_future(self):
+        attention = MultiHeadAttention(d_model=8, n_heads=2, causal=True, seed=0)
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(1, 6, 8))
+        changed = base.copy()
+        changed[0, 5, :] += 10.0  # perturb only the last position
+        out_base = attention(Tensor(base)).data
+        out_changed = attention(Tensor(changed)).data
+        # Earlier positions must be unaffected by a change to the future.
+        assert np.allclose(out_base[0, :5], out_changed[0, :5], atol=1e-9)
+        assert not np.allclose(out_base[0, 5], out_changed[0, 5])
+
+    def test_transformer_block_shape(self):
+        block = TransformerBlock(d_model=16, n_heads=4, d_hidden=32, seed=0)
+        out = block(Tensor(np.random.default_rng(0).normal(size=(2, 7, 16))))
+        assert out.shape == (2, 7, 16)
+
+    def test_encoder_stack(self):
+        encoder = TransformerEncoder(n_layers=3, d_model=16, n_heads=2, d_hidden=32, seed=0)
+        out = encoder(Tensor(np.zeros((1, 4, 16))))
+        assert out.shape == (1, 4, 16)
+        assert len(encoder.blocks) == 3
+
+    def test_positional_embedding_limit(self):
+        positional = PositionalEmbedding(max_length=4, d_model=8)
+        with pytest.raises(ValueError):
+            positional(Tensor(np.zeros((1, 5, 8))))
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        gru = GRU(input_size=6, hidden_size=4, seed=0)
+        outputs, final = gru(Tensor(np.random.default_rng(0).normal(size=(3, 5, 6))))
+        assert outputs.shape == (3, 5, 4)
+        assert final.shape == (3, 4)
+
+    def test_final_state_equals_last_output(self):
+        gru = GRU(input_size=3, hidden_size=2, seed=1)
+        outputs, final = gru(Tensor(np.random.default_rng(1).normal(size=(2, 4, 3))))
+        assert np.allclose(outputs.data[:, -1, :], final.data)
+
+    def test_gradients_flow(self):
+        gru = GRU(input_size=3, hidden_size=2, seed=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3)), requires_grad=True)
+        outputs, _ = gru(x)
+        outputs.sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in gru.parameters())
+
+
+class TestModuleSystem:
+    def test_parameter_discovery_recursive(self):
+        model = Sequential(Linear(3, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4
+        assert model.n_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        model = Linear(3, 2, seed=0)
+        state = model.state_dict()
+        other = Linear(3, 2, seed=99)
+        other.load_state_dict(state)
+        assert np.allclose(other.weight.data, model.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = Linear(3, 2)
+        with pytest.raises(ValueError):
+            model.load_state_dict({"weight": np.zeros((1, 1))})
+
+    def test_load_state_dict_unknown_key(self):
+        model = Linear(3, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros((3, 2))})
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert not model.layers[0].training
+
+
+class TestLossesAndOptim:
+    def test_cross_entropy_known_value(self):
+        logits = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 0.01
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 2, 2))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 2))), np.array([0]))
+
+    def test_log_softmax_normalises(self):
+        out = log_softmax(Tensor(np.random.default_rng(0).normal(size=(3, 5))))
+        assert np.allclose(np.exp(out.data).sum(axis=-1), 1.0)
+
+    def test_bce_and_mse_positive(self):
+        logits = Tensor(np.array([0.5, -0.5]))
+        assert binary_cross_entropy_with_logits(logits, np.array([1, 0])).item() > 0
+        assert mse_loss(Tensor(np.array([1.0, 2.0])), np.array([1.0, 1.0])).item() == pytest.approx(0.5)
+
+    def test_sgd_reduces_quadratic(self):
+        weight = Parameter(np.array([5.0]))
+        optimizer = SGD([weight], learning_rate=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = (Tensor(weight.data, requires_grad=False) * 0).sum()  # placeholder
+            weight.grad = 2 * weight.data  # d/dw of w^2
+            optimizer.step()
+        assert abs(weight.data[0]) < 0.01
+
+    def test_adam_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        true_weights = np.array([1.0, -2.0, 0.5])
+        y = X @ true_weights
+        layer = Linear(3, 1, seed=0)
+        optimizer = Adam(layer.parameters(), learning_rate=0.05)
+        for _ in range(200):
+            optimizer.zero_grad()
+            predictions = layer(Tensor(X)).reshape(100)
+            loss = mse_loss(predictions, y)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(layer.weight.data.reshape(-1), true_weights, atol=0.1)
+
+    def test_clip_gradients(self):
+        weight = Parameter(np.ones(4))
+        weight.grad = np.full(4, 100.0)
+        norm = clip_gradients([weight], max_norm=1.0)
+        assert norm > 1.0
+        assert np.linalg.norm(weight.grad) <= 1.0 + 1e-9
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], learning_rate=0.1)
+
+
+class TestTrainer:
+    def test_loss_decreases_on_separable_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 6))
+        y = (X[:, 0] > 0).astype(int)
+        model = Sequential(Linear(6, 8, seed=0), ReLU(), Linear(8, 2, seed=1))
+        trainer = Trainer(model, TrainerConfig(epochs=12, batch_size=16, learning_rate=1e-2, seed=0))
+        history = trainer.fit(X, y)
+        assert history.losses[-1] < history.losses[0]
+        assert history.accuracies[-1] > 0.8
+
+    def test_predict_logits_shape(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 4))
+        y = rng.integers(0, 2, 30)
+        model = Sequential(Linear(4, 2, seed=0))
+        trainer = Trainer(model, TrainerConfig(epochs=1, batch_size=8))
+        trainer.fit(X, y)
+        assert trainer.predict_logits(X).shape == (30, 2)
+
+    def test_final_loss_property(self):
+        trainer = Trainer(Sequential(Linear(2, 2)))
+        assert np.isnan(trainer.history.final_loss)

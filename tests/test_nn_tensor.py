@@ -1,0 +1,138 @@
+"""Tests for the autograd tensor, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, stack
+
+
+def numerical_gradient(function, arrays, index, eps=1e-5):
+    """Central-difference gradient of ``function`` w.r.t. ``arrays[index]``."""
+    base = [np.array(a, dtype=float) for a in arrays]
+    gradient = np.zeros_like(base[index])
+    iterator = np.nditer(base[index], flags=["multi_index"])
+    while not iterator.finished:
+        idx = iterator.multi_index
+        plus = [a.copy() for a in base]
+        minus = [a.copy() for a in base]
+        plus[index][idx] += eps
+        minus[index][idx] -= eps
+        gradient[idx] = (
+            function(*[Tensor(a) for a in plus]).item()
+            - function(*[Tensor(a) for a in minus]).item()
+        ) / (2 * eps)
+        iterator.iternext()
+    return gradient
+
+
+def check_gradients(function, shapes, seed=0, tolerance=1e-4):
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=shape) for shape in shapes]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    output = function(*tensors)
+    output.backward()
+    for index, tensor in enumerate(tensors):
+        expected = numerical_gradient(function, arrays, index)
+        assert np.max(np.abs(expected - tensor.grad)) < tolerance
+
+
+class TestGradientChecks:
+    def test_matmul_and_sum(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [(3, 4), (4, 2)])
+
+    def test_broadcast_add(self):
+        check_gradients(lambda a, b: (a + b).sum(), [(3, 4), (4,)])
+
+    def test_elementwise_chain(self):
+        check_gradients(lambda a: (a.relu() * a.sigmoid() + a.tanh()).sum(), [(4, 3)])
+
+    def test_gelu(self):
+        check_gradients(lambda a: a.gelu().sum(), [(5,)])
+
+    def test_softmax_weighted(self):
+        weights = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        check_gradients(lambda a: (a.softmax(axis=-1) * weights).sum(), [(3, 4)])
+
+    def test_division_and_power(self):
+        check_gradients(lambda a, b: ((a**2) / (b**2 + 1.0)).sum(), [(3, 3), (3, 3)])
+
+    def test_mean_and_variance_pattern(self):
+        def layer_norm_like(a):
+            mean = a.mean(axis=-1, keepdims=True)
+            centered = a - mean
+            variance = (centered * centered).mean(axis=-1, keepdims=True)
+            return (centered * ((variance + 1e-5) ** -0.5)).sum()
+
+        check_gradients(layer_norm_like, [(4, 6)])
+
+    def test_getitem(self):
+        check_gradients(lambda a: (a[:, 1:3] * 2.0).sum(), [(4, 5)])
+
+    def test_concatenate(self):
+        check_gradients(
+            lambda a, b: Tensor.concatenate([a, b], axis=1).sum(), [(2, 3), (2, 2)]
+        )
+
+    def test_transpose_and_reshape(self):
+        check_gradients(lambda a: (a.transpose(1, 0).reshape(2, 6) ** 2).sum(), [(6, 2)])
+
+    def test_max_reduction(self):
+        check_gradients(lambda a: a.max(axis=1).sum(), [(4, 5)], seed=3)
+
+    def test_log_and_exp(self):
+        check_gradients(lambda a: ((a * a + 1.0).log() + a.exp() * 0.01).sum(), [(3, 3)])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: (stack([a, b], axis=0) ** 2).sum(), [(3,), (3,)])
+
+
+class TestTensorBasics:
+    def test_shape_properties(self):
+        tensor = Tensor(np.zeros((2, 3)))
+        assert tensor.shape == (2, 3)
+        assert tensor.ndim == 2
+        assert tensor.size == 6
+        assert len(tensor) == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_detach_breaks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        detached = (a * 2).detach()
+        assert not detached.requires_grad
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_gradient_accumulates_across_backwards(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        assert np.allclose(a.grad, 5.0)
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_tracking_when_not_required(self):
+        a = Tensor(np.ones(3))
+        b = a * 2
+        assert not b.requires_grad
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        ((1.0 - a) + (1.0 / a)).sum().backward()
+        assert a.grad is not None
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shapes(self, rows, cols):
+        a = Tensor(np.ones((rows, 4)))
+        b = Tensor(np.ones((4, cols)))
+        assert (a @ b).shape == (rows, cols)

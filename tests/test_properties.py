@@ -1,0 +1,135 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module suites with randomized invariants spanning
+the EVM interpreter (arithmetic semantics), the feature extractors
+(histogram/label consistency) and the statistics (correction monotonicity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evm.assembler import assemble, push
+from repro.evm.interpreter import EVMInterpreter
+from repro.features.histogram import OpcodeHistogramExtractor
+from repro.ml.metrics import MetricReport, accuracy_score, f1_score
+from repro.stats.correction import holm_bonferroni
+from repro.stats.effect_size import cliffs_delta
+
+WORD = (1 << 256) - 1
+_interpreter = EVMInterpreter(gas_limit=10_000)
+
+
+def _run_binary(mnemonic: str, a: int, b: int) -> int:
+    """Execute ``a <op> b`` on the interpreter and return the result word.
+
+    Operands are pushed so that ``b`` is on top of the stack (the EVM pops
+    the top operand first).
+    """
+    code = assemble(
+        [push(a, 32), push(b, 32), mnemonic, push(0, 1), "MSTORE", push(32, 1), push(0, 1), "RETURN"]
+    )
+    result = _interpreter.execute(code)
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+word_values = st.integers(min_value=0, max_value=WORD)
+
+
+class TestInterpreterArithmeticProperties:
+    @given(word_values, word_values)
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_modular_addition(self, a, b):
+        assert _run_binary("ADD", a, b) == (a + b) % (1 << 256)
+
+    @given(word_values, word_values)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches_modular_multiplication(self, a, b):
+        assert _run_binary("MUL", a, b) == (a * b) % (1 << 256)
+
+    @given(word_values, word_values)
+    @settings(max_examples=40, deadline=None)
+    def test_and_or_xor_consistency(self, a, b):
+        and_result = _run_binary("AND", a, b)
+        or_result = _run_binary("OR", a, b)
+        xor_result = _run_binary("XOR", a, b)
+        assert and_result ^ xor_result == or_result
+
+    @given(word_values)
+    @settings(max_examples=30, deadline=None)
+    def test_iszero_only_for_zero(self, a):
+        code = assemble(
+            [push(a, 32), "ISZERO", push(0, 1), "MSTORE", push(32, 1), push(0, 1), "RETURN"]
+        )
+        result = _interpreter.execute(code)
+        assert int.from_bytes(result.return_data, "big") == (1 if a == 0 else 0)
+
+    @given(word_values, st.integers(min_value=1, max_value=WORD))
+    @settings(max_examples=40, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        quotient = _run_binary("DIV", b, a)  # pushes b then a; top of stack is a
+        remainder = _run_binary("MOD", b, a)
+        assert quotient * b + remainder == a if b != 0 else True
+
+
+class TestFeatureProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=120), min_size=2, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_histogram_row_sum_equals_instruction_count(self, blobs):
+        from repro.evm.disassembler import disassemble
+
+        extractor = OpcodeHistogramExtractor()
+        features = extractor.fit_transform(blobs)
+        for row, blob in zip(features, blobs):
+            assert row.sum() == len(disassemble(blob))
+
+    @given(st.lists(st.binary(min_size=1, max_size=120), min_size=2, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_histogram_transform_is_idempotent(self, blobs):
+        extractor = OpcodeHistogramExtractor()
+        first = extractor.fit_transform(blobs)
+        second = extractor.transform(blobs)
+        assert np.array_equal(first, second)
+
+
+class TestMetricAndStatsProperties:
+    @given(st.lists(st.integers(0, 1), min_size=3, max_size=50), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_maximises_all_metrics(self, bits, seed):
+        y = np.array(bits)
+        report = MetricReport.from_predictions(y, y)
+        assert report.accuracy == 1.0
+        if y.sum() > 0:
+            assert report.f1 == 1.0 and report.recall == 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=50), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_flipping_predictions_never_raises(self, bits, seed):
+        y = np.array(bits)
+        rng = np.random.default_rng(seed)
+        predictions = rng.integers(0, 2, size=len(y))
+        assert 0.0 <= accuracy_score(y, predictions) <= 1.0
+        assert 0.0 <= f1_score(y, predictions) <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_holm_preserves_order_of_evidence(self, p_values):
+        adjusted = holm_bonferroni(p_values)
+        order_raw = np.argsort(p_values, kind="stable")
+        adjusted_sorted = np.array(adjusted)[order_raw]
+        assert all(
+            adjusted_sorted[i] <= adjusted_sorted[i + 1] + 1e-12
+            for i in range(len(adjusted_sorted) - 1)
+        )
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20),
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cliffs_delta_antisymmetric_and_bounded(self, first, second):
+        forward = cliffs_delta(first, second).delta
+        backward = cliffs_delta(second, first).delta
+        assert -1.0 <= forward <= 1.0
+        assert forward == pytest.approx(-backward)

@@ -1,0 +1,249 @@
+"""Tests for the statistics substrate (PAM building blocks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.metrics import area_under_time
+from repro.stats.aut import TimeDecayCurve, aut_table
+from repro.stats.cdd import compute_cdd
+from repro.stats.correction import bonferroni, holm_bonferroni
+from repro.stats.dunn import dunn_test
+from repro.stats.effect_size import cliffs_delta
+from repro.stats.normality import count_non_normal, normality_by_group, shapiro_wilk
+from repro.stats.rank_tests import (
+    friedman,
+    kruskal_wallis,
+    kruskal_wallis_by_metric,
+    pairwise_wilcoxon,
+    wilcoxon_signed_rank,
+)
+
+
+class TestHolmBonferroni:
+    def test_known_example(self):
+        adjusted = holm_bonferroni([0.01, 0.04, 0.03])
+        assert adjusted[0] == pytest.approx(0.03)
+        assert adjusted[1] == pytest.approx(0.06)
+        assert adjusted[2] == pytest.approx(0.06)
+
+    def test_monotone_and_bounded(self):
+        adjusted = holm_bonferroni([0.5, 0.9, 0.001, 0.2])
+        assert all(0 <= value <= 1 for value in adjusted)
+
+    def test_empty(self):
+        assert holm_bonferroni([]) == []
+
+    def test_invalid_pvalues(self):
+        with pytest.raises(ValueError):
+            holm_bonferroni([1.5])
+
+    def test_never_below_raw(self):
+        raw = [0.02, 0.2, 0.8]
+        adjusted = holm_bonferroni(raw)
+        assert all(a >= r for a, r in zip(adjusted, raw))
+
+    def test_less_conservative_than_bonferroni(self):
+        raw = [0.01, 0.02, 0.03, 0.04]
+        holm = holm_bonferroni(raw)
+        plain = bonferroni(raw)
+        assert all(h <= b + 1e-12 for h, b in zip(holm, plain))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_unit_interval(self, values):
+        assert all(0 <= v <= 1 for v in holm_bonferroni(values))
+
+
+class TestShapiroWilk:
+    def test_normal_sample_not_rejected(self):
+        rng = np.random.default_rng(0)
+        result = shapiro_wilk(rng.normal(size=100))
+        assert result.is_normal
+
+    def test_heavily_skewed_sample_rejected(self):
+        rng = np.random.default_rng(0)
+        result = shapiro_wilk(rng.exponential(size=200) ** 3)
+        assert not result.is_normal
+
+    def test_constant_sample_treated_as_non_normal(self):
+        result = shapiro_wilk([1.0] * 10)
+        assert not result.is_normal
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            shapiro_wilk([1.0, 2.0])
+
+    def test_by_group_counting(self):
+        rng = np.random.default_rng(1)
+        groups = {"a": rng.normal(size=50), "b": rng.exponential(size=200) ** 3}
+        results = normality_by_group(groups)
+        assert count_non_normal(results) >= 1
+
+
+class TestKruskalWallis:
+    def test_identical_groups_not_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=60)
+        groups = [base + rng.normal(scale=0.01, size=60) for _ in range(3)]
+        assert not kruskal_wallis(groups).is_significant
+
+    def test_shifted_groups_significant(self):
+        rng = np.random.default_rng(0)
+        groups = [rng.normal(loc=i, size=40) for i in range(3)]
+        assert kruskal_wallis(groups).is_significant
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([[1.0, 2.0]])
+
+    def test_by_metric_applies_holm(self):
+        rng = np.random.default_rng(0)
+        groups = [rng.normal(loc=i, size=30) for i in range(3)]
+        results = kruskal_wallis_by_metric({"accuracy": groups, "f1": groups})
+        assert results["accuracy"].adjusted_p_value >= results["accuracy"].p_value
+        assert all(result.is_significant for result in results.values())
+
+
+class TestDunn:
+    def test_detects_the_outlier_group(self):
+        rng = np.random.default_rng(0)
+        groups = {
+            "a": rng.normal(0, 1, 40),
+            "b": rng.normal(0.05, 1, 40),
+            "c": rng.normal(4, 1, 40),
+        }
+        result = dunn_test(groups)
+        assert result.pair("a", "c").is_significant
+        assert result.pair("b", "c").is_significant
+        assert not result.pair("a", "b").is_significant
+
+    def test_pair_lookup_order_insensitive(self):
+        rng = np.random.default_rng(1)
+        groups = {"x": rng.normal(size=20), "y": rng.normal(size=20)}
+        result = dunn_test(groups)
+        assert result.pair("x", "y") is result.pair("y", "x")
+
+    def test_unknown_pair_raises(self):
+        rng = np.random.default_rng(1)
+        result = dunn_test({"x": rng.normal(size=10), "y": rng.normal(size=10)})
+        with pytest.raises(KeyError):
+            result.pair("x", "z")
+
+    def test_matrix_symmetric_with_unit_diagonal(self):
+        rng = np.random.default_rng(2)
+        groups = {name: rng.normal(loc=i, size=25) for i, name in enumerate("abcd")}
+        matrix = dunn_test(groups).adjusted_p_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            dunn_test({"only": [1.0, 2.0]})
+
+    def test_significant_fraction_bounds(self):
+        rng = np.random.default_rng(3)
+        groups = {name: rng.normal(loc=3 * i, size=30) for i, name in enumerate("abc")}
+        fraction = dunn_test(groups).significant_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestFriedmanWilcoxon:
+    def test_friedman_detects_consistent_ordering(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(12, 1))
+        measurements = np.hstack([base, base + 1.0, base + 2.0]) + rng.normal(scale=0.01, size=(12, 3))
+        assert friedman(measurements).is_significant
+
+    def test_friedman_needs_three_treatments(self):
+        with pytest.raises(ValueError):
+            friedman(np.ones((5, 2)))
+
+    def test_wilcoxon_identical_samples(self):
+        result = wilcoxon_signed_rank([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value == 1.0
+
+    def test_wilcoxon_shifted_samples(self):
+        rng = np.random.default_rng(0)
+        first = rng.normal(size=30)
+        result = wilcoxon_signed_rank(first, first + 2.0)
+        assert result.is_significant
+
+    def test_wilcoxon_length_mismatch(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    def test_pairwise_wilcoxon_keys(self):
+        rng = np.random.default_rng(1)
+        measurements = rng.normal(size=(10, 3))
+        results = pairwise_wilcoxon(measurements, ["a", "b", "c"])
+        assert set(results) == {"a|b", "a|c", "b|c"}
+
+
+class TestCliffsDelta:
+    def test_complete_dominance(self):
+        assert cliffs_delta([5, 6, 7], [1, 2, 3]).delta == 1.0
+        assert cliffs_delta([1, 2, 3], [5, 6, 7]).delta == -1.0
+
+    def test_identical_samples(self):
+        result = cliffs_delta([1, 2, 3], [1, 2, 3])
+        assert result.delta == pytest.approx(0.0, abs=0.34)
+        assert result.magnitude in {"negligible", "small", "medium"}
+
+    def test_magnitude_labels(self):
+        assert cliffs_delta([10] * 5, [0] * 5).magnitude == "large"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cliffs_delta([], [1.0])
+
+
+class TestCriticalDifferenceDiagram:
+    def test_best_classifier_has_lowest_rank(self):
+        rng = np.random.default_rng(0)
+        n_datasets = 8
+        worst = rng.uniform(0.5, 0.6, n_datasets)
+        middle = rng.uniform(0.7, 0.8, n_datasets)
+        best = rng.uniform(0.9, 0.95, n_datasets)
+        measurements = np.column_stack([worst, middle, best])
+        cdd = compute_cdd(measurements, ["worst", "middle", "best"])
+        assert cdd.best() == "best"
+        assert cdd.average_ranks["best"] < cdd.average_ranks["worst"]
+
+    def test_two_classifier_fallback(self):
+        measurements = np.column_stack([np.arange(6.0), np.arange(6.0) + 5])
+        cdd = compute_cdd(measurements, ["a", "b"])
+        assert set(cdd.average_ranks) == {"a", "b"}
+
+    def test_render_contains_names(self):
+        measurements = np.random.default_rng(0).uniform(size=(5, 3))
+        cdd = compute_cdd(measurements, ["m1", "m2", "m3"])
+        text = cdd.render()
+        assert "m1" in text and "m3" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            compute_cdd(np.ones((4, 3)), ["a", "b"])
+
+    def test_cliques_contain_similar_models(self):
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0.7, 0.72, size=(6, 1))
+        measurements = np.hstack([base, base + rng.normal(scale=1e-3, size=(6, 1)), base + 0.2])
+        cdd = compute_cdd(measurements, ["a", "b", "c"])
+        flattened = {name for clique in cdd.cliques for name in clique}
+        if cdd.friedman_result.is_significant:
+            assert {"a", "b"} <= flattened or not cdd.pairwise_significant["a|b"]
+
+
+class TestAUTCurves:
+    def test_curve_aut_matches_function(self):
+        curve = TimeDecayCurve("RF", "f1", [0.9, 0.8, 0.85])
+        assert curve.aut == pytest.approx(area_under_time([0.9, 0.8, 0.85]))
+
+    def test_final_drop(self):
+        assert TimeDecayCurve("RF", "f1", [0.9, 0.7]).final_drop == pytest.approx(0.2)
+
+    def test_aut_table(self):
+        curves = [TimeDecayCurve("a", "f1", [0.9, 0.9]), TimeDecayCurve("b", "f1", [0.5, 0.4])]
+        table = aut_table(curves)
+        assert table["a"] > table["b"]
