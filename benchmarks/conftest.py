@@ -8,12 +8,27 @@ executed exactly once inside ``benchmark.pedantic(rounds=1)``.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.chain.generator import ContractCorpusGenerator, CorpusConfig
 from repro.core.config import Scale
 from repro.core.dataset import PhishingDataset
 from repro.models.registry import DeepModelScale
+
+
+def pytest_collection_modifyitems(config, items):
+    """Tag every benchmark with the opt-in ``bench`` marker (see pytest.ini).
+
+    The hook receives the session-wide item list (even from a directory
+    conftest), so in mixed invocations like ``pytest tests benchmarks`` only
+    items that actually live under this directory get the marker.
+    """
+    bench_dir = Path(__file__).parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def bench_scale() -> Scale:

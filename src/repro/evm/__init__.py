@@ -7,6 +7,9 @@ Public surface:
   the 144-opcode Shanghai registry (Table I).
 * :class:`Disassembler` / :func:`disassemble` — bytecode → instructions
   (the paper's BDM core).
+* :func:`count_opcodes` / :func:`count_many` — vectorized opcode counting
+  (the histogram fast path; equivalent to disassembling and counting, with
+  no per-instruction allocation).
 * :func:`assemble` / :func:`push` — assembly → bytecode, used by the
   synthetic contract generator.
 * :class:`EVMInterpreter` — a miniature stack machine used to validate
@@ -32,6 +35,17 @@ from .errors import (
     OutOfGasError,
     StackOverflowError,
     StackUnderflowError,
+)
+from .fastcount import (
+    BIN_MNEMONICS,
+    INVALID_BIN,
+    MNEMONIC_BINS,
+    bins_for_mnemonics,
+    count_many,
+    count_opcodes,
+    instruction_count,
+    mnemonic_counts,
+    observed_mnemonics,
 )
 from .gas import GasProfile, cumulative_gas, profile
 from .instruction import Instruction
@@ -70,6 +84,15 @@ __all__ = [
     "OutOfGasError",
     "StackOverflowError",
     "StackUnderflowError",
+    "BIN_MNEMONICS",
+    "INVALID_BIN",
+    "MNEMONIC_BINS",
+    "bins_for_mnemonics",
+    "count_many",
+    "count_opcodes",
+    "instruction_count",
+    "mnemonic_counts",
+    "observed_mnemonics",
     "GasProfile",
     "cumulative_gas",
     "profile",

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..core.config import Scale
 from ..core.dataset import PhishingDataset
+from ..features.batch import BatchFeatureService, resolve_service
 from ..features.histogram import opcode_usage_distribution
 
 #: The 20 influential opcodes shown in Fig. 3 / Fig. 9 of the paper.
@@ -101,15 +102,21 @@ class OpcodeUsageDistribution:
 def run_fig3(
     dataset: PhishingDataset,
     opcodes: Optional[Sequence[str]] = None,
+    service: Optional[BatchFeatureService] = None,
 ) -> OpcodeUsageDistribution:
-    """Regenerate the Fig. 3 usage distributions from a dataset."""
+    """Regenerate the Fig. 3 usage distributions from a dataset.
+
+    Both class slices are counted through one batch service, so the
+    duplicate-heavy corpus is swept once per distinct bytecode.
+    """
     opcodes = list(opcodes or FIG3_OPCODES)
+    service = resolve_service(service)
     labels = dataset.labels
     bytecodes = dataset.bytecodes
     benign_codes = [code for code, label in zip(bytecodes, labels) if label == 0]
     phishing_codes = [code for code, label in zip(bytecodes, labels) if label == 1]
     return OpcodeUsageDistribution(
         opcodes=opcodes,
-        benign_usage=opcode_usage_distribution(benign_codes, opcodes),
-        phishing_usage=opcode_usage_distribution(phishing_codes, opcodes),
+        benign_usage=opcode_usage_distribution(benign_codes, opcodes, service=service),
+        phishing_usage=opcode_usage_distribution(phishing_codes, opcodes, service=service),
     )

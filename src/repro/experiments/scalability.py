@@ -18,6 +18,7 @@ import numpy as np
 from ..core.config import Scale
 from ..core.dataset import PhishingDataset
 from ..core.mem import ModelEvaluationModule
+from ..features.batch import BatchFeatureService, resolve_service, use_service
 from ..ml.metrics import METRIC_NAMES
 from ..ml.model_selection import train_test_split
 from ..models.registry import SCALABILITY_MODEL_NAMES
@@ -141,13 +142,52 @@ def run_scalability(
     model_names: Optional[Sequence[str]] = None,
     split_ratios: Sequence[float] = SPLIT_RATIOS,
     test_size: float = 0.25,
+    service: Optional[BatchFeatureService] = None,
 ) -> ScalabilityResult:
-    """Run the scalability sweep over data splits and the three best models."""
+    """Run the scalability sweep over data splits and the three best models.
+
+    Every (model, split) cell refits over overlapping subsets of the same
+    contracts, so the sweep runs under one :class:`BatchFeatureService`
+    whose count-vector cache is warmed with the full dataset up front:
+    histogram extraction inside the cells then reduces to cache lookups.
+    """
     scale = scale or Scale.ci()
     model_names = list(model_names or SCALABILITY_MODEL_NAMES)
     mem = ModelEvaluationModule(scale=scale)
     result = ScalabilityResult(model_names=model_names)
+    service = resolve_service(service)
 
+    with use_service(service):
+        # Warm the cache with the whole dataset (skipped when caching is
+        # disabled — the vectors would be recomputed and discarded), growing
+        # capacity so the warm-up cannot self-evict on large corpora.  The
+        # original capacity is restored afterwards so a shared default
+        # service's memory bound outlives the experiment.
+        original_capacity = service.cache_size
+        try:
+            if original_capacity:
+                service.cache_size = max(original_capacity, len(dataset))
+                service.count_matrix(dataset.bytecodes)
+            _run_cells(
+                result, mem, dataset, scale, model_names, split_ratios, test_size
+            )
+        finally:
+            # Setter evicts down, so the service's memory bound is actually
+            # re-established, not just re-declared.
+            service.cache_size = original_capacity
+    return result
+
+
+def _run_cells(
+    result: ScalabilityResult,
+    mem: ModelEvaluationModule,
+    dataset: PhishingDataset,
+    scale: Scale,
+    model_names: Sequence[str],
+    split_ratios: Sequence[float],
+    test_size: float,
+) -> None:
+    """Fit and score every (split, model) cell into ``result``."""
     for ratio in split_ratios:
         subset = dataset.split_fraction(ratio, seed=scale.seed)
         indices = np.arange(len(subset))
@@ -169,4 +209,3 @@ def run_scalability(
                     n_test=outcome["n_test"],
                 )
             )
-    return result

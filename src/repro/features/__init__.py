@@ -1,5 +1,14 @@
 """Feature extraction: histograms, image encodings, n-grams, tokenizers."""
 
+from .batch import (
+    BatchFeatureService,
+    CacheStats,
+    VocabularyProjection,
+    get_default_service,
+    resolve_service,
+    set_default_service,
+    use_service,
+)
 from .chunking import (
     ChunkedSequence,
     aggregate_chunk_logits,
@@ -23,6 +32,13 @@ from .tokenizer import (
 )
 
 __all__ = [
+    "BatchFeatureService",
+    "CacheStats",
+    "VocabularyProjection",
+    "get_default_service",
+    "resolve_service",
+    "set_default_service",
+    "use_service",
     "ChunkedSequence",
     "aggregate_chunk_logits",
     "flatten_chunks",

@@ -4,6 +4,13 @@ For each contract bytecode a histogram of opcode occurrences is built.  As in
 the paper, the feature vector's length equals the number of unique opcodes
 observed in the *training set*, and the raw counts are fed to the classifiers
 without normalisation or standardisation.
+
+Extraction runs on the vectorized fast path by default: bytecodes are counted
+by the single-pass bytes-level kernel (:mod:`repro.evm.fastcount`) through a
+shared :class:`~repro.features.batch.BatchFeatureService` (content-hash LRU
+cache + chunked batch transform), and counts are projected onto the learned
+vocabulary with a precomputed index map.  The per-instruction legacy path is
+kept behind ``use_fast_path=False``; both produce bit-identical matrices.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..evm.disassembler import Disassembler
+from ..evm.fastcount import MNEMONIC_BINS, observed_mnemonics
+from .batch import BatchFeatureService, VocabularyProjection, resolve_service
 
 
 @dataclass
@@ -39,36 +48,71 @@ class HistogramVocabulary:
 class OpcodeHistogramExtractor:
     """Builds opcode-count vectors from raw bytecodes."""
 
-    def __init__(self, normalize: bool = False):
+    def __init__(
+        self,
+        normalize: bool = False,
+        service: Optional[BatchFeatureService] = None,
+        use_fast_path: bool = True,
+    ):
         """Create an extractor.
 
         Args:
             normalize: If true, convert counts to relative frequencies.  The
                 paper's HSC pipeline uses raw counts (the default).
+            service: Batch extraction service to count through; defaults to
+                the process-wide shared service so detectors share one cache.
+            use_fast_path: When false, fall back to the per-instruction
+                ``Disassembler`` + ``Counter`` path (kept for equivalence
+                testing and benchmarking).
         """
         self.normalize = normalize
+        self.use_fast_path = use_fast_path
         self.vocabulary_: Optional[HistogramVocabulary] = None
         self._index: Dict[str, int] = {}
+        self._projection: Optional[VocabularyProjection] = None
+        self._service = service
         self._disassembler = Disassembler()
+
+    @property
+    def service(self) -> BatchFeatureService:
+        """The batch service used by the fast path.
+
+        Resolved per access when no explicit service was given, so
+        ``use_service``/``set_default_service`` swaps reach extractors that
+        have already been used.
+        """
+        return resolve_service(self._service)
 
     def _count(self, bytecode) -> Counter:
         return Counter(self._disassembler.mnemonics(bytecode))
 
+    def _set_vocabulary(self, mnemonics: List[str]) -> None:
+        self.vocabulary_ = HistogramVocabulary(mnemonics=mnemonics)
+        self._index = {mnemonic: i for i, mnemonic in enumerate(mnemonics)}
+        self._projection = VocabularyProjection.for_mnemonics(mnemonics)
+
     def fit(self, bytecodes: Sequence) -> "OpcodeHistogramExtractor":
         """Learn the opcode vocabulary from training bytecodes."""
+        if self.use_fast_path:
+            counts = self.service.count_matrix(bytecodes)
+            self._set_vocabulary(observed_mnemonics(counts))
+            return self
         seen: Dict[str, None] = {}
         for bytecode in bytecodes:
             for mnemonic in self._count(bytecode):
                 seen.setdefault(mnemonic, None)
-        mnemonics = sorted(seen)
-        self.vocabulary_ = HistogramVocabulary(mnemonics=mnemonics)
-        self._index = {mnemonic: i for i, mnemonic in enumerate(mnemonics)}
+        self._set_vocabulary(sorted(seen))
         return self
 
     def transform(self, bytecodes: Sequence) -> np.ndarray:
         """Histogram matrix of shape ``(n_contracts, vocabulary_size)``."""
         if self.vocabulary_ is None:
             raise RuntimeError("extractor must be fitted before transform")
+        if self.use_fast_path:
+            assert self._projection is not None
+            return self.service.transform(
+                bytecodes, self._projection, normalize=self.normalize
+            )
         features = np.zeros((len(bytecodes), self.vocabulary_.size))
         for row, bytecode in enumerate(bytecodes):
             counts = self._count(bytecode)
@@ -94,13 +138,18 @@ class OpcodeHistogramExtractor:
 
 
 def opcode_usage_distribution(
-    bytecodes: Sequence, mnemonics: Sequence[str]
+    bytecodes: Sequence,
+    mnemonics: Sequence[str],
+    service: Optional[BatchFeatureService] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-contract usage counts of selected opcodes (Fig. 3's raw data)."""
-    disassembler = Disassembler()
-    usage = {mnemonic: np.zeros(len(bytecodes)) for mnemonic in mnemonics}
-    for row, bytecode in enumerate(bytecodes):
-        counts = Counter(disassembler.mnemonics(bytecode))
-        for mnemonic in mnemonics:
-            usage[mnemonic][row] = counts.get(mnemonic, 0)
+    service = resolve_service(service)
+    matrix = service.count_matrix(bytecodes)
+    usage: Dict[str, np.ndarray] = {}
+    for mnemonic in mnemonics:
+        value = MNEMONIC_BINS.get(mnemonic)
+        if value is None:
+            usage[mnemonic] = np.zeros(len(bytecodes))
+        else:
+            usage[mnemonic] = matrix[:, value].astype(float)
     return usage

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from ..features.batch import BatchFeatureService
 from ..features.histogram import OpcodeHistogramExtractor
 from ..ml.base import ClassifierMixin
 from ..ml.boosting import CatBoostClassifier, LightGBMClassifier, XGBoostClassifier
@@ -27,10 +28,17 @@ class HistogramDetector(PhishingDetector):
 
     category = ModelCategory.HISTOGRAM
 
-    def __init__(self, classifier: ClassifierMixin, name: str = "HSC"):
+    def __init__(
+        self,
+        classifier: ClassifierMixin,
+        name: str = "HSC",
+        service: Optional[BatchFeatureService] = None,
+    ):
         self.name = name
         self.classifier = classifier
-        self.extractor = OpcodeHistogramExtractor(normalize=False)
+        # All detectors extract through the (shared by default) batch service,
+        # so repeated fits over the same contracts hit the count-vector cache.
+        self.extractor = OpcodeHistogramExtractor(normalize=False, service=service)
 
     def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "HistogramDetector":
         """Fit the histogram vocabulary and the underlying classifier."""
