@@ -2,8 +2,10 @@
 
 Every benchmark regenerates one table or figure of the paper at a reduced
 ("bench") scale so the whole harness completes on a CPU-only machine.  The
-corpus and dataset are built once per session; heavyweight experiments are
-executed exactly once inside ``benchmark.pedantic(rounds=1)``.
+corpus is served through the on-disk cache under ``benchmarks/.corpus_cache``
+(:func:`repro.chain.corpus_cache.load_or_generate`) and, like the dataset,
+built once per session; heavyweight experiments are executed exactly once
+inside ``benchmark.pedantic(rounds=1)``.
 """
 
 from __future__ import annotations
@@ -12,10 +14,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.chain.generator import ContractCorpusGenerator, CorpusConfig
+from repro.chain.corpus_cache import load_or_generate
+from repro.chain.generator import CorpusConfig
 from repro.core.config import Scale
 from repro.core.dataset import PhishingDataset
 from repro.models.registry import DeepModelScale
+
+#: Where the bench-scale corpus is cached between benchmark runs.
+CORPUS_CACHE_DIR = Path(__file__).parent / ".corpus_cache"
 
 
 def pytest_collection_modifyitems(config, items):
@@ -53,7 +59,7 @@ def scale() -> Scale:
 
 @pytest.fixture(scope="session")
 def corpus(scale):
-    return ContractCorpusGenerator(scale.corpus).generate()
+    return load_or_generate(scale.corpus, CORPUS_CACHE_DIR)[0]
 
 
 @pytest.fixture(scope="session")
@@ -64,3 +70,20 @@ def dataset(corpus, scale) -> PhishingDataset:
 def run_once(benchmark, function, *args, **kwargs):
     """Run an expensive experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def best_time(function, repeats=3):
+    """Best-of-``repeats`` wall clock of ``function`` plus its last result.
+
+    The fast-path benchmarks compare two implementations outside
+    pytest-benchmark's fixture, so both sides share this one methodology.
+    """
+    import time
+
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result

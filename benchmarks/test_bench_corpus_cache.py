@@ -1,0 +1,20 @@
+"""Bench: the on-disk corpus cache makes the second build a cache hit."""
+
+from conftest import CORPUS_CACHE_DIR
+
+from repro.chain.corpus_cache import corpus_cache_path, load_or_generate
+
+
+def test_bench_corpus_cache_second_build_hits(benchmark, scale, corpus):
+    # The session `corpus` fixture already built (or loaded) the cache file,
+    # so by the time any benchmark runs the cached copy must exist...
+    assert corpus_cache_path(scale.corpus, CORPUS_CACHE_DIR).exists()
+    # ...and a rebuild with the same config must be served from disk.
+    rebuilt, from_cache = benchmark(load_or_generate, scale.corpus, CORPUS_CACHE_DIR)
+    assert from_cache
+    assert len(rebuilt.records) == len(corpus.records)
+    assert all(
+        (a.address, a.bytecode, a.label, a.deployed_month, a.family, a.metadata)
+        == (b.address, b.bytecode, b.label, b.deployed_month, b.family, b.metadata)
+        for a, b in zip(rebuilt.records, corpus.records)
+    )

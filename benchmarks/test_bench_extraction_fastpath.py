@@ -6,9 +6,9 @@ warm cache — asserting bit-identical feature matrices and the fast path's
 throughput advantage.
 """
 
-import time
-
 import numpy as np
+
+from conftest import best_time
 
 from repro.features.batch import BatchFeatureService
 from repro.features.histogram import OpcodeHistogramExtractor
@@ -17,28 +17,18 @@ from repro.features.histogram import OpcodeHistogramExtractor
 MIN_SPEEDUP = 5.0
 
 
-def _best_time(function, repeats=3):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = function()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 def test_bench_extraction_fastpath(benchmark, dataset):
     bytecodes = dataset.bytecodes
 
     legacy = OpcodeHistogramExtractor(use_fast_path=False)
-    legacy_time, legacy_features = _best_time(lambda: legacy.fit_transform(bytecodes))
+    legacy_time, legacy_features = best_time(lambda: legacy.fit_transform(bytecodes))
 
     def fast_cold():
         return OpcodeHistogramExtractor(
             service=BatchFeatureService(cache_size=0)
         ).fit_transform(bytecodes)
 
-    fast_time, fast_features = _best_time(fast_cold)
+    fast_time, fast_features = best_time(fast_cold)
 
     warm_service = BatchFeatureService()
     warm = OpcodeHistogramExtractor(service=warm_service)

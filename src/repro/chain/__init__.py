@@ -17,6 +17,14 @@ from .contracts import (
     study_months,
     unique_by_bytecode,
 )
+from .corpus_cache import (
+    CorpusCacheError,
+    config_digest,
+    corpus_cache_path,
+    load_corpus,
+    load_or_generate,
+    save_corpus,
+)
 from .errors import ChainError, InvalidAddressError, RPCError, UnknownContractError
 from .explorer import PHISH_HACK_TAG, ExplorerEntry, SimulatedExplorer
 from .generator import (
@@ -51,6 +59,12 @@ __all__ = [
     "monthly_counts",
     "study_months",
     "unique_by_bytecode",
+    "CorpusCacheError",
+    "config_digest",
+    "corpus_cache_path",
+    "load_corpus",
+    "load_or_generate",
+    "save_corpus",
     "ChainError",
     "InvalidAddressError",
     "RPCError",

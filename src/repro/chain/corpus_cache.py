@@ -1,0 +1,170 @@
+"""On-disk cache for generated contract corpora.
+
+Synthetic corpus generation is fully deterministic given a
+:class:`~repro.chain.generator.CorpusConfig`, yet it dominated the wall
+clock of the opt-in benchmark tier because every run rebuilt the corpus from
+scratch.  :func:`load_or_generate` keys one ``.npz`` file per config digest
+under a cache directory (the benchmark harness uses
+``benchmarks/.corpus_cache/``): the first build generates and saves, every
+later build with the same config is a cache hit.
+
+The file speaks the shared validated-``.npz`` envelope of
+:mod:`repro.persist` (magic tag, format version, ``allow_pickle=False``)
+plus a config digest; anything corrupt, stale, or generated from a
+different config is rejected with :class:`CorpusCacheError` and
+:func:`load_or_generate` transparently regenerates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..persist import open_validated_npz, write_npz
+from .contracts import ContractLabel, ContractRecord, DeploymentMonth
+from .generator import ContractCorpusGenerator, CorpusConfig, GeneratedCorpus
+
+#: Format tag of the corpus cache file.
+CORPUS_FILE_MAGIC = "phishinghook-corpus-cache"
+#: Bump when the on-disk layout or the generator semantics change.
+CORPUS_FILE_VERSION = 1
+
+
+class CorpusCacheError(RuntimeError):
+    """A corpus cache file is corrupt, stale, or from a different config."""
+
+
+def config_digest(config: CorpusConfig) -> str:
+    """Deterministic fingerprint of a corpus configuration.
+
+    Includes the format version, so a layout/semantics bump invalidates
+    every previously cached corpus.
+    """
+    payload = repr(
+        (
+            CORPUS_FILE_VERSION,
+            config.n_phishing,
+            config.n_benign,
+            config.proxy_clone_share,
+            config.n_drainer_implementations,
+            config.hard_fraction,
+            str(config.start),
+            str(config.end),
+            config.seed,
+        )
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def corpus_cache_path(config: CorpusConfig, cache_dir: Union[str, Path]) -> Path:
+    """The cache file a corpus with ``config`` is stored under."""
+    return Path(cache_dir) / f"corpus-{config_digest(config)}.npz"
+
+
+def _payload_digest(lengths: np.ndarray, blob: bytes) -> str:
+    """Integrity fingerprint of the bytecode payload (lengths + bytes).
+
+    Catches corruption the shape checks cannot — e.g. per-record lengths
+    shifted while their total is preserved, which would silently garble
+    every bytecode boundary.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(lengths, dtype=np.int64).tobytes())
+    digest.update(blob)
+    return digest.hexdigest()
+
+
+def save_corpus(corpus: GeneratedCorpus, path: Union[str, Path]) -> None:
+    """Serialize a generated corpus to one ``.npz`` file."""
+    records = corpus.records
+    blob = b"".join(record.bytecode for record in records)
+    lengths = np.array([record.size for record in records], dtype=np.int64)
+    arrays = {
+        "digest": np.array([config_digest(corpus.config)]),
+        "payload_digest": np.array([_payload_digest(lengths, blob)]),
+        "addresses": np.array([record.address for record in records]),
+        "labels": np.array([record.label.value for record in records]),
+        "months": np.array([str(record.deployed_month) for record in records]),
+        "families": np.array([record.family for record in records]),
+        "metadata": np.array(
+            [json.dumps(record.metadata, sort_keys=True) for record in records]
+        ),
+        "code_lengths": lengths,
+        "code_blob": np.frombuffer(blob, dtype=np.uint8),
+    }
+    write_npz(path, arrays, magic=CORPUS_FILE_MAGIC, version=CORPUS_FILE_VERSION)
+
+
+def load_corpus(path: Union[str, Path], config: CorpusConfig) -> GeneratedCorpus:
+    """Load a corpus saved by :func:`save_corpus`.
+
+    Raises:
+        CorpusCacheError: if the file is unreadable, corrupt, written by an
+            incompatible version, or was generated from a different config.
+    """
+    required = {
+        "digest", "payload_digest", "addresses", "labels", "months",
+        "families", "metadata", "code_lengths", "code_blob",
+    }
+    with open_validated_npz(
+        path,
+        magic=CORPUS_FILE_MAGIC,
+        version=CORPUS_FILE_VERSION,
+        required=required,
+        error=CorpusCacheError,
+    ) as data:
+        if str(data["digest"][0]) != config_digest(config):
+            raise CorpusCacheError(
+                f"corpus cache {path} was generated from a different config"
+            )
+        lengths = data["code_lengths"]
+        blob = data["code_blob"].astype(np.uint8).tobytes()
+        n = lengths.shape[0]
+        columns = (data["addresses"], data["labels"], data["months"],
+                   data["families"], data["metadata"])
+        if any(column.shape[0] != n for column in columns):
+            raise CorpusCacheError(f"corpus cache {path} has inconsistent rows")
+        if (lengths.size and (lengths < 0).any()) or int(lengths.sum()) != len(blob):
+            raise CorpusCacheError(f"corpus cache {path} has a truncated blob")
+        if str(data["payload_digest"][0]) != _payload_digest(lengths, blob):
+            raise CorpusCacheError(f"corpus cache {path} has a corrupt payload")
+        records: List[ContractRecord] = []
+        offset = 0
+        for i in range(n):
+            size = int(lengths[i])
+            records.append(
+                ContractRecord(
+                    address=str(data["addresses"][i]),
+                    bytecode=blob[offset : offset + size],
+                    label=ContractLabel(str(data["labels"][i])),
+                    deployed_month=DeploymentMonth.parse(str(data["months"][i])),
+                    family=str(data["families"][i]),
+                    metadata=json.loads(str(data["metadata"][i])),
+                )
+            )
+            offset += size
+        return GeneratedCorpus(records=records, config=config)
+
+
+def load_or_generate(
+    config: CorpusConfig, cache_dir: Union[str, Path]
+) -> Tuple[GeneratedCorpus, bool]:
+    """The corpus for ``config``, from cache when possible.
+
+    Returns ``(corpus, from_cache)``: ``from_cache`` is true when the corpus
+    was served from a valid cache file.  A missing, corrupt, stale or
+    mismatched file triggers a regeneration that overwrites the cache.
+    """
+    path = corpus_cache_path(config, cache_dir)
+    if path.exists():
+        try:
+            return load_corpus(path, config), True
+        except CorpusCacheError:
+            pass
+    corpus = ContractCorpusGenerator(config).generate()
+    save_corpus(corpus, path)
+    return corpus, False

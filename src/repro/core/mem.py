@@ -4,16 +4,26 @@ Systematically trains and evaluates the registered detectors with repeated
 stratified k-fold cross-validation over a :class:`PhishingDataset`
 (Fig. 1 step ➐), producing the data behind Table II, the scalability study
 and the time-resistance study.
+
+Timed cells run against the process-wide
+:class:`~repro.features.batch.BatchFeatureService` by default, so a warm
+cache removes extraction cost from ``train_time`` / ``inference_time``;
+``Scale(fresh_service=True)`` makes every timed cell extract through a
+fresh cold service instead, so the captured times include extracting the
+cell's own contracts (within-cell dedup of identical bytecodes remains —
+see :class:`~repro.core.config.Scale`).
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, ContextManager, List, Optional, Sequence
 
 import numpy as np
 
+from ..features.batch import BatchFeatureService, use_service
 from ..ml.metrics import MetricReport
 from ..ml.model_selection import CrossValidationResult, FoldResult, StratifiedKFold
 from ..models.base import PhishingDetector
@@ -38,6 +48,20 @@ class ModelEvaluationModule:
         if self.progress is not None:
             self.progress(model_name, done, total)
 
+    def _timing_scope(self, n_contracts: int) -> ContextManager:
+        """The feature-service scope of one timed fit/score cell.
+
+        With ``scale.fresh_service`` the cell extracts through its own cold
+        :class:`BatchFeatureService`, so the captured times include feature
+        extraction regardless of process-wide cache state (duplicates within
+        the cell are still extracted only once).  The cell service is sized
+        to hold every contract of the cell, so the within-cell dedup
+        guarantee cannot be broken by LRU self-eviction on large splits.
+        """
+        if self.scale.fresh_service:
+            return use_service(BatchFeatureService(cache_size=max(4096, n_contracts)))
+        return nullcontext()
+
     def evaluate_detector(
         self,
         build_detector: Callable[[int], PhishingDetector],
@@ -59,12 +83,13 @@ class ModelEvaluationModule:
                 detector = build_detector(seed + run * 100 + fold_index)
                 train_codes = [bytecodes[i] for i in train_idx]
                 test_codes = [bytecodes[i] for i in test_idx]
-                start = time.perf_counter()
-                detector.fit(train_codes, labels[train_idx])
-                train_time = time.perf_counter() - start
-                start = time.perf_counter()
-                predictions = detector.predict(test_codes)
-                inference_time = time.perf_counter() - start
+                with self._timing_scope(len(train_codes) + len(test_codes)):
+                    start = time.perf_counter()
+                    detector.fit(train_codes, labels[train_idx])
+                    train_time = time.perf_counter() - start
+                    start = time.perf_counter()
+                    predictions = detector.predict(test_codes)
+                    inference_time = time.perf_counter() - start
                 report = MetricReport.from_predictions(labels[test_idx], predictions)
                 result.folds.append(
                     FoldResult(
@@ -126,12 +151,13 @@ class ModelEvaluationModule:
     ) -> dict:
         """Train on one dataset, evaluate on another; returns metrics + times."""
         detector = build_model(model_name, scale=deep_scale or self.scale.deep_scale, seed=seed)
-        start = time.perf_counter()
-        detector.fit(train.bytecodes, train.labels)
-        train_time = time.perf_counter() - start
-        start = time.perf_counter()
-        predictions = detector.predict(test.bytecodes)
-        inference_time = time.perf_counter() - start
+        with self._timing_scope(len(train) + len(test)):
+            start = time.perf_counter()
+            detector.fit(train.bytecodes, train.labels)
+            train_time = time.perf_counter() - start
+            start = time.perf_counter()
+            predictions = detector.predict(test.bytecodes)
+            inference_time = time.perf_counter() - start
         report = MetricReport.from_predictions(test.labels, predictions)
         return {
             "model": model_name,

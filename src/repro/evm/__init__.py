@@ -40,12 +40,16 @@ from .fastcount import (
     BIN_MNEMONICS,
     INVALID_BIN,
     MNEMONIC_BINS,
+    OpcodeSequence,
     bins_for_mnemonics,
     count_many,
     count_opcodes,
     instruction_count,
     mnemonic_counts,
+    mnemonic_sequence,
     observed_mnemonics,
+    opcode_sequence,
+    sequence_many,
 )
 from .gas import GasProfile, cumulative_gas, profile
 from .instruction import Instruction
@@ -87,12 +91,16 @@ __all__ = [
     "BIN_MNEMONICS",
     "INVALID_BIN",
     "MNEMONIC_BINS",
+    "OpcodeSequence",
     "bins_for_mnemonics",
     "count_many",
     "count_opcodes",
     "instruction_count",
     "mnemonic_counts",
+    "mnemonic_sequence",
     "observed_mnemonics",
+    "opcode_sequence",
+    "sequence_many",
     "GasProfile",
     "cumulative_gas",
     "profile",

@@ -1,31 +1,40 @@
-"""Vectorized opcode counting — the histogram hot path.
+"""Vectorized opcode counting and sequencing — the extraction hot path.
 
 PhishingHook's entire detection signal flows through bytecode → opcode
-histograms, so disassembly + counting dominates extraction time.  The
+streams, so disassembly dominates extraction time.  The
 :class:`~repro.evm.disassembler.Disassembler` materialises one
 :class:`~repro.evm.instruction.Instruction` object per opcode, which is the
 right representation for listings, gas profiling and the interpreter — but
 orders of magnitude too slow for chain-scale feature extraction.
 
-This module provides a single-pass bytes-level kernel that walks raw
-bytecode exactly once and returns a 256-bin ``np.ndarray`` count vector with
-no per-instruction allocation.  It is provably equivalent to the linear-sweep
-disassembler:
+This module provides single-pass bytes-level kernels that walk raw bytecode
+exactly once, with no per-instruction allocation, and are provably
+equivalent to the linear-sweep disassembler:
 
-* every byte that starts an instruction is counted in the bin of its byte
-  value;
+* every byte that starts an instruction is an instruction of its byte value;
 * ``PUSH1``..``PUSH32`` immediates are skipped (truncated-PUSH-aware: an
   immediate running past the end of the code simply ends the sweep, matching
   the disassembler's no-zero-padding behaviour);
 * byte values that do not map to a defined Shanghai opcode are folded into
   the ``INVALID`` bin (0xFE), exactly as the disassembler reports them.
 
-The only Python-level loop visits PUSH *instructions* (not bytes); all
-counting happens in one ``np.bincount`` over a boolean-masked view.
+Two output representations are supported:
+
+* **counts** (:func:`count_opcodes` / :func:`count_batch`) — a 256-bin
+  ``np.ndarray`` count vector, the histogram (HSC) view;
+* **sequences** (:func:`opcode_sequence` / :func:`sequence_batch`) — an
+  :class:`OpcodeSequence` of ``(opcode value, immediate width)`` arrays in
+  instruction order, from which the tokenizer, n-gram and frequency-image
+  views reconstruct the exact ``Disassembler`` token stream without
+  re-disassembling.
+
+The only Python-level loop visits PUSH *instructions* (not bytes); batches
+resolve every instruction start with vectorized pointer doubling.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
@@ -46,6 +55,10 @@ UNDEFINED_VALUES: np.ndarray = np.array(
     [value for value in range(256) if value not in SHANGHAI_OPCODES], dtype=np.intp
 )
 
+#: Byte value → byte value, with undefined values folded into INVALID_BIN.
+_FOLD: np.ndarray = np.arange(256, dtype=np.intp)
+_FOLD[UNDEFINED_VALUES] = INVALID_BIN
+
 #: Byte value → mnemonic for every defined opcode.
 BIN_MNEMONICS: Dict[int, str] = {
     value: info.mnemonic for value, info in SHANGHAI_OPCODES.items()
@@ -57,14 +70,17 @@ MNEMONIC_BINS: Dict[str, int] = {
 }
 
 
-def _count_raw(code: bytes) -> np.ndarray:
-    """256-bin counts of instruction-start bytes (immediates skipped)."""
-    if not code:
-        return np.zeros(256, dtype=np.int64)
-    array = np.frombuffer(code, dtype=np.uint8)
+def _keep_mask(code: bytes, array: np.ndarray) -> "np.ndarray | None":
+    """Boolean instruction-start mask of ``code``; ``None`` when every byte
+    starts an instruction (no PUSH immediates to skip).
+
+    This loop is the truncated-PUSH invariant of the whole module — both the
+    count and the sequence kernel resolve instruction starts through it, so
+    it lives in exactly one place.
+    """
     push_positions = np.flatnonzero((array >= _FIRST_PUSH) & (array <= _LAST_PUSH))
     if push_positions.size == 0:
-        return np.bincount(array, minlength=256).astype(np.int64, copy=False)
+        return None
     keep = np.ones(array.shape[0], dtype=bool)
     cursor = 0
     for position in push_positions.tolist():
@@ -76,7 +92,17 @@ def _count_raw(code: bytes) -> np.ndarray:
         width = code[position] - 0x5F
         keep[position + 1 : position + 1 + width] = False
         cursor = position + 1 + width
-    return np.bincount(array[keep], minlength=256).astype(np.int64, copy=False)
+    return keep
+
+
+def _count_raw(code: bytes) -> np.ndarray:
+    """256-bin counts of instruction-start bytes (immediates skipped)."""
+    if not code:
+        return np.zeros(256, dtype=np.int64)
+    array = np.frombuffer(code, dtype=np.uint8)
+    keep = _keep_mask(code, array)
+    starts = array if keep is None else array[keep]
+    return np.bincount(starts, minlength=256).astype(np.int64, copy=False)
 
 
 def count_opcodes(bytecode: BytecodeLike) -> np.ndarray:
@@ -164,6 +190,151 @@ def count_batch(codes: Sequence[bytes]) -> np.ndarray:
 def count_many(bytecodes: Iterable[BytecodeLike]) -> np.ndarray:
     """Stack opcode counts over ``bytecodes`` into an ``(n, 256)`` matrix."""
     return count_batch([normalize_bytecode(bytecode) for bytecode in bytecodes])
+
+
+# ----------------------------------------------------------------------------
+# Sequence kernel
+# ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpcodeSequence:
+    """The disassembled instruction stream of one bytecode, as two arrays.
+
+    ``opcodes[k]`` is the opcode byte value of the *k*-th instruction
+    (undefined byte values folded into :data:`INVALID_BIN`, exactly as the
+    disassembler reports them as ``INVALID``) and ``widths[k]`` is the number
+    of immediate bytes it consumed (truncation-aware: a ``PUSHn`` whose
+    immediate runs past the end of the code has ``width < n``).  Together
+    they reconstruct the full ``Disassembler`` output against the original
+    code bytes:
+
+    * mnemonic of instruction *k* — ``BIN_MNEMONICS[opcodes[k]]``;
+    * byte offset — ``starts()[k]``;
+    * immediate operand — ``code[starts()[k] + 1 : starts()[k] + 1 +
+      widths[k]]`` when ``0x60 <= opcodes[k] <= 0x7F``, else ``None``
+      (matching ``operand_size > 0`` in the registry — ``PUSH0`` carries
+      no immediate).
+
+    Both arrays are ``uint8`` (opcodes are byte values, widths are at most
+    32), so a cached sequence costs two bytes per instruction.
+    """
+
+    opcodes: np.ndarray
+    widths: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.opcodes.shape[0])
+
+    def starts(self) -> np.ndarray:
+        """Byte offset of every instruction (``Instruction.offset``)."""
+        sizes = self.widths.astype(np.int64) + 1
+        starts = np.empty(sizes.shape[0], dtype=np.int64)
+        if sizes.shape[0]:
+            starts[0] = 0
+            np.cumsum(sizes[:-1], out=starts[1:])
+        return starts
+
+    def counts(self) -> np.ndarray:
+        """256-bin count vector (equals :func:`count_opcodes` on the code)."""
+        return np.bincount(self.opcodes, minlength=256).astype(np.int64, copy=False)
+
+    def mnemonics(self) -> List[str]:
+        """Mnemonic list (equals ``Disassembler().mnemonics(code)``)."""
+        return [BIN_MNEMONICS[int(value)] for value in self.opcodes.tolist()]
+
+
+_EMPTY_SEQUENCE = OpcodeSequence(
+    opcodes=np.zeros(0, dtype=np.uint8), widths=np.zeros(0, dtype=np.uint8)
+)
+
+
+def _sequence_from_starts(
+    array: np.ndarray, starts: np.ndarray, length: int
+) -> OpcodeSequence:
+    """Build an :class:`OpcodeSequence` from instruction-start offsets."""
+    widths = np.diff(np.append(starts, length)) - 1
+    return OpcodeSequence(
+        opcodes=_FOLD[array[starts]].astype(np.uint8),
+        widths=widths.astype(np.uint8),
+    )
+
+
+def _sequence_raw(code: bytes) -> OpcodeSequence:
+    """Sequence of already-normalised ``code`` (single-bytecode kernel)."""
+    if not code:
+        return _EMPTY_SEQUENCE
+    array = np.frombuffer(code, dtype=np.uint8)
+    keep = _keep_mask(code, array)
+    starts = (
+        np.arange(array.shape[0], dtype=np.int64)
+        if keep is None
+        else np.flatnonzero(keep)
+    )
+    return _sequence_from_starts(array, starts, len(code))
+
+
+def opcode_sequence(bytecode: BytecodeLike) -> OpcodeSequence:
+    """Disassemble ``bytecode`` into an :class:`OpcodeSequence`.
+
+    Bit-identical to the :class:`~repro.evm.disassembler.Disassembler` token
+    stream (see the dataclass docstring for the reconstruction rules).
+
+    Raises:
+        BytecodeFormatError: on malformed hex input (same contract as the
+            disassembler's :func:`normalize_bytecode`).
+    """
+    return _sequence_raw(normalize_bytecode(bytecode))
+
+
+def sequence_batch(codes: Sequence[bytes]) -> List[OpcodeSequence]:
+    """Batched sequence kernel for already-normalised codes.
+
+    Instruction starts for the whole batch are resolved in one vectorized
+    pointer-doubling pass over the concatenated buffer
+    (:func:`_instruction_starts`); the per-code split is a single
+    ``searchsorted`` plus one slice pair per code.
+    """
+    n = len(codes)
+    if n == 0:
+        return []
+    lengths = np.array([len(code) for code in codes], dtype=np.int64)
+    blob = b"".join(codes)
+    if not blob:
+        return [_EMPTY_SEQUENCE] * n
+    big = np.frombuffer(blob, dtype=np.uint8)
+    ends = np.cumsum(lengths)
+    starts_global = np.flatnonzero(_instruction_starts(big, lengths, ends))
+    boundaries = np.searchsorted(starts_global, ends)
+    sequences: List[OpcodeSequence] = []
+    cursor = 0
+    for index in range(n):
+        stop = int(boundaries[index])
+        if stop == cursor:
+            sequences.append(_EMPTY_SEQUENCE)
+            continue
+        offset = int(ends[index] - lengths[index])
+        local_starts = starts_global[cursor:stop] - offset
+        sequences.append(
+            _sequence_from_starts(
+                big[offset : int(ends[index])], local_starts, int(lengths[index])
+            )
+        )
+        cursor = stop
+    return sequences
+
+
+def sequence_many(bytecodes: Iterable[BytecodeLike]) -> List[OpcodeSequence]:
+    """Sequences of ``bytecodes`` (normalising hex/bytes inputs first)."""
+    return sequence_batch([normalize_bytecode(bytecode) for bytecode in bytecodes])
+
+
+def mnemonic_sequence(bytecode: BytecodeLike) -> List[str]:
+    """The mnemonic stream of ``bytecode``.
+
+    Equals ``Disassembler().mnemonics(bytecode)``.
+    """
+    return opcode_sequence(bytecode).mnemonics()
 
 
 def mnemonic_counts(bytecode: BytecodeLike) -> Dict[str, int]:

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..chain.contracts import ContractLabel, monthly_counts, unique_by_bytecode
+from ..chain.corpus_cache import load_or_generate
 from ..chain.generator import ContractCorpusGenerator, GeneratedCorpus
 from ..core.config import Scale
 
@@ -41,10 +43,24 @@ class MonthlyPhishingSeries:
         ]
 
 
-def run_fig2(scale: Scale | None = None, corpus: GeneratedCorpus | None = None) -> MonthlyPhishingSeries:
-    """Regenerate the Fig. 2 monthly series from the (synthetic) corpus."""
+def run_fig2(
+    scale: Scale | None = None,
+    corpus: GeneratedCorpus | None = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> MonthlyPhishingSeries:
+    """Regenerate the Fig. 2 monthly series from the (synthetic) corpus.
+
+    When no ``corpus`` is given and ``cache_dir`` is set, the corpus is
+    served through the on-disk cache
+    (:func:`~repro.chain.corpus_cache.load_or_generate`), so repeated runs
+    skip generation entirely.
+    """
     scale = scale or Scale.ci()
-    corpus = corpus or ContractCorpusGenerator(scale.corpus).generate()
+    if corpus is None:
+        if cache_dir is not None:
+            corpus = load_or_generate(scale.corpus, cache_dir)[0]
+        else:
+            corpus = ContractCorpusGenerator(scale.corpus).generate()
     phishing = corpus.phishing
     unique = unique_by_bytecode(phishing)
     obtained_counts = monthly_counts(phishing, label=ContractLabel.PHISHING)

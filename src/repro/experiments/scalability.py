@@ -148,8 +148,13 @@ def run_scalability(
 
     Every (model, split) cell refits over overlapping subsets of the same
     contracts, so the sweep runs under one :class:`BatchFeatureService`
-    whose count-vector cache is warmed with the full dataset up front:
-    histogram extraction inside the cells then reduces to cache lookups.
+    warmed with the full dataset up front.  Warming extracts the *sequence*
+    view (one disassembly pass per unique bytecode) and derives count
+    vectors from it, so histogram, tokenizer and frequency-image extraction
+    inside the cells all reduce to cache lookups.  With
+    ``scale.fresh_service`` the warm-up is skipped and every timed cell runs
+    against its own cold service instead (see
+    :class:`~repro.core.mem.ModelEvaluationModule`).
     """
     scale = scale or Scale.ci()
     model_names = list(model_names or SCALABILITY_MODEL_NAMES)
@@ -159,14 +164,16 @@ def run_scalability(
 
     with use_service(service):
         # Warm the cache with the whole dataset (skipped when caching is
-        # disabled — the vectors would be recomputed and discarded), growing
-        # capacity so the warm-up cannot self-evict on large corpora.  The
-        # original capacity is restored afterwards so a shared default
-        # service's memory bound outlives the experiment.
+        # disabled — the views would be recomputed and discarded — and when
+        # fresh_service demands cold per-cell timings), growing capacity so
+        # the warm-up cannot self-evict on large corpora.  The original
+        # capacity is restored afterwards so a shared default service's
+        # memory bound outlives the experiment.
         original_capacity = service.cache_size
         try:
-            if original_capacity:
+            if original_capacity and not scale.fresh_service:
                 service.cache_size = max(original_capacity, len(dataset))
+                service.sequences(dataset.bytecodes)
                 service.count_matrix(dataset.bytecodes)
             _run_cells(
                 result, mem, dataset, scale, model_names, split_ratios, test_size

@@ -2,6 +2,7 @@
 
 from .batch import (
     BatchFeatureService,
+    CacheLoadError,
     CacheStats,
     VocabularyProjection,
     get_default_service,
@@ -33,6 +34,7 @@ from .tokenizer import (
 
 __all__ = [
     "BatchFeatureService",
+    "CacheLoadError",
     "CacheStats",
     "VocabularyProjection",
     "get_default_service",

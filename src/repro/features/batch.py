@@ -1,22 +1,43 @@
-"""Batch feature-extraction service around the vectorized opcode kernel.
+"""Multi-view batch feature-extraction service around the vectorized kernels.
 
-The corpus the paper works with is duplicate-heavy (EIP-1167 minimal proxy
-clones share bytecode bit-for-bit) and the experiments re-extract features
-from the same contracts many times (cross-validation folds, data splits,
-model families).  :class:`BatchFeatureService` exploits both properties:
+PhishingHook's model zoo consumes the *same* disassembled opcode stream four
+ways — opcode histograms (HSC), token-id sequences (GPT-2/T5), hex n-grams
+(SCSGuard) and frequency-image pixel streams (ViT+Freq) — over a corpus that
+is duplicate-heavy (EIP-1167 minimal proxy clones share bytecode bit-for-bit)
+and re-extracted many times (cross-validation folds, data splits, model
+families).  :class:`BatchFeatureService` exploits all of it:
 
-* **content-hash LRU caching** — count vectors are cached under a digest of
-  the normalised bytecode, so duplicate contracts and repeated transforms
-  cost one dictionary lookup instead of a bytecode sweep;
+* **content-hash LRU caching** — every unique bytecode owns one cache entry
+  keyed by a digest of its normalised bytes.  The entry holds up to three
+  views: the 256-bin **count** vector, the **sequence**
+  (:class:`~repro.evm.fastcount.OpcodeSequence` of opcode values + immediate
+  widths) and **n-gram codes** (integer codes of non-overlapping byte
+  groups).  Counts are derived from a cached sequence for free, so one
+  disassembly pass per unique bytecode feeds the histogram, tokenizer and
+  frequency-image extractors; the n-gram view never needs a disassembly at
+  all.  :attr:`BatchFeatureService.kernel_passes` counts the kernel results
+  installed into the cache (every kernel run when caching is disabled) —
+  the cost signal the one-disassembly-per-unique-bytecode property is
+  asserted on.
 * **chunked multi-worker batches** — cache misses are deduplicated and
-  dispatched in chunks to a ``concurrent.futures`` thread pool (the kernel
-  spends its time in NumPy, so threads overlap usefully without pickling);
+  dispatched in chunks to a ``concurrent.futures`` thread pool (the kernels
+  spend their time in NumPy, so threads overlap usefully without pickling);
 * **array-based vocabulary projection** — a precomputed 256 → column index
-  map replaces the per-mnemonic dict loop of the legacy extractor.
+  map replaces the per-mnemonic dict loop of the legacy extractor;
+* **on-disk persistence** — :meth:`BatchFeatureService.save` /
+  :meth:`BatchFeatureService.load` round-trip the count/sequence/n-gram
+  store (and the hit/miss statistics) through one ``.npz`` file, so repeated
+  experiment runs skip extraction entirely.  Corrupt or
+  incompatible-version files are rejected with :class:`CacheLoadError`.
 
 A process-wide default service (:func:`get_default_service`) lets every
-histogram detector share one cache, which is what makes the scalability
-experiment's nine fit/score cells extract each contract only once.
+detector share one cache, which is what makes the scalability experiment's
+nine fit/score cells extract each contract only once.  The flip side is a
+measurement-semantics change: timing rows captured against a warm shared
+cache no longer include extraction cost.  ``Scale(fresh_service=True)``
+makes the Model Evaluation Module run every timed cell against a fresh
+cold service when end-to-end timings are needed (see
+:mod:`repro.core.mem`; within-cell dedup of identical bytecodes remains).
 """
 
 from __future__ import annotations
@@ -25,19 +46,51 @@ import hashlib
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from threading import Lock
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..persist import open_validated_npz, write_npz
 from ..evm.disassembler import BytecodeLike, normalize_bytecode
-from ..evm.fastcount import bins_for_mnemonics, count_batch, count_opcodes
+from ..evm.fastcount import (
+    UNDEFINED_VALUES,
+    OpcodeSequence,
+    bins_for_mnemonics,
+    count_batch,
+    count_opcodes,
+    sequence_batch,
+)
+
+#: Opcode byte values a folded sequence may legally contain (undefined
+#: values are collapsed into INVALID by the kernel, so a persisted sequence
+#: carrying one is tampered or corrupt).
+_DEFINED_OPCODES: np.ndarray = np.ones(256, dtype=bool)
+_DEFINED_OPCODES[UNDEFINED_VALUES] = False
+
+#: Format tag of the persistent cache file (see :meth:`BatchFeatureService.save`).
+CACHE_FILE_MAGIC = "phishinghook-feature-cache"
+#: Bump when the on-disk layout changes; older files are rejected as stale.
+CACHE_FILE_VERSION = 1
+
+#: Largest byte group the integer n-gram view supports (256**7 < 2**63).
+MAX_NGRAM_BYTES = 7
+
+
+class CacheLoadError(RuntimeError):
+    """A persistent cache file is corrupt, stale, or otherwise unreadable."""
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting of a :class:`BatchFeatureService` cache."""
+    """Hit/miss/eviction accounting of one :class:`BatchFeatureService` view.
+
+    A lookup served from the cache counts as a hit even when it required a
+    cheap derivation (a count vector binned out of a cached sequence); a miss
+    means the bytecode had to go through a bytes-level kernel for this view.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -83,12 +136,46 @@ class VocabularyProjection:
         return features
 
 
+@dataclass
+class _CacheEntry:
+    """All cached views of one unique bytecode."""
+
+    counts: Optional[np.ndarray] = None
+    sequence: Optional[OpcodeSequence] = None
+    ngrams: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+def _freeze_sequence(sequence: OpcodeSequence) -> OpcodeSequence:
+    sequence.opcodes.setflags(write=False)
+    sequence.widths.setflags(write=False)
+    return sequence
+
+
+def _gram_codes(code: bytes, bytes_per_gram: int) -> np.ndarray:
+    """Integer codes of the non-overlapping ``bytes_per_gram`` groups of ``code``.
+
+    Each complete group of *k* bytes becomes its big-endian integer value, so
+    the code is in bijection with the ``2k``-character lowercase hex gram the
+    legacy string path produces; a trailing partial group is dropped, exactly
+    like the string slicing.
+    """
+    if not 1 <= bytes_per_gram <= MAX_NGRAM_BYTES:
+        raise ValueError(f"bytes_per_gram must be in [1, {MAX_NGRAM_BYTES}]")
+    n_grams = len(code) // bytes_per_gram
+    if n_grams == 0:
+        return np.zeros(0, dtype=np.int64)
+    grouped = np.frombuffer(code[: n_grams * bytes_per_gram], dtype=np.uint8)
+    grouped = grouped.reshape(n_grams, bytes_per_gram).astype(np.int64)
+    weights = 256 ** np.arange(bytes_per_gram - 1, -1, -1, dtype=np.int64)
+    return grouped @ weights
+
+
 class BatchFeatureService:
-    """Cached, chunked, multi-worker opcode-count extraction.
+    """Cached, chunked, multi-worker extraction of all bytecode feature views.
 
     Args:
-        cache_size: Maximum number of count vectors kept in the LRU cache;
-            ``0`` disables caching entirely.
+        cache_size: Maximum number of cached bytecodes (entries) kept in the
+            LRU cache; ``0`` disables caching entirely.
         max_workers: Thread-pool width for batch extraction; ``None`` or ``1``
             keeps extraction on the calling thread.
         chunk_size: Number of distinct bytecodes handed to each worker task.
@@ -105,13 +192,16 @@ class BatchFeatureService:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.stats = CacheStats()
-        self._cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.sequence_stats = CacheStats()
+        self.ngram_stats = CacheStats()
+        self.kernel_passes = 0
+        self._cache: "OrderedDict[bytes, _CacheEntry]" = OrderedDict()
         self._lock = Lock()
         self.cache_size = cache_size
 
     @property
     def cache_size(self) -> int:
-        """Maximum number of cached count vectors (0 disables caching)."""
+        """Maximum number of cached bytecodes (0 disables caching)."""
         return self._cache_size
 
     @cache_size.setter
@@ -121,13 +211,8 @@ class BatchFeatureService:
             raise ValueError("cache_size must be >= 0")
         with self._lock:
             self._cache_size = capacity
-            if capacity == 0:
-                self.stats.evictions += len(self._cache)
-                self._cache.clear()
-            else:
-                while len(self._cache) > capacity:
-                    self._cache.popitem(last=False)
-                    self.stats.evictions += 1
+            while len(self._cache) > capacity:
+                self._evict_lru()
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -137,61 +222,172 @@ class BatchFeatureService:
     def _key(code: bytes) -> bytes:
         return hashlib.blake2b(code, digest_size=16).digest()
 
-    def _cache_get(self, key: bytes) -> Optional[np.ndarray]:
+    def _evict_lru(self) -> None:
+        """Evict the least recently used entry (caller holds the lock).
+
+        ``stats.evictions`` counts evicted *entries*; the per-view counters
+        record how many evicted entries actually held that view.
+        """
+        _, entry = self._cache.popitem(last=False)
+        self.stats.evictions += 1
+        if entry.sequence is not None:
+            self.sequence_stats.evictions += 1
+        if entry.ngrams:
+            self.ngram_stats.evictions += 1
+
+    def _entry_for(self, key: bytes) -> _CacheEntry:
+        """Get-or-create the entry of ``key`` (caller holds the lock)."""
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = _CacheEntry()
+            self._cache[key] = entry
+        else:
+            self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._evict_lru()
+        return entry
+
+    def _counts_get(self, key: bytes) -> Optional[np.ndarray]:
+        """Cached count vector, derived from a cached sequence if needed."""
         if self.cache_size == 0:
             with self._lock:
                 self.stats.misses += 1
             return None
         with self._lock:
-            vector = self._cache.get(key)
-            if vector is None:
+            entry = self._cache.get(key)
+            if entry is None:
                 self.stats.misses += 1
                 return None
             self._cache.move_to_end(key)
+            if entry.counts is None:
+                if entry.sequence is None:
+                    self.stats.misses += 1
+                    return None
+                # Binning a cached sequence is a cache-served lookup: no
+                # bytes-level kernel runs, so it counts as a hit.
+                vector = entry.sequence.counts()
+                vector.setflags(write=False)
+                entry.counts = vector
             self.stats.hits += 1
-            return vector
+            return entry.counts
 
-    def _cache_put(self, key: bytes, vector: np.ndarray) -> None:
+    def _counts_put(self, key: bytes, vector: np.ndarray) -> bool:
+        """Install a count vector; true when the view was newly set."""
         if self.cache_size == 0:
-            return
+            return False
         vector.setflags(write=False)
         with self._lock:
-            if key in self._cache:
-                self._cache.move_to_end(key)
-                return
-            self._cache[key] = vector
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-                self.stats.evictions += 1
+            entry = self._entry_for(key)
+            fresh = entry.counts is None
+            entry.counts = vector
+            return fresh
+
+    def _sequence_get(self, key: bytes) -> Optional[OpcodeSequence]:
+        if self.cache_size == 0:
+            with self._lock:
+                self.sequence_stats.misses += 1
+            return None
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None or entry.sequence is None:
+                self.sequence_stats.misses += 1
+                return None
+            self._cache.move_to_end(key)
+            self.sequence_stats.hits += 1
+            return entry.sequence
+
+    def _sequence_put(self, key: bytes, sequence: OpcodeSequence) -> bool:
+        """Install a sequence; true when the view was newly set."""
+        if self.cache_size == 0:
+            return False
+        _freeze_sequence(sequence)
+        with self._lock:
+            entry = self._entry_for(key)
+            fresh = entry.sequence is None
+            entry.sequence = sequence
+            return fresh
+
+    def _ngrams_get(self, key: bytes, bytes_per_gram: int) -> Optional[np.ndarray]:
+        if self.cache_size == 0:
+            with self._lock:
+                self.ngram_stats.misses += 1
+            return None
+        with self._lock:
+            entry = self._cache.get(key)
+            codes = entry.ngrams.get(bytes_per_gram) if entry is not None else None
+            if codes is None:
+                self.ngram_stats.misses += 1
+                return None
+            self._cache.move_to_end(key)
+            self.ngram_stats.hits += 1
+            return codes
+
+    def _ngrams_put(self, key: bytes, bytes_per_gram: int, codes: np.ndarray) -> None:
+        if self.cache_size == 0:
+            return
+        codes.setflags(write=False)
+        with self._lock:
+            self._entry_for(key).ngrams[bytes_per_gram] = codes
+
+    def _record_pass(self, counted: bool) -> None:
+        """Account one kernel pass when ``counted``.
+
+        ``kernel_passes`` counts kernel results *installed* into the cache
+        (plus every kernel run when caching is disabled), so two threads
+        racing to compute the same uncached bytecode cost one pass, not two
+        — the counter tracks unique extraction work, the telemetry signal
+        the one-disassembly-per-unique-bytecode invariant is asserted on.
+        """
+        if counted:
+            with self._lock:
+                self.kernel_passes += 1
 
     def cache_clear(self) -> None:
-        """Drop every cached vector and reset the statistics."""
+        """Drop every cached entry and reset all statistics."""
         with self._lock:
             self._cache.clear()
             self.stats = CacheStats()
+            self.sequence_stats = CacheStats()
+            self.ngram_stats = CacheStats()
+            self.kernel_passes = 0
 
     def __len__(self) -> int:
         return len(self._cache)
 
     # ------------------------------------------------------------------
-    # Extraction
+    # Count extraction (histogram view)
     # ------------------------------------------------------------------
 
     def count_vector(self, bytecode: BytecodeLike) -> np.ndarray:
-        """256-bin opcode counts of one bytecode (read-only when cached)."""
+        """256-bin opcode counts of one bytecode (read-only when cached).
+
+        When caching is enabled a miss extracts the *sequence* view and bins
+        the counts out of it, so a later sequence lookup of the same bytecode
+        is a hit instead of a second kernel pass; with caching disabled the
+        cheaper pure count kernel runs (nothing could be reused anyway).
+        """
         code = normalize_bytecode(bytecode)
         key = self._key(code)
-        vector = self._cache_get(key)
+        vector = self._counts_get(key)
         if vector is None:
-            vector = count_opcodes(code)
-            self._cache_put(key, vector)
+            if self.cache_size > 0:
+                sequence = sequence_batch([code])[0]
+                vector = sequence.counts()
+                self._record_pass(self._sequence_put(key, sequence))
+                self._counts_put(key, vector)
+            else:
+                vector = count_opcodes(code)
+                self._record_pass(True)
         return vector
 
     def count_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
         """``(n, 256)`` opcode-count matrix for a batch of bytecodes.
 
         Cache misses are deduplicated (proxy clones are extracted once) and
-        computed in chunks, optionally across a thread pool.
+        computed in chunks, optionally across a thread pool.  As in
+        :meth:`count_vector`, cached misses extract sequences and derive the
+        counts, keeping the one-disassembly-per-unique-bytecode property
+        independent of which feature view asks first.
         """
         codes = [normalize_bytecode(bytecode) for bytecode in bytecodes]
         matrix = np.zeros((len(codes), 256), dtype=np.int64)
@@ -199,7 +395,7 @@ class BatchFeatureService:
         pending_codes: Dict[bytes, bytes] = {}
         for row, code in enumerate(codes):
             key = self._key(code)
-            vector = self._cache_get(key)
+            vector = self._counts_get(key)
             if vector is None:
                 pending.setdefault(key, []).append(row)
                 pending_codes[key] = code
@@ -207,9 +403,18 @@ class BatchFeatureService:
                 matrix[row] = vector
         if pending:
             keys = list(pending)
-            vectors = self._compute([pending_codes[key] for key in keys])
+            missing = [pending_codes[key] for key in keys]
+            if self.cache_size > 0:
+                sequences = self._map_chunks(sequence_batch, missing)
+                vectors = []
+                for key, sequence in zip(keys, sequences):
+                    self._record_pass(self._sequence_put(key, sequence))
+                    vector = sequence.counts()
+                    self._counts_put(key, vector)
+                    vectors.append(vector)
+            else:
+                vectors = self._compute(missing)
             for key, vector in zip(keys, vectors):
-                self._cache_put(key, vector)
                 for row in pending[key]:
                     matrix[row] = vector
         return matrix
@@ -221,17 +426,24 @@ class BatchFeatureService:
         return [np.array(row) for row in count_batch(chunk)]
 
     def _compute(self, codes: Sequence[bytes]) -> List[np.ndarray]:
-        # Always chunk — the batch kernel's working set is a multiple of the
+        # Only reached with caching disabled, where no dedup is possible:
+        # every code is a real kernel pass.
+        with self._lock:
+            self.kernel_passes += len(codes)
+        return self._map_chunks(self._compute_chunk, codes)
+
+    def _map_chunks(self, compute_chunk, codes: Sequence[bytes]) -> list:
+        # Always chunk — the batch kernels' working set is a multiple of the
         # concatenated input, so one giant call would spike peak memory.
         chunks = [
             codes[start : start + self.chunk_size]
             for start in range(0, len(codes), self.chunk_size)
         ]
         if self.max_workers is None or self.max_workers <= 1 or len(chunks) <= 1:
-            return [vector for chunk in chunks for vector in self._compute_chunk(chunk)]
+            return [result for chunk in chunks for result in compute_chunk(chunk)]
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            chunk_results = list(pool.map(self._compute_chunk, chunks))
-        return [vector for chunk in chunk_results for vector in chunk]
+            chunk_results = list(pool.map(compute_chunk, chunks))
+        return [result for chunk in chunk_results for result in chunk]
 
     def transform(
         self,
@@ -246,6 +458,287 @@ class BatchFeatureService:
             populated = totals > 0
             features[populated] /= totals[populated, np.newaxis]
         return features
+
+    # ------------------------------------------------------------------
+    # Sequence extraction (tokenizer / frequency-image view)
+    # ------------------------------------------------------------------
+
+    def sequence(self, bytecode: BytecodeLike) -> OpcodeSequence:
+        """The :class:`OpcodeSequence` of one bytecode (read-only when cached)."""
+        code = normalize_bytecode(bytecode)
+        key = self._key(code)
+        sequence = self._sequence_get(key)
+        if sequence is None:
+            sequence = sequence_batch([code])[0]
+            self._record_pass(
+                self._sequence_put(key, sequence) or self.cache_size == 0
+            )
+        return sequence
+
+    def sequences(self, bytecodes: Sequence[BytecodeLike]) -> List[OpcodeSequence]:
+        """Sequences for a batch of bytecodes (misses deduplicated + chunked)."""
+        codes = [normalize_bytecode(bytecode) for bytecode in bytecodes]
+        results: List[Optional[OpcodeSequence]] = [None] * len(codes)
+        pending: "OrderedDict[bytes, List[int]]" = OrderedDict()
+        pending_codes: Dict[bytes, bytes] = {}
+        for row, code in enumerate(codes):
+            key = self._key(code)
+            sequence = self._sequence_get(key)
+            if sequence is None:
+                pending.setdefault(key, []).append(row)
+                pending_codes[key] = code
+            else:
+                results[row] = sequence
+        if pending:
+            keys = list(pending)
+            sequences = self._map_chunks(
+                sequence_batch, [pending_codes[key] for key in keys]
+            )
+            for key, sequence in zip(keys, sequences):
+                self._record_pass(
+                    self._sequence_put(key, sequence) or self.cache_size == 0
+                )
+                for row in pending[key]:
+                    results[row] = sequence
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # N-gram extraction (SCSGuard view)
+    # ------------------------------------------------------------------
+
+    def ngram_codes(self, bytecode: BytecodeLike, bytes_per_gram: int) -> np.ndarray:
+        """Integer codes of the non-overlapping byte groups of one bytecode.
+
+        The *k*-byte group starting at offset ``i*k`` becomes its big-endian
+        integer value — in bijection with the ``2k``-character lowercase hex
+        gram of :class:`~repro.features.ngram.HexNgramEncoder`'s legacy
+        string path.  No disassembly is involved; the view is cached per
+        ``(bytecode, bytes_per_gram)``.
+        """
+        code = normalize_bytecode(bytecode)
+        key = self._key(code)
+        codes = self._ngrams_get(key, bytes_per_gram)
+        if codes is None:
+            codes = _gram_codes(code, bytes_per_gram)
+            self._ngrams_put(key, bytes_per_gram, codes)
+        return codes
+
+    def ngram_codes_batch(
+        self, bytecodes: Sequence[BytecodeLike], bytes_per_gram: int
+    ) -> List[np.ndarray]:
+        """N-gram codes for a batch of bytecodes."""
+        return [self.ngram_codes(bytecode, bytes_per_gram) for bytecode in bytecodes]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the cached count/sequence/n-gram store to ``path`` (``.npz``).
+
+        The file also carries the hit/miss statistics and the kernel-pass
+        counter, so accounting survives a :meth:`load`.  Entries are written
+        in LRU order (oldest first) so reloading preserves eviction order.
+        """
+        # Snapshot the mutable entry contents while holding the lock; the
+        # arrays themselves are frozen read-only at put time, so referencing
+        # them after release is safe — only the entry fields and the ngrams
+        # dict can change concurrently.
+        with self._lock:
+            items = [
+                (key, entry.counts, entry.sequence, dict(entry.ngrams))
+                for key, entry in self._cache.items()
+            ]
+            stats = np.array(
+                [
+                    self.stats.hits, self.stats.misses, self.stats.evictions,
+                    self.sequence_stats.hits, self.sequence_stats.misses,
+                    self.sequence_stats.evictions,
+                    self.ngram_stats.hits, self.ngram_stats.misses,
+                    self.ngram_stats.evictions,
+                    self.kernel_passes,
+                ],
+                dtype=np.int64,
+            )
+        keys = [key for key, _, _, _ in items]
+        arrays: Dict[str, np.ndarray] = {
+            "stats": stats,
+            "keys": (
+                np.frombuffer(b"".join(keys), dtype=np.uint8).reshape(len(keys), 16)
+                if keys
+                else np.zeros((0, 16), dtype=np.uint8)
+            ),
+        }
+        count_rows = [i for i, (_, counts, _, _) in enumerate(items) if counts is not None]
+        arrays["count_rows"] = np.array(count_rows, dtype=np.int64)
+        arrays["count_data"] = (
+            np.stack([items[i][1] for i in count_rows])
+            if count_rows
+            else np.zeros((0, 256), dtype=np.int64)
+        )
+        seq_rows = [i for i, (_, _, sequence, _) in enumerate(items) if sequence is not None]
+        seq_list = [items[i][2] for i in seq_rows]
+        arrays["seq_rows"] = np.array(seq_rows, dtype=np.int64)
+        arrays["seq_lengths"] = np.array([len(s) for s in seq_list], dtype=np.int64)
+        # Sequences persist in their native uint8 (2 bytes per instruction);
+        # load() is value-validated and casts, so dtype is not part of the
+        # format contract.
+        arrays["seq_opcodes"] = (
+            np.concatenate([s.opcodes for s in seq_list])
+            if seq_list
+            else np.zeros(0, dtype=np.uint8)
+        )
+        arrays["seq_widths"] = (
+            np.concatenate([s.widths for s in seq_list])
+            if seq_list
+            else np.zeros(0, dtype=np.uint8)
+        )
+        ngram_rows: List[int] = []
+        ngram_sizes: List[int] = []
+        ngram_lengths: List[int] = []
+        ngram_chunks: List[np.ndarray] = []
+        for i, (_, _, _, ngrams) in enumerate(items):
+            for bytes_per_gram in sorted(ngrams):
+                codes = ngrams[bytes_per_gram]
+                ngram_rows.append(i)
+                ngram_sizes.append(bytes_per_gram)
+                ngram_lengths.append(codes.shape[0])
+                ngram_chunks.append(codes)
+        arrays["ngram_rows"] = np.array(ngram_rows, dtype=np.int64)
+        arrays["ngram_sizes"] = np.array(ngram_sizes, dtype=np.int64)
+        arrays["ngram_lengths"] = np.array(ngram_lengths, dtype=np.int64)
+        arrays["ngram_data"] = (
+            np.concatenate(ngram_chunks) if ngram_chunks else np.zeros(0, dtype=np.int64)
+        )
+        write_npz(path, arrays, magic=CACHE_FILE_MAGIC, version=CACHE_FILE_VERSION)
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Replace the cache contents with a store written by :meth:`save`.
+
+        Statistics are restored from the file; entries beyond the service's
+        ``cache_size`` are evicted oldest-first (adding to the restored
+        eviction count).  Returns the number of entries retained.
+
+        Raises:
+            CacheLoadError: if the file is missing, corrupt, or was written
+                by an incompatible format version.
+            ValueError: if this service has caching disabled — loading into
+                a ``cache_size=0`` service would silently drop every entry.
+        """
+        if self.cache_size == 0:
+            raise ValueError(
+                "cannot load a persistent cache into a caching-disabled "
+                "service (cache_size=0)"
+            )
+        entries, stats = self._read_cache_file(path)
+        with self._lock:
+            self._cache = OrderedDict(entries)
+            (
+                self.stats.hits, self.stats.misses, self.stats.evictions,
+                self.sequence_stats.hits, self.sequence_stats.misses,
+                self.sequence_stats.evictions,
+                self.ngram_stats.hits, self.ngram_stats.misses,
+                self.ngram_stats.evictions,
+                self.kernel_passes,
+            ) = (int(value) for value in stats)
+            while len(self._cache) > self._cache_size:
+                self._evict_lru()
+            return len(self._cache)
+
+    @staticmethod
+    def _read_cache_file(
+        path: Union[str, Path],
+    ) -> Tuple[List[Tuple[bytes, _CacheEntry]], np.ndarray]:
+        required = {
+            "stats", "keys",
+            "count_rows", "count_data",
+            "seq_rows", "seq_lengths", "seq_opcodes", "seq_widths",
+            "ngram_rows", "ngram_sizes", "ngram_lengths", "ngram_data",
+        }
+        with open_validated_npz(
+            path,
+            magic=CACHE_FILE_MAGIC,
+            version=CACHE_FILE_VERSION,
+            required=required,
+            error=CacheLoadError,
+        ) as data:
+            stats = np.asarray(data["stats"], dtype=np.int64)
+            if stats.shape != (10,):
+                raise CacheLoadError(f"cache file {path} has malformed stats")
+            keys_array = data["keys"]
+            if keys_array.ndim != 2 or keys_array.shape[1] != 16:
+                raise CacheLoadError(f"cache file {path} has malformed keys")
+            n = keys_array.shape[0]
+            entries: List[Tuple[bytes, _CacheEntry]] = [
+                (keys_array[i].astype(np.uint8).tobytes(), _CacheEntry())
+                for i in range(n)
+            ]
+            def valid_rows(rows: np.ndarray) -> bool:
+                return bool(((rows >= 0) & (rows < n)).all())
+
+            count_rows = data["count_rows"]
+            count_data = data["count_data"]
+            if (
+                count_data.shape != (count_rows.shape[0], 256)
+                or not valid_rows(count_rows)
+                or (count_data.size and (count_data < 0).any())
+            ):
+                raise CacheLoadError(f"cache file {path} has malformed counts")
+            for row, vector in zip(count_rows.tolist(), count_data):
+                vector = np.array(vector, dtype=np.int64)
+                vector.setflags(write=False)
+                entries[row][1].counts = vector
+            seq_rows = data["seq_rows"].tolist()
+            seq_lengths = data["seq_lengths"]
+            seq_opcodes = data["seq_opcodes"]
+            seq_widths = data["seq_widths"]
+            total = int(seq_lengths.sum()) if seq_lengths.size else 0
+            if (
+                seq_lengths.shape[0] != len(seq_rows)
+                or seq_opcodes.shape[0] != total
+                or seq_widths.shape[0] != total
+                or not valid_rows(data["seq_rows"])
+                or (seq_lengths.size and (seq_lengths < 0).any())
+            ):
+                raise CacheLoadError(f"cache file {path} has malformed sequences")
+            if seq_opcodes.size and not (
+                ((seq_opcodes >= 0) & (seq_opcodes <= 255)).all()
+                and _DEFINED_OPCODES[seq_opcodes].all()
+                and ((seq_widths >= 0) & (seq_widths <= 32)).all()
+            ):
+                raise CacheLoadError(
+                    f"cache file {path} carries out-of-range sequence values"
+                )
+            offset = 0
+            for row, length in zip(seq_rows, seq_lengths.tolist()):
+                sequence = OpcodeSequence(
+                    opcodes=seq_opcodes[offset : offset + length].astype(np.uint8),
+                    widths=seq_widths[offset : offset + length].astype(np.uint8),
+                )
+                entries[row][1].sequence = _freeze_sequence(sequence)
+                offset += length
+            ngram_rows = data["ngram_rows"].tolist()
+            ngram_sizes = data["ngram_sizes"].tolist()
+            ngram_lengths = data["ngram_lengths"]
+            ngram_data = data["ngram_data"]
+            total = int(ngram_lengths.sum()) if ngram_lengths.size else 0
+            if (
+                ngram_lengths.shape[0] != len(ngram_rows)
+                or len(ngram_sizes) != len(ngram_rows)
+                or ngram_data.shape[0] != total
+                or not valid_rows(data["ngram_rows"])
+                or (ngram_lengths.size and (ngram_lengths < 0).any())
+                or any(not 1 <= size <= MAX_NGRAM_BYTES for size in ngram_sizes)
+                or (ngram_data.size and (ngram_data < 0).any())
+            ):
+                raise CacheLoadError(f"cache file {path} has malformed n-grams")
+            offset = 0
+            for row, size, length in zip(ngram_rows, ngram_sizes, ngram_lengths.tolist()):
+                codes = ngram_data[offset : offset + length].astype(np.int64)
+                codes.setflags(write=False)
+                entries[row][1].ngrams[size] = codes
+                offset += length
+            return entries, stats
 
 
 # ----------------------------------------------------------------------------

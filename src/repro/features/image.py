@@ -16,16 +16,40 @@ Two encoders are provided:
 The paper uses 224×224 images for the pretrained ViT-B/16; the reproduction
 keeps the construction identical but defaults to a smaller spatial size so
 that from-scratch CPU training is feasible (`image_size` is configurable).
+
+:class:`FrequencyImageEncoder` runs on a vectorized fast path by default:
+bytecodes are disassembled once by the shared
+:class:`~repro.features.batch.BatchFeatureService` (content-hash-cached
+:class:`~repro.evm.fastcount.OpcodeSequence` views), mnemonic and gas
+frequencies are resolved through 256-entry lookup tables indexed by opcode
+byte value, and only PUSH immediates take a per-instruction dict lookup.
+The per-instruction legacy path is kept behind ``use_fast_path=False``;
+both produce bit-identical pixel streams.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..evm.disassembler import Disassembler, normalize_bytecode
+from ..evm.fastcount import BIN_MNEMONICS, OpcodeSequence
+from ..evm.opcodes import SHANGHAI_OPCODES
 from ..ml.preprocessing import FrequencyEncoder
+from .batch import BatchFeatureService, resolve_service
+
+#: Byte-value range of opcodes that carry an immediate (PUSH1..PUSH32; the
+#: disassembler reports no operand for anything else, including PUSH0).
+_FIRST_IMMEDIATE = 0x60
+_LAST_IMMEDIATE = 0x7F
+
+#: Opcode byte value → gas token as the BDM records it (``"NaN"`` for the
+#: gas-less ``INVALID``, which also absorbs every undefined byte value).
+_GAS_TOKENS: Dict[int, object] = {
+    value: (info.gas if info.gas is not None else "NaN")
+    for value, info in SHANGHAI_OPCODES.items()
+}
 
 
 class R2D2ImageEncoder:
@@ -67,16 +91,30 @@ class FrequencyImageEncoder:
     built exactly once on the training corpus, as required by the paper.
     """
 
-    def __init__(self, image_size: int = 32):
+    def __init__(
+        self,
+        image_size: int = 32,
+        service: Optional[BatchFeatureService] = None,
+        use_fast_path: bool = True,
+    ):
         if image_size < 2:
             raise ValueError("image_size must be at least 2")
         self.image_size = image_size
+        self.use_fast_path = use_fast_path
         self._disassembler = Disassembler()
         self._mnemonic_encoder = FrequencyEncoder(normalize=True)
         self._operand_encoder = FrequencyEncoder(normalize=True)
         self._gas_encoder = FrequencyEncoder(normalize=True)
         self._fitted = False
         self._scale = 1.0
+        self._service = service
+        self._mnemonic_lut: Optional[np.ndarray] = None
+        self._gas_lut: Optional[np.ndarray] = None
+
+    @property
+    def service(self) -> BatchFeatureService:
+        """The batch service used by the fast path (default resolved lazily)."""
+        return resolve_service(self._service)
 
     def _records(self, bytecode) -> list:
         instructions = self._disassembler.disassemble(bytecode)
@@ -89,8 +127,50 @@ class FrequencyImageEncoder:
             for instruction in instructions
         ]
 
-    def fit(self, bytecodes: Sequence) -> "FrequencyImageEncoder":
-        """Build the frequency lookup tables on the training set."""
+    @staticmethod
+    def _operand_tokens(
+        sequence: OpcodeSequence, code: bytes, limit: Optional[int] = None
+    ) -> List[Tuple[int, str]]:
+        """``(instruction index, operand hex token)`` of PUSH immediates.
+
+        ``limit`` bounds the scan to the first ``limit`` instructions —
+        encoding only renders ``image_size**2`` pixels, so the per-PUSH
+        Python loop must not walk the tail of a large contract.  Fitting
+        passes no limit (the frequency tables see the whole corpus).
+        """
+        opcodes = sequence.opcodes if limit is None else sequence.opcodes[:limit]
+        pushes = np.flatnonzero(
+            (opcodes >= _FIRST_IMMEDIATE) & (opcodes <= _LAST_IMMEDIATE)
+        )
+        if pushes.size == 0:
+            return []
+        widths = sequence.widths if limit is None else sequence.widths[:limit]
+        # Offsets of the scanned prefix only — cumsumming the full sequence
+        # would re-introduce the O(total instructions) work the limit avoids.
+        sizes = widths.astype(np.int64) + 1
+        starts = np.empty(sizes.shape[0], dtype=np.int64)
+        starts[0] = 0
+        np.cumsum(sizes[:-1], out=starts[1:])
+        tokens = []
+        for index in pushes.tolist():
+            start = int(starts[index]) + 1
+            tokens.append((index, "0x" + code[start : start + int(widths[index])].hex()))
+        return tokens
+
+    def _finalize_fit(self) -> "FrequencyImageEncoder":
+        # Scale so that the most frequent token maps close to full intensity.
+        max_frequency = max(
+            max(self._mnemonic_encoder.table_.values(), default=1.0),
+            max(self._operand_encoder.table_.values(), default=1.0),
+            max(self._gas_encoder.table_.values(), default=1.0),
+        )
+        self._scale = 1.0 / max_frequency if max_frequency > 0 else 1.0
+        self._fitted = True
+        self._mnemonic_lut = None
+        self._gas_lut = None
+        return self
+
+    def _fit_legacy(self, bytecodes: Sequence) -> "FrequencyImageEncoder":
         mnemonics, operands, gas_values = [], [], []
         for bytecode in bytecodes:
             for mnemonic, operand, gas in self._records(bytecode):
@@ -100,20 +180,65 @@ class FrequencyImageEncoder:
         self._mnemonic_encoder.fit(mnemonics)
         self._operand_encoder.fit(operands)
         self._gas_encoder.fit(gas_values)
-        # Scale so that the most frequent token maps close to full intensity.
-        max_frequency = max(
-            max(self._mnemonic_encoder.table_.values(), default=1.0),
-            max(self._operand_encoder.table_.values(), default=1.0),
-            max(self._gas_encoder.table_.values(), default=1.0),
-        )
-        self._scale = 1.0 / max_frequency if max_frequency > 0 else 1.0
-        self._fitted = True
-        return self
+        return self._finalize_fit()
 
-    def encode_one(self, bytecode) -> np.ndarray:
-        """Encode one bytecode as a ``(3, image_size, image_size)`` tensor."""
-        if not self._fitted:
-            raise RuntimeError("FrequencyImageEncoder must be fitted before encoding")
+    def fit(self, bytecodes: Sequence) -> "FrequencyImageEncoder":
+        """Build the frequency lookup tables on the training set."""
+        if not self.use_fast_path:
+            return self._fit_legacy(bytecodes)
+        codes = [normalize_bytecode(bytecode) for bytecode in bytecodes]
+        sequences = self.service.sequences(codes)
+        opcode_totals = np.zeros(256, dtype=np.int64)
+        operand_counts: Dict[object, int] = {}
+        total = 0
+        for sequence, code in zip(sequences, codes):
+            opcode_totals += np.bincount(sequence.opcodes, minlength=256)
+            total += len(sequence)
+            for _, token in self._operand_tokens(sequence, code):
+                operand_counts[token] = operand_counts.get(token, 0) + 1
+        mnemonic_counts = {
+            BIN_MNEMONICS[value]: int(opcode_totals[value])
+            for value in np.flatnonzero(opcode_totals)
+        }
+        gas_counts: Dict[object, int] = {}
+        for value in np.flatnonzero(opcode_totals).tolist():
+            token = _GAS_TOKENS[value]
+            gas_counts[token] = gas_counts.get(token, 0) + int(opcode_totals[value])
+        # Instructions without an immediate contribute the "NaN" operand token.
+        n_operands = sum(operand_counts.values())
+        if total - n_operands:
+            operand_counts["NaN"] = operand_counts.get("NaN", 0) + (total - n_operands)
+        self._mnemonic_encoder.fit_counts(mnemonic_counts, total=total)
+        self._operand_encoder.fit_counts(operand_counts, total=total)
+        self._gas_encoder.fit_counts(gas_counts, total=total)
+        return self._finalize_fit()
+
+    def _ensure_luts(self) -> None:
+        """Opcode-value → scaled channel intensity tables (built after fit)."""
+        if self._mnemonic_lut is not None:
+            return
+        mnemonic_table = self._mnemonic_encoder.table_
+        gas_table = self._gas_encoder.table_
+        mnemonic_lut = np.zeros(256, dtype=np.float64)
+        gas_lut = np.zeros(256, dtype=np.float64)
+        for value, mnemonic in BIN_MNEMONICS.items():
+            mnemonic_lut[value] = (
+                mnemonic_table.get(mnemonic, self._mnemonic_encoder.unknown_value)
+                * self._scale
+            )
+            gas_lut[value] = (
+                gas_table.get(_GAS_TOKENS[value], self._gas_encoder.unknown_value)
+                * self._scale
+            )
+        self._mnemonic_lut = mnemonic_lut
+        self._gas_lut = gas_lut
+
+    def _finish_image(self, image: np.ndarray) -> np.ndarray:
+        image = np.clip(image, 0.0, 1.0)
+        image = image.reshape(self.image_size, self.image_size, 3)
+        return np.transpose(image, (2, 0, 1))
+
+    def _encode_legacy(self, bytecode) -> np.ndarray:
         records = self._records(bytecode)
         capacity = self.image_size * self.image_size
         image = np.zeros((capacity, 3), dtype=np.float64)
@@ -123,13 +248,47 @@ class FrequencyImageEncoder:
             image[:count, 0] = self._mnemonic_encoder.transform(mnemonics) * self._scale
             image[:count, 1] = self._operand_encoder.transform(operands) * self._scale
             image[:count, 2] = self._gas_encoder.transform(gas_values) * self._scale
-        image = np.clip(image, 0.0, 1.0)
-        image = image.reshape(self.image_size, self.image_size, 3)
-        return np.transpose(image, (2, 0, 1))
+        return self._finish_image(image)
+
+    def _encode_sequence(self, sequence: OpcodeSequence, code: bytes) -> np.ndarray:
+        self._ensure_luts()
+        assert self._mnemonic_lut is not None and self._gas_lut is not None
+        capacity = self.image_size * self.image_size
+        image = np.zeros((capacity, 3), dtype=np.float64)
+        count = min(len(sequence), capacity)
+        if count:
+            opcodes = sequence.opcodes[:count]
+            image[:count, 0] = self._mnemonic_lut[opcodes]
+            image[:count, 2] = self._gas_lut[opcodes]
+            operand_table = self._operand_encoder.table_
+            unknown = self._operand_encoder.unknown_value
+            image[:count, 1] = operand_table.get("NaN", unknown) * self._scale
+            for index, token in self._operand_tokens(sequence, code, limit=count):
+                image[index, 1] = operand_table.get(token, unknown) * self._scale
+        return self._finish_image(image)
+
+    def encode_one(self, bytecode) -> np.ndarray:
+        """Encode one bytecode as a ``(3, image_size, image_size)`` tensor."""
+        if not self._fitted:
+            raise RuntimeError("FrequencyImageEncoder must be fitted before encoding")
+        if not self.use_fast_path:
+            return self._encode_legacy(bytecode)
+        code = normalize_bytecode(bytecode)
+        return self._encode_sequence(self.service.sequence(code), code)
 
     def transform(self, bytecodes: Sequence) -> np.ndarray:
         """Encode a batch: ``(n, 3, image_size, image_size)``."""
-        return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+        if not self.use_fast_path:
+            return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+        if not self._fitted:
+            raise RuntimeError("FrequencyImageEncoder must be fitted before encoding")
+        codes = [normalize_bytecode(bytecode) for bytecode in bytecodes]
+        return np.stack(
+            [
+                self._encode_sequence(sequence, code)
+                for sequence, code in zip(self.service.sequences(codes), codes)
+            ]
+        )
 
     def fit_transform(self, bytecodes: Sequence) -> np.ndarray:
         """Fit the lookup tables and encode the same batch."""

@@ -4,15 +4,27 @@ SCSGuard reads the hexadecimal bytecode string as a stream of "bigrams"
 (6-character groups in the paper's terminology, i.e. 3 bytes), builds an
 integer vocabulary over them on the training set, and pads sequences to a
 uniform length for the embedding + attention + GRU model.
+
+Encoding runs on a vectorized fast path by default: the normalize path goes
+through the shared :class:`~repro.features.batch.BatchFeatureService`, which
+caches each bytecode's grams as *integer codes* (the big-endian value of the
+gram's bytes, in bijection with its lowercase hex string), and fit/encode
+reduce to ``np.unique`` + ``np.searchsorted`` instead of per-gram string
+slicing and dict lookups.  The legacy string path is kept behind
+``use_fast_path=False``; both build identical vocabularies (same frequency /
+lexicographic tie-break) and identical id sequences.  Gram sizes above
+:data:`~repro.features.batch.MAX_NGRAM_BYTES` bytes fall back to the string
+path automatically (their integer codes would overflow ``int64``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..evm.disassembler import normalize_bytecode
+from .batch import MAX_NGRAM_BYTES, BatchFeatureService, resolve_service
 
 #: Vocabulary id reserved for padding.
 PAD_ID = 0
@@ -23,7 +35,14 @@ UNKNOWN_ID = 1
 class HexNgramEncoder:
     """Fixed-length integer sequences of hex n-grams."""
 
-    def __init__(self, chars_per_gram: int = 6, max_length: int = 256, max_vocabulary: int = 4096):
+    def __init__(
+        self,
+        chars_per_gram: int = 6,
+        max_length: int = 256,
+        max_vocabulary: int = 4096,
+        service: Optional[BatchFeatureService] = None,
+        use_fast_path: bool = True,
+    ):
         """Create an encoder.
 
         Args:
@@ -32,39 +51,123 @@ class HexNgramEncoder:
                 shorter ones padded with :data:`PAD_ID`).
             max_vocabulary: Cap on vocabulary size; the most frequent grams
                 are kept and the rest map to :data:`UNKNOWN_ID`.
+            service: Batch extraction service whose n-gram view caches gram
+                codes per bytecode; defaults to the process-wide service.
+            use_fast_path: When false, keep the per-gram string path (kept
+                for equivalence testing and benchmarking).
         """
         if chars_per_gram < 2 or chars_per_gram % 2 != 0:
             raise ValueError("chars_per_gram must be an even number >= 2")
         self.chars_per_gram = chars_per_gram
         self.max_length = max_length
         self.max_vocabulary = max_vocabulary
+        self.use_fast_path = use_fast_path
         self.vocabulary_: Dict[str, int] = {}
+        self._service = service
+        self._sorted_codes: Optional[np.ndarray] = None
+        self._sorted_ids: Optional[np.ndarray] = None
+
+    @property
+    def service(self) -> BatchFeatureService:
+        """The batch service used by the fast path (default resolved lazily)."""
+        return resolve_service(self._service)
+
+    @property
+    def _bytes_per_gram(self) -> int:
+        return self.chars_per_gram // 2
+
+    @property
+    def _vectorizable(self) -> bool:
+        return self.use_fast_path and self._bytes_per_gram <= MAX_NGRAM_BYTES
 
     def _grams(self, bytecode) -> List[str]:
         text = normalize_bytecode(bytecode).hex()
         step = self.chars_per_gram
         return [text[i : i + step] for i in range(0, len(text) - step + 1, step)]
 
+    def _gram_string(self, code: int) -> str:
+        return format(code, f"0{self.chars_per_gram}x")
+
     @property
     def vocabulary_size(self) -> int:
         """Total vocabulary size including the PAD and UNK ids."""
         return len(self.vocabulary_) + 2
 
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def _set_vocabulary(self, ranked_grams: Sequence[str]) -> None:
+        """Install the fitted vocabulary and its vectorized lookup arrays."""
+        self.vocabulary_ = {gram: index + 2 for index, gram in enumerate(ranked_grams)}
+        if self._bytes_per_gram > MAX_NGRAM_BYTES:
+            # Codes would overflow int64; encoding stays on the string path.
+            self._sorted_codes = None
+            self._sorted_ids = None
+            return
+        codes = np.array(
+            [int(gram, 16) for gram in ranked_grams], dtype=np.int64
+        )
+        ids = np.arange(2, 2 + codes.shape[0], dtype=np.int64)
+        order = np.argsort(codes)
+        self._sorted_codes = codes[order]
+        self._sorted_ids = ids[order]
+
     def fit(self, bytecodes: Sequence) -> "HexNgramEncoder":
-        """Build the gram vocabulary from training bytecodes."""
+        """Build the gram vocabulary from training bytecodes.
+
+        The kept grams are the ``max_vocabulary`` most frequent ones, ties
+        broken by gram (identically on both paths: for fixed-width lowercase
+        hex, lexicographic string order equals numeric code order).
+        """
+        if self._vectorizable:
+            code_arrays = self.service.ngram_codes_batch(bytecodes, self._bytes_per_gram)
+            populated = [codes for codes in code_arrays if codes.size]
+            if populated:
+                values, counts = np.unique(np.concatenate(populated), return_counts=True)
+                order = np.lexsort((values, -counts))[: self.max_vocabulary]
+                ranked = [self._gram_string(int(values[i])) for i in order]
+            else:
+                ranked = []
+            self._set_vocabulary(ranked)
+            return self
         counts: Dict[str, int] = {}
         for bytecode in bytecodes:
             for gram in self._grams(bytecode):
                 counts[gram] = counts.get(gram, 0) + 1
         most_frequent = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
         kept = most_frequent[: self.max_vocabulary]
-        self.vocabulary_ = {gram: index + 2 for index, (gram, _) in enumerate(kept)}
+        self._set_vocabulary([gram for gram, _ in kept])
         return self
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def _encode_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Map gram codes to vocabulary ids (vectorized binary search)."""
+        assert self._sorted_codes is not None and self._sorted_ids is not None
+        ids = np.full(min(codes.shape[0], self.max_length), UNKNOWN_ID, dtype=np.int64)
+        codes = codes[: self.max_length]
+        if self._sorted_codes.shape[0] and codes.shape[0]:
+            slots = np.searchsorted(self._sorted_codes, codes)
+            slots[slots == self._sorted_codes.shape[0]] = 0
+            known = self._sorted_codes[slots] == codes
+            ids[known] = self._sorted_ids[slots[known]]
+        if ids.shape[0] < self.max_length:
+            ids = np.concatenate(
+                [ids, np.full(self.max_length - ids.shape[0], PAD_ID, dtype=np.int64)]
+            )
+        return ids
 
     def encode_one(self, bytecode) -> np.ndarray:
         """Encode one bytecode as a fixed-length id sequence."""
         if not self.vocabulary_:
             raise RuntimeError("HexNgramEncoder must be fitted before encoding")
+        if self._vectorizable:
+            return self._encode_codes(
+                self.service.ngram_codes(bytecode, self._bytes_per_gram)
+            )
         ids = [
             self.vocabulary_.get(gram, UNKNOWN_ID) for gram in self._grams(bytecode)
         ][: self.max_length]

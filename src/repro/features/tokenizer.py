@@ -6,6 +6,15 @@ this module provides an :class:`OpcodeTokenizer` whose vocabulary is the
 closed set of EVM mnemonics plus coarse operand-bucket tokens, which plays
 the same role (turning a disassembled contract into a bounded-vocabulary
 token-id sequence) for the from-scratch GPT-2-style and T5-style models.
+
+Tokenization runs on the vectorized fast path by default: bytecodes are
+disassembled once by the shared
+:class:`~repro.features.batch.BatchFeatureService` (content-hash LRU cache
+over :class:`~repro.evm.fastcount.OpcodeSequence` views) and token ids are
+produced by array lookups — one LUT maps opcode byte values to mnemonic ids,
+another maps immediate widths to operand-bucket ids.  The per-instruction
+legacy path is kept behind ``use_fast_path=False``; both produce
+bit-identical token streams.
 """
 
 from __future__ import annotations
@@ -15,7 +24,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..evm.disassembler import Disassembler
+from ..evm.fastcount import BIN_MNEMONICS, OpcodeSequence
 from ..evm.opcodes import CANONICAL_MNEMONICS
+from .batch import BatchFeatureService, resolve_service
 
 #: Special token ids.
 PAD_TOKEN = "<pad>"
@@ -28,21 +39,38 @@ SPECIAL_TOKENS = (PAD_TOKEN, UNKNOWN_TOKEN, CLS_TOKEN, EOS_TOKEN)
 #: proxy for its magnitude and keeps the vocabulary closed.
 _OPERAND_BUCKETS = tuple(f"<imm{width}>" for width in (0, 1, 2, 4, 8, 16, 32))
 
+#: Byte-value range of opcodes that emit an operand-bucket token (the PUSH
+#: family including PUSH0, whose missing operand buckets to ``<imm0>``).
+_FIRST_PUSH_TOKEN = 0x5F
+_LAST_PUSH_TOKEN = 0x7F
 
-def _operand_bucket(operand: Optional[bytes]) -> str:
-    if operand is None or len(operand) == 0:
-        return "<imm0>"
-    width = len(operand)
+
+def _bucket_for_width(width: int) -> str:
+    if width <= 0:
+        return _OPERAND_BUCKETS[0]
     for bucket_width, token in zip((1, 2, 4, 8, 16, 32), _OPERAND_BUCKETS[1:]):
         if width <= bucket_width:
             return token
     return _OPERAND_BUCKETS[-1]
 
 
+def _operand_bucket(operand: Optional[bytes]) -> str:
+    if operand is None:
+        return _OPERAND_BUCKETS[0]
+    return _bucket_for_width(len(operand))
+
+
 class OpcodeTokenizer:
     """Turns bytecode into token-id sequences over a closed EVM vocabulary."""
 
-    def __init__(self, max_length: int = 256, include_operands: bool = True, add_cls: bool = True):
+    def __init__(
+        self,
+        max_length: int = 256,
+        include_operands: bool = True,
+        add_cls: bool = True,
+        service: Optional[BatchFeatureService] = None,
+        use_fast_path: bool = True,
+    ):
         """Create a tokenizer.
 
         Args:
@@ -52,13 +80,35 @@ class OpcodeTokenizer:
                 instruction).
             add_cls: Prepend a ``<cls>`` token used by the sequence
                 classifiers as the pooled representation position.
+            service: Batch extraction service to disassemble through;
+                defaults to the process-wide shared service so detectors
+                share one cache.
+            use_fast_path: When false, fall back to the per-instruction
+                ``Disassembler`` path (kept for equivalence testing).
         """
         self.max_length = max_length
         self.include_operands = include_operands
         self.add_cls = add_cls
+        self.use_fast_path = use_fast_path
         vocabulary: List[str] = list(SPECIAL_TOKENS) + list(_OPERAND_BUCKETS) + CANONICAL_MNEMONICS
         self.vocabulary: Dict[str, int] = {token: index for index, token in enumerate(vocabulary)}
         self._disassembler = Disassembler()
+        self._service = service
+        # Vectorized encoding tables: opcode byte value -> mnemonic token id,
+        # immediate width (0..32) -> operand-bucket token id.
+        unknown = self.vocabulary[UNKNOWN_TOKEN]
+        self._mnemonic_ids = np.full(256, unknown, dtype=np.int64)
+        for value, mnemonic in BIN_MNEMONICS.items():
+            self._mnemonic_ids[value] = self.vocabulary[mnemonic]
+        self._bucket_ids = np.array(
+            [self.vocabulary[_bucket_for_width(width)] for width in range(33)],
+            dtype=np.int64,
+        )
+
+    @property
+    def service(self) -> BatchFeatureService:
+        """The batch service used by the fast path (default resolved lazily)."""
+        return resolve_service(self._service)
 
     @property
     def vocabulary_size(self) -> int:
@@ -75,8 +125,11 @@ class OpcodeTokenizer:
         """Id of the classification token."""
         return self.vocabulary[CLS_TOKEN]
 
-    def tokenize(self, bytecode) -> List[str]:
-        """The full (untruncated) token string sequence of ``bytecode``."""
+    # ------------------------------------------------------------------
+    # String tokenization
+    # ------------------------------------------------------------------
+
+    def _tokenize_legacy(self, bytecode) -> List[str]:
         tokens: List[str] = [CLS_TOKEN] if self.add_cls else []
         for instruction in self._disassembler.disassemble(bytecode):
             tokens.append(instruction.mnemonic)
@@ -84,6 +137,50 @@ class OpcodeTokenizer:
                 tokens.append(_operand_bucket(instruction.operand))
         tokens.append(EOS_TOKEN)
         return tokens
+
+    def tokenize(self, bytecode) -> List[str]:
+        """The full (untruncated) token string sequence of ``bytecode``."""
+        if not self.use_fast_path:
+            return self._tokenize_legacy(bytecode)
+        sequence = self.service.sequence(bytecode)
+        tokens: List[str] = [CLS_TOKEN] if self.add_cls else []
+        for value, width in zip(sequence.opcodes.tolist(), sequence.widths.tolist()):
+            tokens.append(BIN_MNEMONICS[value])
+            if self.include_operands and _FIRST_PUSH_TOKEN <= value <= _LAST_PUSH_TOKEN:
+                tokens.append(_bucket_for_width(width))
+        tokens.append(EOS_TOKEN)
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Id encoding
+    # ------------------------------------------------------------------
+
+    def _ids_from_sequence(self, sequence: OpcodeSequence) -> np.ndarray:
+        """Unpadded token ids of one cached sequence (pure array lookups)."""
+        opcodes = sequence.opcodes
+        n = opcodes.shape[0]
+        prefix = 1 if self.add_cls else 0
+        mnemonic_ids = self._mnemonic_ids[opcodes]
+        if self.include_operands and n:
+            push = (opcodes >= _FIRST_PUSH_TOKEN) & (opcodes <= _LAST_PUSH_TOKEN)
+            ids = np.empty(prefix + n + int(push.sum()) + 1, dtype=np.int64)
+            positions = prefix + np.arange(n) + np.cumsum(push) - push
+            ids[positions] = mnemonic_ids
+            ids[positions[push] + 1] = self._bucket_ids[sequence.widths[push]]
+        else:
+            ids = np.empty(prefix + n + 1, dtype=np.int64)
+            ids[prefix : prefix + n] = mnemonic_ids
+        if prefix:
+            ids[0] = self.cls_id
+        ids[-1] = self.vocabulary[EOS_TOKEN]
+        return ids
+
+    def _fit_length(self, ids: np.ndarray, length: int) -> np.ndarray:
+        """Truncate/pad an unpadded id array to ``length``."""
+        out = np.full(length, self.pad_id, dtype=np.int64)
+        cut = min(ids.shape[0], length)
+        out[:cut] = ids[:cut]
+        return out
 
     def encode_tokens(self, tokens: Sequence[str], length: Optional[int] = None) -> np.ndarray:
         """Map string tokens to a fixed-length id array."""
@@ -96,8 +193,31 @@ class OpcodeTokenizer:
 
     def encode_one(self, bytecode) -> np.ndarray:
         """Tokenize and encode one bytecode (truncation variant, α models)."""
-        return self.encode_tokens(self.tokenize(bytecode))
+        if not self.use_fast_path:
+            return self.encode_tokens(self._tokenize_legacy(bytecode))
+        ids = self._ids_from_sequence(self.service.sequence(bytecode))
+        return self._fit_length(ids, self.max_length)
+
+    def full_sequences(self, bytecodes: Sequence) -> List[np.ndarray]:
+        """Unpadded token ids of every contract (for the β chunking)."""
+        if not self.use_fast_path:
+            sequences = []
+            for bytecode in bytecodes:
+                tokens = self._tokenize_legacy(bytecode)
+                sequences.append(self.encode_tokens(tokens, length=len(tokens)))
+            return sequences
+        return [
+            self._ids_from_sequence(sequence)
+            for sequence in self.service.sequences(bytecodes)
+        ]
 
     def transform(self, bytecodes: Sequence) -> np.ndarray:
         """Encode a batch: ``(n, max_length)`` int64 matrix."""
-        return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+        if not self.use_fast_path:
+            return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
+        return np.stack(
+            [
+                self._fit_length(self._ids_from_sequence(sequence), self.max_length)
+                for sequence in self.service.sequences(bytecodes)
+            ]
+        )

@@ -120,6 +120,17 @@ class FrequencyEncoder:
         for token in tokens:
             counts[token] = counts.get(token, 0) + 1
             total += 1
+        return self.fit_counts(counts, total=total)
+
+    def fit_counts(
+        self, counts: Dict[object, int], total: Optional[int] = None
+    ) -> "FrequencyEncoder":
+        """Fit from precomputed token counts (the vectorized extraction path).
+
+        Equivalent to :meth:`fit` on a token stream with these occurrence
+        counts; ``total`` defaults to the sum of the counts.
+        """
+        total = sum(counts.values()) if total is None else total
         self.total_ = total
         if self.normalize and total > 0:
             self.table_ = {token: count / total for token, count in counts.items()}

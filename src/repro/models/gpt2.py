@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..features.batch import BatchFeatureService
 from ..features.chunking import aggregate_chunk_logits, flatten_chunks, sliding_window_chunks
 from ..features.tokenizer import OpcodeTokenizer
 from ..nn.layers import Dropout, Embedding, Linear
@@ -82,6 +83,7 @@ class GPT2Detector(PhishingDetector):
         chunk_stride: Optional[int] = None,
         max_chunks: int = 4,
         trainer_config: Optional[TrainerConfig] = None,
+        service: Optional[BatchFeatureService] = None,
         seed: int = 0,
     ):
         if variant not in {"alpha", "beta"}:
@@ -99,7 +101,7 @@ class GPT2Detector(PhishingDetector):
         self.trainer_config = trainer_config or TrainerConfig(
             epochs=4, batch_size=16, learning_rate=2e-3
         )
-        self.tokenizer = OpcodeTokenizer(max_length=max_length)
+        self.tokenizer = OpcodeTokenizer(max_length=max_length, service=service)
         self.network: Optional[CausalTransformerClassifier] = None
         self._trainer: Optional[Trainer] = None
 
@@ -118,11 +120,7 @@ class GPT2Detector(PhishingDetector):
 
     def _full_token_ids(self, bytecodes: Sequence) -> List[np.ndarray]:
         """Unpadded token ids of every contract (for the β chunking)."""
-        sequences = []
-        for bytecode in bytecodes:
-            tokens = self.tokenizer.tokenize(bytecode)
-            sequences.append(self.tokenizer.encode_tokens(tokens, length=len(tokens)))
-        return sequences
+        return self.tokenizer.full_sequences(bytecodes)
 
     def _chunked(self, bytecodes: Sequence):
         sequences = self._full_token_ids(bytecodes)

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..features.batch import BatchFeatureService
 from ..features.ngram import HexNgramEncoder
 from ..nn.attention import MultiHeadAttention
 from ..nn.layers import Dropout, Embedding, LayerNorm, Linear
@@ -72,12 +73,14 @@ class SCSGuardDetector(PhishingDetector):
         n_heads: int = 4,
         d_hidden: int = 32,
         trainer_config: Optional[TrainerConfig] = None,
+        service: Optional[BatchFeatureService] = None,
         seed: int = 0,
     ):
         self.encoder = HexNgramEncoder(
             chars_per_gram=chars_per_gram,
             max_length=max_length,
             max_vocabulary=max_vocabulary,
+            service=service,
         )
         self.d_embed = d_embed
         self.n_heads = n_heads

@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..features.batch import BatchFeatureService
 from ..features.image import FrequencyImageEncoder, R2D2ImageEncoder
 from ..nn.module import Module
 from ..nn.tensor import Tensor
@@ -87,13 +88,20 @@ def make_vit_r2d2(
 def make_vit_freq(
     image_size: int = 32,
     trainer_config: Optional[TrainerConfig] = None,
+    service: Optional[BatchFeatureService] = None,
     seed: int = 0,
     **vit_kwargs,
 ) -> VisionDetector:
-    """ViT+Freq: frequency-lookup images classified by a Vision Transformer."""
+    """ViT+Freq: frequency-lookup images classified by a Vision Transformer.
+
+    The encoder disassembles through the shared
+    :class:`~repro.features.batch.BatchFeatureService` (``service=None``
+    resolves the process-wide default), so histogram, tokenizer and
+    frequency-image views of the same contracts share one sequence cache.
+    """
     network = VisionTransformer(image_size=image_size, seed=seed, **vit_kwargs)
     return VisionDetector(
-        encoder=FrequencyImageEncoder(image_size=image_size),
+        encoder=FrequencyImageEncoder(image_size=image_size, service=service),
         network=network,
         trainer_config=trainer_config,
         name="ViT+Freq",

@@ -1,0 +1,100 @@
+"""Shared envelope for validated ``.npz`` persistence files.
+
+Both on-disk caches (the feature store of
+:mod:`repro.features.batch` and the corpus cache of
+:mod:`repro.chain.corpus_cache`) speak the same envelope protocol: a magic
+tag identifying the file kind, an integer format version, and pure-NumPy
+payload arrays loaded with ``allow_pickle=False`` so reading a cache file
+never executes arbitrary code.  This module owns that protocol in one place
+— writers go through :func:`write_npz`, readers through
+:func:`open_validated_npz`, which rejects unreadable, corrupt, mistagged,
+stale-version and incomplete files by raising the caller's domain error.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Set, Type, Union
+
+import numpy as np
+
+
+def write_npz(
+    path: Union[str, Path],
+    arrays: Dict[str, np.ndarray],
+    *,
+    magic: str,
+    version: int,
+) -> None:
+    """Write ``arrays`` plus the ``magic``/``version`` envelope to ``path``.
+
+    Parent directories are created, and the write is atomic: the payload
+    goes to a temporary file in the same directory and is renamed over the
+    target, so an interrupted (or concurrent) save never leaves a truncated
+    file at the final path.  Writing goes through an open handle so NumPy
+    never appends an extension to the requested filename.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, staging = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                magic=np.array([magic]),
+                version=np.array([version], dtype=np.int64),
+                **arrays,
+            )
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def open_validated_npz(
+    path: Union[str, Path],
+    *,
+    magic: str,
+    version: int,
+    required: Set[str],
+    error: Type[Exception],
+) -> Iterator:
+    """Open an ``.npz`` written by :func:`write_npz` with the envelope checked.
+
+    Yields the open ``NpzFile`` after validating readability, the magic tag,
+    the format version and the presence of every ``required`` array.  Any
+    failure — including exceptions the caller's payload parsing raises
+    inside the ``with`` block — is re-raised as ``error``; the caller's own
+    ``error`` instances pass through unchanged.
+    """
+    try:
+        data = np.load(str(path), allow_pickle=False)
+    except Exception as exc:
+        raise error(f"unreadable cache file {path}: {exc}") from exc
+    try:
+        with data:
+            missing = (required | {"magic", "version"}) - set(data.files)
+            if missing:
+                raise error(f"cache file {path} is missing arrays: {sorted(missing)}")
+            if str(data["magic"][0]) != magic:
+                raise error(f"{path} is not a {magic} file")
+            found = int(data["version"][0])
+            if found != version:
+                raise error(
+                    f"cache file {path} has stale format version {found} "
+                    f"(expected {version})"
+                )
+            yield data
+    except error:
+        raise
+    except Exception as exc:
+        raise error(f"corrupt cache file {path}: {exc}") from exc

@@ -1,0 +1,216 @@
+"""Tests for the persistent on-disk cache of :class:`BatchFeatureService`.
+
+Covers the save/load round trip of all three cached views (counts,
+sequences, n-gram codes), graceful rejection of corrupt and
+stale-version files, statistics surviving a reload, and capacity
+enforcement on load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.batch import (
+    CACHE_FILE_MAGIC,
+    BatchFeatureService,
+    CacheLoadError,
+)
+
+
+def make_codes(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 256, size=int(rng.integers(1, 200)), dtype=np.uint8).tobytes()
+        for _ in range(n)
+    ]
+
+
+def populated_service(codes):
+    service = BatchFeatureService()
+    service.count_matrix(codes)
+    service.sequences(codes)
+    for code in codes:
+        service.ngram_codes(code, 3)
+    return service
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        codes = make_codes(6, seed=1)
+        service = populated_service(codes)
+        path = tmp_path / "cache.npz"
+        service.save(path)
+        restored = BatchFeatureService()
+        assert restored.load(path) == len(service)
+        assert len(restored) == len(service)
+        # Every view is served from the restored cache: no kernel runs.
+        kernel_passes = restored.kernel_passes
+        for code in codes:
+            assert np.array_equal(restored.count_vector(code), service.count_vector(code))
+            theirs = service.sequence(code)
+            ours = restored.sequence(code)
+            assert np.array_equal(ours.opcodes, theirs.opcodes)
+            assert np.array_equal(ours.widths, theirs.widths)
+            assert np.array_equal(
+                restored.ngram_codes(code, 3), service.ngram_codes(code, 3)
+            )
+        assert restored.kernel_passes == kernel_passes
+
+    def test_stats_survive_reload(self, tmp_path):
+        codes = make_codes(4, seed=2)
+        service = populated_service(codes)
+        service.count_matrix(codes)  # generate some hits on top of the misses
+        path = tmp_path / "cache.npz"
+        service.save(path)
+        restored = BatchFeatureService()
+        restored.load(path)
+        assert restored.stats == service.stats
+        assert restored.sequence_stats == service.sequence_stats
+        assert restored.ngram_stats == service.ngram_stats
+        assert restored.kernel_passes == service.kernel_passes
+
+    def test_empty_service_round_trips(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        BatchFeatureService().save(path)
+        restored = BatchFeatureService()
+        assert restored.load(path) == 0
+        assert len(restored) == 0
+
+    def test_partial_views_round_trip(self, tmp_path):
+        # Entries holding only some views must restore exactly those views.
+        sequence_only, ngrams_only = make_codes(2, seed=3)
+        service = BatchFeatureService()
+        service.sequence(sequence_only)
+        service.ngram_codes(ngrams_only, 3)
+        path = tmp_path / "cache.npz"
+        service.save(path)
+        restored = BatchFeatureService()
+        restored.load(path)
+        assert len(restored) == 2
+        passes = restored.kernel_passes
+        restored.sequence(sequence_only)
+        restored.count_vector(sequence_only)  # derived from the cached sequence
+        restored.ngram_codes(ngrams_only, 3)
+        assert restored.kernel_passes == passes  # all served from cache
+        restored.sequence(ngrams_only)
+        assert restored.kernel_passes == passes + 1  # that view was absent
+
+    def test_load_respects_capacity(self, tmp_path):
+        codes = make_codes(8, seed=4)
+        service = populated_service(codes)
+        path = tmp_path / "cache.npz"
+        service.save(path)
+        small = BatchFeatureService(cache_size=3)
+        assert small.load(path) == 3  # returns the *retained* count
+        assert len(small) == 3
+        assert small.stats.evictions == service.stats.evictions + 5
+        # The retained entries are the most recently used ones.
+        passes = small.kernel_passes
+        small.count_vector(codes[-1])
+        assert small.kernel_passes == passes
+
+    def test_load_into_disabled_cache_raises(self, tmp_path):
+        # A cache_size=0 service would silently drop every loaded entry
+        # while reporting success; that must be an explicit error.
+        path = tmp_path / "cache.npz"
+        populated_service(make_codes(2, seed=10)).save(path)
+        disabled = BatchFeatureService(cache_size=0)
+        with pytest.raises(ValueError):
+            disabled.load(path)
+        assert disabled.stats.evictions == 0
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        service = populated_service(make_codes(2, seed=5))
+        path = tmp_path / "nested" / "dir" / "cache.npz"
+        service.save(path)
+        assert path.exists()
+        assert BatchFeatureService().load(path) == 2
+
+
+class TestRejection:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CacheLoadError):
+            BatchFeatureService().load(tmp_path / "nope.npz")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CacheLoadError):
+            BatchFeatureService().load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        codes = make_codes(4, seed=6)
+        path = tmp_path / "cache.npz"
+        populated_service(codes).save(path)
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CacheLoadError):
+            BatchFeatureService().load(clipped)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, magic=np.array(["some-other-tool"]))
+        with pytest.raises(CacheLoadError):
+            BatchFeatureService().load(path)
+
+    def test_stale_version_rejected(self, tmp_path):
+        path = tmp_path / "stale.npz"
+        with open(path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                magic=np.array([CACHE_FILE_MAGIC]),
+                version=np.array([999], dtype=np.int64),
+            )
+        with pytest.raises(CacheLoadError) as excinfo:
+            BatchFeatureService().load(path)
+        assert "stale" in str(excinfo.value)
+
+    def test_negative_row_indices_rejected(self, tmp_path):
+        # A tampered file with a negative row index must not silently attach
+        # a view to the wrong bytecode entry via Python negative indexing.
+        codes = make_codes(3, seed=8)
+        path = tmp_path / "cache.npz"
+        populated_service(codes).save(path)
+        for field in ("count_rows", "seq_rows", "ngram_rows"):
+            with np.load(str(path), allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+            rows = arrays[field].copy()
+            rows[0] = -1
+            arrays[field] = rows
+            tampered = tmp_path / f"tampered-{field}.npz"
+            with open(tampered, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            with pytest.raises(CacheLoadError):
+                BatchFeatureService().load(tampered)
+
+    def test_out_of_range_sequence_values_rejected(self, tmp_path):
+        codes = make_codes(3, seed=9)
+        path = tmp_path / "cache.npz"
+        populated_service(codes).save(path)
+        # 0x0C is an undefined byte value: a folded sequence can never carry
+        # it, so a file that does is tampered or corrupt.
+        for field, bad_value in (("seq_opcodes", 0x0C), ("seq_widths", 64)):
+            with np.load(str(path), allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+            values = arrays[field].copy()
+            values[0] = bad_value
+            arrays[field] = values
+            tampered = tmp_path / f"tampered-{field}.npz"
+            with open(tampered, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            with pytest.raises(CacheLoadError):
+                BatchFeatureService().load(tampered)
+
+    def test_failed_load_leaves_service_usable(self, tmp_path):
+        codes = make_codes(3, seed=7)
+        service = populated_service(codes)
+        entries = len(service)
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"\x00" * 32)
+        with pytest.raises(CacheLoadError):
+            service.load(bad)
+        # The rejected load never touched the live cache.
+        assert len(service) == entries
+        passes = service.kernel_passes
+        service.count_matrix(codes)
+        assert service.kernel_passes == passes

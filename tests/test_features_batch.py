@@ -72,6 +72,17 @@ class TestCacheBehaviour:
         service.count_vector(b)
         assert service.stats.misses == misses_before + 1
 
+    def test_per_view_eviction_accounting(self):
+        service = BatchFeatureService(cache_size=2)
+        a, b, c = make_codes(3, seed=11)
+        service.sequence(a)
+        service.ngram_codes(a, 3)
+        service.count_vector(b)
+        service.count_vector(c)  # evicts a, which held a sequence and n-grams
+        assert service.stats.evictions == 1
+        assert service.sequence_stats.evictions == 1
+        assert service.ngram_stats.evictions == 1
+
     def test_cache_disabled(self):
         service = BatchFeatureService(cache_size=0)
         code = make_codes(1)[0]
