@@ -1,0 +1,51 @@
+"""Bench: thread vs process extraction backend over the bench corpus.
+
+Runs the cold multi-view extraction (sequences + counts) of every corpus
+bytecode on both ``BatchFeatureService`` executor backends, asserting
+bit-identical matrices and equal kernel-pass accounting.  Throughput is
+printed for both; no relative speed is asserted — the process backend pays
+fork + pickle overhead that only amortises on multi-core machines and
+multi-GB corpora, and CI may be single-core.
+"""
+
+import numpy as np
+
+from conftest import best_time
+
+from repro.features.batch import BatchFeatureService
+
+
+def extract_all(service, bytecodes):
+    service.cache_clear()
+    service.sequences(bytecodes)
+    return service.count_matrix(bytecodes)
+
+
+def test_bench_extraction_executor_backends(benchmark, corpus):
+    bytecodes = [record.bytecode for record in corpus.records]
+
+    thread = BatchFeatureService(
+        cache_size=len(bytecodes), max_workers=4, chunk_size=32
+    )
+    process = BatchFeatureService(
+        cache_size=len(bytecodes), max_workers=4, chunk_size=32, executor="process"
+    )
+
+    thread_time, thread_matrix = best_time(lambda: extract_all(thread, bytecodes))
+    process_time, process_matrix = benchmark.pedantic(
+        lambda: best_time(lambda: extract_all(process, bytecodes)),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert np.array_equal(thread_matrix, process_matrix)
+    assert thread.kernel_passes == process.kernel_passes
+
+    total_bytes = sum(len(code) for code in bytecodes)
+    print(
+        f"\n[executor] {len(bytecodes)} contracts ({total_bytes / 1e6:.1f} MB): "
+        f"thread {thread_time:.4f}s "
+        f"({len(bytecodes) / thread_time:,.0f}/s), "
+        f"process {process_time:.4f}s "
+        f"({len(bytecodes) / process_time:,.0f}/s)"
+    )

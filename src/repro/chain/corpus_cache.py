@@ -96,7 +96,13 @@ def save_corpus(corpus: GeneratedCorpus, path: Union[str, Path]) -> None:
         "code_lengths": lengths,
         "code_blob": np.frombuffer(blob, dtype=np.uint8),
     }
-    write_npz(path, arrays, magic=CORPUS_FILE_MAGIC, version=CORPUS_FILE_VERSION)
+    write_npz(
+        path,
+        arrays,
+        magic=CORPUS_FILE_MAGIC,
+        version=CORPUS_FILE_VERSION,
+        error=CorpusCacheError,
+    )
 
 
 def load_corpus(path: Union[str, Path], config: CorpusConfig) -> GeneratedCorpus:

@@ -10,6 +10,7 @@ paper's setting (7,000 contracts, 10-fold × 3 runs, 224×224 ViT inputs);
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..chain.generator import CorpusConfig
 from ..models.registry import DeepModelScale
@@ -30,6 +31,15 @@ class Scale:
     contract byte-identical to a train contract (proxy clones are common by
     corpus design) is extracted once, not once per call — the knob removes
     cross-cell warm-cache distortion, it does not disable batching dedup.
+
+    ``feature_cache_dir`` turns on the persistent feature store
+    (:class:`~repro.features.store.FeatureStore`): every experiment driver
+    then opens a store session keyed by its corpus fingerprint, so a second
+    invocation of the same experiment loads all cached feature views from
+    disk and performs zero kernel passes.  ``feature_executor`` /
+    ``feature_workers`` pick the extraction backend (``"thread"`` or
+    ``"process"``) and pool width of the services those sessions — and
+    ``fresh_service`` timing cells — extract through.
     """
 
     name: str = "ci"
@@ -42,6 +52,9 @@ class Scale:
     deep_scale: DeepModelScale = field(default_factory=DeepModelScale.ci)
     seed: int = 2025
     fresh_service: bool = False
+    feature_cache_dir: Optional[str] = None
+    feature_executor: str = "thread"
+    feature_workers: Optional[int] = None
 
     @classmethod
     def smoke(cls) -> "Scale":

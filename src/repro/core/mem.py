@@ -17,9 +17,9 @@ see :class:`~repro.core.config.Scale`).
 from __future__ import annotations
 
 import time
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, ContextManager, List, Optional, Sequence
+from typing import Callable, ContextManager, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -56,11 +56,36 @@ class ModelEvaluationModule:
         extraction regardless of process-wide cache state (duplicates within
         the cell are still extracted only once).  The cell service is sized
         to hold every contract of the cell, so the within-cell dedup
-        guarantee cannot be broken by LRU self-eviction on large splits.
+        guarantee cannot be broken by LRU self-eviction on large splits; it
+        extracts through the executor backend and pool width the scale
+        configures, so MEM timings measure the same backend a production
+        deployment would run.
         """
         if self.scale.fresh_service:
-            return use_service(BatchFeatureService(cache_size=max(4096, n_contracts)))
+            return self._fresh_cell_service(n_contracts)
         return nullcontext()
+
+    @contextmanager
+    def _fresh_cell_service(self, n_contracts: int) -> Iterator[BatchFeatureService]:
+        """A cold per-cell service whose worker pool dies with the cell.
+
+        The pool is started eagerly, *before* the caller opens its timing
+        window: the cell should measure extraction through the configured
+        backend, not one-off pool construction (for ``executor="process"``
+        that's worker fork/spawn + interpreter start, which a long-lived
+        deployment pays once, not per batch).
+        """
+        service = BatchFeatureService(
+            cache_size=max(4096, n_contracts),
+            max_workers=self.scale.feature_workers,
+            executor=self.scale.feature_executor,
+        )
+        service.warm_pool()
+        try:
+            with use_service(service):
+                yield service
+        finally:
+            service.close()
 
     def evaluate_detector(
         self,

@@ -10,6 +10,7 @@ from ..chain.contracts import ContractLabel, monthly_counts, unique_by_bytecode
 from ..chain.corpus_cache import load_or_generate
 from ..chain.generator import ContractCorpusGenerator, GeneratedCorpus
 from ..core.config import Scale
+from ..features.store import feature_session
 
 
 @dataclass
@@ -53,14 +54,32 @@ def run_fig2(
     When no ``corpus`` is given and ``cache_dir`` is set, the corpus is
     served through the on-disk cache
     (:func:`~repro.chain.corpus_cache.load_or_generate`), so repeated runs
-    skip generation entirely.
+    skip generation entirely.  Passing both ``corpus`` and ``cache_dir`` is
+    rejected with :class:`ValueError`: the cache can only serve a corpus it
+    generates itself, so the ``cache_dir`` would be silently ignored — an
+    explicit error beats a caller believing their corpus got cached.
+
+    With ``scale.feature_cache_dir`` set, the run also pre-warms the
+    persistent feature store (:class:`~repro.features.store.FeatureStore`)
+    with every corpus bytecode — Fig. 2 is the corpus-construction figure,
+    so it is the natural point to pay the one extraction sweep that makes
+    later feature-consuming experiments over the same corpus warm.
     """
     scale = scale or Scale.ci()
+    if corpus is not None and cache_dir is not None:
+        raise ValueError(
+            "run_fig2() accepts either a pre-built corpus or a cache_dir to "
+            "generate into, not both — the cache cannot adopt an externally "
+            "built corpus"
+        )
     if corpus is None:
         if cache_dir is not None:
             corpus = load_or_generate(scale.corpus, cache_dir)[0]
         else:
             corpus = ContractCorpusGenerator(scale.corpus).generate()
+    if scale.feature_cache_dir is not None:
+        with feature_session(scale, [record.bytecode for record in corpus.records]):
+            pass
     phishing = corpus.phishing
     unique = unique_by_bytecode(phishing)
     obtained_counts = monthly_counts(phishing, label=ContractLabel.PHISHING)

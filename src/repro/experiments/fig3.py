@@ -11,6 +11,7 @@ from ..core.config import Scale
 from ..core.dataset import PhishingDataset
 from ..features.batch import BatchFeatureService, resolve_service
 from ..features.histogram import opcode_usage_distribution
+from ..features.store import feature_session
 
 #: The 20 influential opcodes shown in Fig. 3 / Fig. 9 of the paper.
 FIG3_OPCODES = (
@@ -103,20 +104,30 @@ def run_fig3(
     dataset: PhishingDataset,
     opcodes: Optional[Sequence[str]] = None,
     service: Optional[BatchFeatureService] = None,
+    scale: Optional[Scale] = None,
 ) -> OpcodeUsageDistribution:
     """Regenerate the Fig. 3 usage distributions from a dataset.
 
     Both class slices are counted through one batch service, so the
-    duplicate-heavy corpus is swept once per distinct bytecode.
+    duplicate-heavy corpus is swept once per distinct bytecode.  With
+    ``scale.feature_cache_dir`` set (and no explicit ``service``, which
+    always takes precedence), the counts flow through a persistent
+    :class:`~repro.features.store.FeatureStore` session, so a repeated run
+    over the same dataset performs zero kernel passes.
     """
     opcodes = list(opcodes or FIG3_OPCODES)
-    service = resolve_service(service)
     labels = dataset.labels
     bytecodes = dataset.bytecodes
-    benign_codes = [code for code, label in zip(bytecodes, labels) if label == 0]
-    phishing_codes = [code for code, label in zip(bytecodes, labels) if label == 1]
-    return OpcodeUsageDistribution(
-        opcodes=opcodes,
-        benign_usage=opcode_usage_distribution(benign_codes, opcodes, service=service),
-        phishing_usage=opcode_usage_distribution(phishing_codes, opcodes, service=service),
-    )
+    with feature_session(scale if service is None else None, bytecodes) as session:
+        service = session.service if session is not None else resolve_service(service)
+        benign_codes = [code for code, label in zip(bytecodes, labels) if label == 0]
+        phishing_codes = [code for code, label in zip(bytecodes, labels) if label == 1]
+        return OpcodeUsageDistribution(
+            opcodes=opcodes,
+            benign_usage=opcode_usage_distribution(
+                benign_codes, opcodes, service=service
+            ),
+            phishing_usage=opcode_usage_distribution(
+                phishing_codes, opcodes, service=service
+            ),
+        )

@@ -19,6 +19,7 @@ from ..core.config import Scale
 from ..core.dataset import PhishingDataset
 from ..core.mem import ModelEvaluationModule
 from ..features.batch import BatchFeatureService, resolve_service, use_service
+from ..features.store import feature_session
 from ..ml.metrics import METRIC_NAMES
 from ..ml.model_selection import train_test_split
 from ..models.registry import SCALABILITY_MODEL_NAMES
@@ -155,34 +156,53 @@ def run_scalability(
     ``scale.fresh_service`` the warm-up is skipped and every timed cell runs
     against its own cold service instead (see
     :class:`~repro.core.mem.ModelEvaluationModule`).
+
+    With ``scale.feature_cache_dir`` set (and no explicit ``service``, which
+    takes precedence), the sweep runs inside a persistent
+    :class:`~repro.features.store.FeatureStore` session instead: the warm-up
+    happens against the store's right-sized service (loaded from disk on a
+    repeat run, so zero kernel passes), and the populated cache is saved
+    back for the next invocation.
     """
     scale = scale or Scale.ci()
     model_names = list(model_names or SCALABILITY_MODEL_NAMES)
     mem = ModelEvaluationModule(scale=scale)
     result = ScalabilityResult(model_names=model_names)
-    service = resolve_service(service)
 
-    with use_service(service):
-        # Warm the cache with the whole dataset (skipped when caching is
-        # disabled — the views would be recomputed and discarded — and when
-        # fresh_service demands cold per-cell timings), growing capacity so
-        # the warm-up cannot self-evict on large corpora.  The original
-        # capacity is restored afterwards so a shared default service's
-        # memory bound outlives the experiment.
-        original_capacity = service.cache_size
-        try:
-            if original_capacity and not scale.fresh_service:
-                service.cache_size = max(original_capacity, len(dataset))
-                service.sequences(dataset.bytecodes)
-                service.count_matrix(dataset.bytecodes)
+    with feature_session(
+        scale if service is None else None, dataset.bytecodes
+    ) as session:
+        if session is not None:
+            # The session already installed its service as the default,
+            # sized it to the dataset, and performed (or loaded) the warm-up
+            # — skipped under fresh_service, where the timed cells extract
+            # through their own cold services and would never read it.
             _run_cells(
                 result, mem, dataset, scale, model_names, split_ratios, test_size
             )
-        finally:
-            # Setter evicts down, so the service's memory bound is actually
-            # re-established, not just re-declared.
-            service.cache_size = original_capacity
-    return result
+            return result
+        service = resolve_service(service)
+        with use_service(service):
+            # Warm the cache with the whole dataset (skipped when caching is
+            # disabled — the views would be recomputed and discarded — and when
+            # fresh_service demands cold per-cell timings), growing capacity so
+            # the warm-up cannot self-evict on large corpora.  The original
+            # capacity is restored afterwards so a shared default service's
+            # memory bound outlives the experiment.
+            original_capacity = service.cache_size
+            try:
+                if original_capacity and not scale.fresh_service:
+                    service.cache_size = max(original_capacity, len(dataset))
+                    service.sequences(dataset.bytecodes)
+                    service.count_matrix(dataset.bytecodes)
+                _run_cells(
+                    result, mem, dataset, scale, model_names, split_ratios, test_size
+                )
+            finally:
+                # Setter evicts down, so the service's memory bound is actually
+                # re-established, not just re-declared.
+                service.cache_size = original_capacity
+        return result
 
 
 def _run_cells(

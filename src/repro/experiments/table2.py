@@ -9,6 +9,7 @@ from ..core.config import Scale
 from ..core.dataset import PhishingDataset
 from ..core.mem import ModelEvaluationModule
 from ..core.results import EvaluationSuite, render_table2
+from ..features.store import feature_session
 from ..models.registry import TABLE2_MODEL_NAMES
 
 
@@ -54,8 +55,17 @@ def run_table2(
     scale: Optional[Scale] = None,
     model_names: Optional[Sequence[str]] = None,
 ) -> Table2Result:
-    """Cross-validate the requested models and assemble Table II."""
+    """Cross-validate the requested models and assemble Table II.
+
+    With ``scale.feature_cache_dir`` set the whole suite runs inside a
+    persistent :class:`~repro.features.store.FeatureStore` session: the
+    session's service is installed as the process-wide default, so every
+    detector's extraction is a cache lookup, and a repeated run loads all
+    views from disk (zero kernel passes).  ``scale.fresh_service`` still
+    wins inside timed cells — those deliberately extract cold.
+    """
     scale = scale or Scale.ci()
     mem = ModelEvaluationModule(scale=scale)
-    suite = mem.evaluate_suite(list(model_names or TABLE2_MODEL_NAMES), dataset)
+    with feature_session(scale, dataset.bytecodes):
+        suite = mem.evaluate_suite(list(model_names or TABLE2_MODEL_NAMES), dataset)
     return Table2Result(suite=suite)

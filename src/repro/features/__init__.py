@@ -4,11 +4,19 @@ from .batch import (
     BatchFeatureService,
     CacheLoadError,
     CacheStats,
+    CacheWriteError,
     VocabularyProjection,
     get_default_service,
     resolve_service,
     set_default_service,
     use_service,
+)
+from .store import (
+    FeatureStore,
+    StoreSession,
+    corpus_fingerprint,
+    feature_session,
+    last_session,
 )
 from .chunking import (
     ChunkedSequence,
@@ -36,6 +44,12 @@ __all__ = [
     "BatchFeatureService",
     "CacheLoadError",
     "CacheStats",
+    "CacheWriteError",
+    "FeatureStore",
+    "StoreSession",
+    "corpus_fingerprint",
+    "feature_session",
+    "last_session",
     "VocabularyProjection",
     "get_default_service",
     "resolve_service",

@@ -20,15 +20,26 @@ families).  :class:`BatchFeatureService` exploits all of it:
   the cost signal the one-disassembly-per-unique-bytecode property is
   asserted on.
 * **chunked multi-worker batches** — cache misses are deduplicated and
-  dispatched in chunks to a ``concurrent.futures`` thread pool (the kernels
-  spend their time in NumPy, so threads overlap usefully without pickling);
+  dispatched in chunks to a ``concurrent.futures`` pool.  Two executor
+  backends are supported (``executor="thread"``, the default, and
+  ``executor="process"``): threads overlap usefully without pickling while
+  the kernels spend their time in NumPy, whereas a process pool ships the
+  chunk byte blobs to worker interpreters running the
+  :mod:`repro.evm.fastcount` kernels and merges the returned count/sequence
+  arrays back into the parent cache — sidestepping the GIL-bound
+  per-chunk Python overhead on multi-GB corpora.  Both backends produce
+  bit-identical results (pinned by the equivalence tests);
 * **array-based vocabulary projection** — a precomputed 256 → column index
   map replaces the per-mnemonic dict loop of the legacy extractor;
 * **on-disk persistence** — :meth:`BatchFeatureService.save` /
   :meth:`BatchFeatureService.load` round-trip the count/sequence/n-gram
   store (and the hit/miss statistics) through one ``.npz`` file, so repeated
   experiment runs skip extraction entirely.  Corrupt or
-  incompatible-version files are rejected with :class:`CacheLoadError`.
+  incompatible-version files are rejected with :class:`CacheLoadError`;
+  unwritable targets raise :class:`CacheWriteError`.
+  :class:`~repro.features.store.FeatureStore` layers corpus-fingerprint
+  file resolution and load-or-create sessions on top, which is how the
+  experiment drivers get persistent warm starts.
 
 A process-wide default service (:func:`get_default_service`) lets every
 detector share one cache, which is what makes the scalability experiment's
@@ -44,7 +55,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -81,6 +92,14 @@ MAX_NGRAM_BYTES = 7
 
 class CacheLoadError(RuntimeError):
     """A persistent cache file is corrupt, stale, or otherwise unreadable."""
+
+
+class CacheWriteError(RuntimeError):
+    """A persistent cache file could not be written (bad path, full disk)."""
+
+
+#: Executor backends :meth:`BatchFeatureService._map_chunks` can dispatch to.
+EXECUTOR_BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -176,9 +195,15 @@ class BatchFeatureService:
     Args:
         cache_size: Maximum number of cached bytecodes (entries) kept in the
             LRU cache; ``0`` disables caching entirely.
-        max_workers: Thread-pool width for batch extraction; ``None`` or ``1``
+        max_workers: Worker-pool width for batch extraction; ``None`` or ``1``
             keeps extraction on the calling thread.
         chunk_size: Number of distinct bytecodes handed to each worker task.
+        executor: ``"thread"`` (default) dispatches chunks to a
+            ``ThreadPoolExecutor`` — no pickling, kernels release time in
+            NumPy; ``"process"`` ships each chunk's byte blobs to a
+            ``ProcessPoolExecutor`` worker and merges the returned arrays
+            into the parent cache, escaping the GIL for per-chunk Python
+            overhead on very large corpora.  Both backends are bit-identical.
     """
 
     def __init__(
@@ -186,11 +211,18 @@ class BatchFeatureService:
         cache_size: int = 4096,
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
+        executor: str = "thread",
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
+            )
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self.executor = executor
+        self._pool = None
         self.stats = CacheStats()
         self.sequence_stats = CacheStats()
         self.ngram_stats = CacheStats()
@@ -441,9 +473,62 @@ class BatchFeatureService:
         ]
         if self.max_workers is None or self.max_workers <= 1 or len(chunks) <= 1:
             return [result for chunk in chunks for result in compute_chunk(chunk)]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            chunk_results = list(pool.map(compute_chunk, chunks))
+        # Workers only ever see immutable chunk byte blobs and return fresh
+        # arrays, so both pool kinds merge into the parent cache identically;
+        # the process path additionally round-trips chunks/results through
+        # pickle, which every kernel payload (bytes, ndarray, OpcodeSequence)
+        # supports.
+        chunk_results = list(self._get_pool().map(compute_chunk, chunks))
         return [result for chunk in chunk_results for result in chunk]
+
+    def _get_pool(self):
+        """The service's lazily created, reused worker pool.
+
+        Keeping one pool alive across batches matters most for the process
+        backend, where per-call pool construction would pay worker startup
+        (fork/spawn, interpreter + NumPy import) on every ``count_matrix``
+        call; experiment drivers issue many small calls per run.  Call
+        :meth:`close` to release the workers (the next batch transparently
+        builds a fresh pool).
+        """
+        with self._lock:
+            if self._pool is None:
+                pool_type = (
+                    ProcessPoolExecutor
+                    if self.executor == "process"
+                    else ThreadPoolExecutor
+                )
+                self._pool = pool_type(max_workers=self.max_workers)
+            return self._pool
+
+    def warm_pool(self) -> None:
+        """Eagerly start the worker pool so later batches don't pay startup.
+
+        A no-op when ``max_workers`` would never build a pool.  Callers that
+        time extraction (the MEM ``fresh_service`` cells) use this to keep
+        one-off pool construction — expensive for the process backend —
+        outside their measured window.
+        """
+        if self.max_workers is not None and self.max_workers > 1:
+            self._get_pool()
+
+    def close(self) -> None:
+        """Shut down the worker pool (if any); the cache stays intact.
+
+        Safe to call repeatedly; further batch calls recreate the pool on
+        demand.  Mostly relevant for ``executor="process"`` services, whose
+        idle workers would otherwise live until interpreter exit.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchFeatureService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def transform(
         self,
@@ -539,6 +624,14 @@ class BatchFeatureService:
         The file also carries the hit/miss statistics and the kernel-pass
         counter, so accounting survives a :meth:`load`.  Entries are written
         in LRU order (oldest first) so reloading preserves eviction order.
+        Parent directories are created as needed; the write is atomic with a
+        per-writer randomized staging name, so concurrent saves to the same
+        path are safe (last rename wins, the file is never truncated).
+
+        Raises:
+            CacheWriteError: if the file cannot be written — e.g. the parent
+                path is occupied by a regular file, or the directory is
+                unwritable.
         """
         # Snapshot the mutable entry contents while holding the lock; the
         # arrays themselves are frozen read-only at put time, so referencing
@@ -610,7 +703,13 @@ class BatchFeatureService:
         arrays["ngram_data"] = (
             np.concatenate(ngram_chunks) if ngram_chunks else np.zeros(0, dtype=np.int64)
         )
-        write_npz(path, arrays, magic=CACHE_FILE_MAGIC, version=CACHE_FILE_VERSION)
+        write_npz(
+            path,
+            arrays,
+            magic=CACHE_FILE_MAGIC,
+            version=CACHE_FILE_VERSION,
+            error=CacheWriteError,
+        )
 
     def load(self, path: Union[str, Path]) -> int:
         """Replace the cache contents with a store written by :meth:`save`.

@@ -17,7 +17,7 @@ import os
 import tempfile
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Set, Type, Union
+from typing import Dict, Iterator, Optional, Set, Type, Union
 
 import numpy as np
 
@@ -28,20 +28,34 @@ def write_npz(
     *,
     magic: str,
     version: int,
+    error: Optional[Type[Exception]] = None,
 ) -> None:
     """Write ``arrays`` plus the ``magic``/``version`` envelope to ``path``.
 
     Parent directories are created, and the write is atomic: the payload
-    goes to a temporary file in the same directory and is renamed over the
-    target, so an interrupted (or concurrent) save never leaves a truncated
-    file at the final path.  Writing goes through an open handle so NumPy
-    never appends an extension to the requested filename.
+    goes to a temporary file in the same directory — ``tempfile.mkstemp``
+    picks a fresh randomized name per call, so concurrent writers (threads
+    or processes) targeting the same ``path`` can never clobber each
+    other's staging file — and is renamed over the target, so an
+    interrupted or concurrent save never leaves a truncated file at the
+    final path.  Writing goes through an open handle so NumPy never appends
+    an extension to the requested filename.
+
+    When ``error`` is given, filesystem failures (an unwritable directory,
+    a parent path occupied by a regular file, a disk-full ``OSError``) are
+    re-raised as ``error`` with the target path named, so callers surface
+    their domain error instead of a bare ``OSError``.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    descriptor, staging = tempfile.mkstemp(
-        prefix=path.name + ".", suffix=".tmp", dir=path.parent
-    )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, staging = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+    except OSError as exc:
+        if error is None:
+            raise
+        raise error(f"cannot write cache file {path}: {exc}") from exc
     try:
         with os.fdopen(descriptor, "wb") as handle:
             np.savez_compressed(
@@ -51,11 +65,13 @@ def write_npz(
                 **arrays,
             )
         os.replace(staging, path)
-    except BaseException:
+    except BaseException as exc:
         try:
             os.unlink(staging)
         except OSError:
             pass
+        if error is not None and isinstance(exc, OSError):
+            raise error(f"cannot write cache file {path}: {exc}") from exc
         raise
 
 

@@ -2,9 +2,12 @@
 
 Covers the save/load round trip of all three cached views (counts,
 sequences, n-gram codes), graceful rejection of corrupt and
-stale-version files, statistics surviving a reload, and capacity
-enforcement on load.
+stale-version files, statistics surviving a reload, capacity
+enforcement on load, and the write-side guarantees: clear errors on
+unwritable paths and clobber-free concurrent saves.
 """
+
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -13,6 +16,7 @@ from repro.features.batch import (
     CACHE_FILE_MAGIC,
     BatchFeatureService,
     CacheLoadError,
+    CacheWriteError,
 )
 
 
@@ -124,6 +128,62 @@ class TestRoundTrip:
         service.save(path)
         assert path.exists()
         assert BatchFeatureService().load(path) == 2
+
+    def test_save_to_unwritable_parent_raises_clear_error(self, tmp_path):
+        # A parent path occupied by a regular file cannot become a directory;
+        # that must surface as a domain error naming the target, not a raw
+        # FileNotFoundError/FileExistsError out of the temp-file machinery.
+        blocker = tmp_path / "blocker"
+        blocker.write_bytes(b"i am a file, not a directory")
+        service = populated_service(make_codes(2, seed=20))
+        target = blocker / "cache.npz"
+        with pytest.raises(CacheWriteError) as excinfo:
+            service.save(target)
+        assert str(target) in str(excinfo.value)
+        # The failed save never corrupted the live cache.
+        assert len(service) == 2
+
+
+def _concurrent_writer(path, seed, started, release):
+    """Child-process body: build a small store and save it repeatedly."""
+    service = populated_service(make_codes(4, seed=seed))
+    started.wait()
+    release.wait()
+    for _ in range(5):
+        service.save(path)
+
+
+class TestConcurrentWriters:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork start method",
+    )
+    def test_two_process_writers_cannot_clobber_each_other(self, tmp_path):
+        # Both children hammer the same final path simultaneously.  Each
+        # save stages under a unique randomized temp name before its atomic
+        # rename, so whatever interleaving happens, the final file is one
+        # writer's complete, loadable store — never a truncated mix.
+        context = multiprocessing.get_context("fork")
+        path = tmp_path / "contested.npz"
+        barrier = context.Barrier(2)
+        release = context.Event()
+        workers = [
+            context.Process(
+                target=_concurrent_writer, args=(path, seed, barrier, release)
+            )
+            for seed in (31, 32)
+        ]
+        for worker in workers:
+            worker.start()
+        release.set()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        restored = BatchFeatureService()
+        assert restored.load(path) == 4
+        # No orphaned staging files were left behind next to the target.
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
 
 
 class TestRejection:

@@ -68,6 +68,15 @@ class TestRejection:
         with pytest.raises(CorpusCacheError):
             load_corpus(tmp_path / "nope.npz", TINY)
 
+    def test_unwritable_save_path_raises_domain_error(self, tmp_path):
+        # Same write-side contract as the feature cache: a parent occupied
+        # by a regular file surfaces as CorpusCacheError, not a raw OSError.
+        blocker = tmp_path / "blocker"
+        blocker.write_bytes(b"file, not a directory")
+        corpus = ContractCorpusGenerator(TINY).generate()
+        with pytest.raises(CorpusCacheError):
+            save_corpus(corpus, blocker / "corpus.npz")
+
     def test_digest_mismatch_rejected(self, tmp_path):
         corpus = ContractCorpusGenerator(TINY).generate()
         path = tmp_path / "corpus.npz"
