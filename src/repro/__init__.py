@@ -14,6 +14,8 @@ The package is organised in layers:
 * :mod:`repro.models` — the 16 detectors of Table II;
 * :mod:`repro.core` — the PhishingHook pipeline (BEM, BDM, dataset
   construction, MEM, PAM);
+* :mod:`repro.serving` — the request-facing scoring service (bytecode
+  ingest, verdict cache, micro-batching, serving telemetry);
 * :mod:`repro.stats` / :mod:`repro.hpo` — post-hoc statistics and
   hyperparameter search;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -34,6 +36,7 @@ from .core.mem import ModelEvaluationModule
 from .core.pam import PostHocAnalysisModule, PostHocReport
 from .core.results import EvaluationSuite, render_table2
 from .models.registry import TABLE2_MODEL_NAMES, build_model
+from .serving import ScoringService, ServingConfig
 
 __version__ = "1.0.0"
 
@@ -104,5 +107,7 @@ __all__ = [
     "TABLE2_MODEL_NAMES",
     "build_model",
     "render_table2",
+    "ScoringService",
+    "ServingConfig",
     "__version__",
 ]

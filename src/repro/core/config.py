@@ -40,6 +40,15 @@ class Scale:
     ``feature_workers`` pick the extraction backend (``"thread"`` or
     ``"process"``) and pool width of the services those sessions — and
     ``fresh_service`` timing cells — extract through.
+
+    The ``serving_*`` knobs parameterise the request-facing
+    :class:`~repro.serving.ScoringService`
+    (:meth:`~repro.serving.ServingConfig.from_scale` reads them):
+    ``serving_max_batch`` / ``serving_max_wait_ms`` bound the micro-batcher
+    (flush when full or when the oldest request aged out),
+    ``serving_verdict_cache`` sizes the content-hash verdict cache, and
+    ``serving_threshold`` is the served decision cutoff (``None``, the
+    default, adopts the wrapped detector's own ``decision_threshold``).
     """
 
     name: str = "ci"
@@ -55,6 +64,10 @@ class Scale:
     feature_cache_dir: Optional[str] = None
     feature_executor: str = "thread"
     feature_workers: Optional[int] = None
+    serving_max_batch: int = 32
+    serving_max_wait_ms: float = 2.0
+    serving_verdict_cache: int = 4096
+    serving_threshold: Optional[float] = None
 
     @classmethod
     def smoke(cls) -> "Scale":

@@ -8,11 +8,14 @@ and re-extracted many times (cross-validation folds, data splits, model
 families).  :class:`BatchFeatureService` exploits all of it:
 
 * **content-hash LRU caching** — every unique bytecode owns one cache entry
-  keyed by a digest of its normalised bytes.  The entry holds up to three
+  keyed by a digest of its normalised bytes.  The entry holds up to five
   views: the 256-bin **count** vector, the **sequence**
   (:class:`~repro.evm.fastcount.OpcodeSequence` of opcode values + immediate
-  widths) and **n-gram codes** (integer codes of non-overlapping byte
-  groups).  Counts are derived from a cached sequence for free, so one
+  widths), **n-gram codes** (integer codes of non-overlapping byte
+  groups), and the two raw-byte views — the **byte-count** histogram
+  (ESCORT's embedding input) and **R2D2 images** (per image size; both
+  memory-only, recomputed rather than persisted).  Counts are derived from
+  a cached sequence for free, so one
   disassembly pass per unique bytecode feeds the histogram, tokenizer and
   frequency-image extractors; the n-gram view never needs a disassembly at
   all.  :attr:`BatchFeatureService.kernel_passes` counts the kernel results
@@ -74,6 +77,7 @@ from ..evm.fastcount import (
     count_opcodes,
     sequence_batch,
 )
+from .rawbytes import byte_count_vector, r2d2_image_from_bytes
 
 #: Opcode byte values a folded sequence may legally contain (undefined
 #: values are collapsed into INVALID by the kernel, so a persisted sequence
@@ -88,6 +92,16 @@ CACHE_FILE_VERSION = 1
 
 #: Largest byte group the integer n-gram view supports (256**7 < 2**63).
 MAX_NGRAM_BYTES = 7
+
+
+def content_key(code: bytes) -> bytes:
+    """16-byte blake2b digest keying every bytecode-derived cache.
+
+    One definition shared by the multi-view feature cache, the corpus
+    fingerprint and the serving layer's verdict cache, so "same content
+    hash" is a structural guarantee rather than a coincidence of copies.
+    """
+    return hashlib.blake2b(code, digest_size=16).digest()
 
 
 class CacheLoadError(RuntimeError):
@@ -157,11 +171,20 @@ class VocabularyProjection:
 
 @dataclass
 class _CacheEntry:
-    """All cached views of one unique bytecode."""
+    """All cached views of one unique bytecode.
+
+    ``byte_counts`` and ``images`` are the raw-byte views (ESCORT embeddings
+    and R2D2 pixel tensors); like the n-gram view they involve no
+    disassembly, and unlike the other views they are memory-only — they are
+    cheap to recompute, so :meth:`BatchFeatureService.save` does not persist
+    them.
+    """
 
     counts: Optional[np.ndarray] = None
     sequence: Optional[OpcodeSequence] = None
     ngrams: Dict[int, np.ndarray] = field(default_factory=dict)
+    byte_counts: Optional[np.ndarray] = None
+    images: Dict[int, np.ndarray] = field(default_factory=dict)
 
 
 def _freeze_sequence(sequence: OpcodeSequence) -> OpcodeSequence:
@@ -226,6 +249,8 @@ class BatchFeatureService:
         self.stats = CacheStats()
         self.sequence_stats = CacheStats()
         self.ngram_stats = CacheStats()
+        self.byte_stats = CacheStats()
+        self.image_stats = CacheStats()
         self.kernel_passes = 0
         self._cache: "OrderedDict[bytes, _CacheEntry]" = OrderedDict()
         self._lock = Lock()
@@ -252,7 +277,7 @@ class BatchFeatureService:
 
     @staticmethod
     def _key(code: bytes) -> bytes:
-        return hashlib.blake2b(code, digest_size=16).digest()
+        return content_key(code)
 
     def _evict_lru(self) -> None:
         """Evict the least recently used entry (caller holds the lock).
@@ -266,6 +291,10 @@ class BatchFeatureService:
             self.sequence_stats.evictions += 1
         if entry.ngrams:
             self.ngram_stats.evictions += 1
+        if entry.byte_counts is not None:
+            self.byte_stats.evictions += 1
+        if entry.images:
+            self.image_stats.evictions += 1
 
     def _entry_for(self, key: bytes) -> _CacheEntry:
         """Get-or-create the entry of ``key`` (caller holds the lock)."""
@@ -381,6 +410,8 @@ class BatchFeatureService:
             self.stats = CacheStats()
             self.sequence_stats = CacheStats()
             self.ngram_stats = CacheStats()
+            self.byte_stats = CacheStats()
+            self.image_stats = CacheStats()
             self.kernel_passes = 0
 
     def __len__(self) -> int:
@@ -613,6 +644,98 @@ class BatchFeatureService:
     ) -> List[np.ndarray]:
         """N-gram codes for a batch of bytecodes."""
         return [self.ngram_codes(bytecode, bytes_per_gram) for bytecode in bytecodes]
+
+    # ------------------------------------------------------------------
+    # Raw-byte extraction (ESCORT embedding / R2D2 image views)
+    # ------------------------------------------------------------------
+
+    def _raw_view_get(
+        self, key: bytes, stats: CacheStats, read
+    ) -> Optional[np.ndarray]:
+        """Shared lookup of a memory-only raw-byte view (``read(entry)``)."""
+        if self.cache_size == 0:
+            with self._lock:
+                stats.misses += 1
+            return None
+        with self._lock:
+            entry = self._cache.get(key)
+            value = read(entry) if entry is not None else None
+            if value is None:
+                stats.misses += 1
+                return None
+            self._cache.move_to_end(key)
+            stats.hits += 1
+            return value
+
+    def byte_counts(self, bytecode: BytecodeLike) -> np.ndarray:
+        """256-bin raw byte-value histogram of one bytecode.
+
+        This is the *byte* view (ESCORT's embedding input), distinct from
+        :meth:`count_vector`'s *opcode* view: immediates count here and PUSH
+        data never becomes an instruction.  No disassembly runs, so the view
+        does not move ``kernel_passes``.
+        """
+        code = normalize_bytecode(bytecode)
+        key = self._key(code)
+        vector = self._raw_view_get(key, self.byte_stats, lambda e: e.byte_counts)
+        if vector is None:
+            vector = byte_count_vector(code)
+            if self.cache_size > 0:
+                vector.setflags(write=False)
+                with self._lock:
+                    self._entry_for(key).byte_counts = vector
+        return vector
+
+    def byte_count_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
+        """``(n, 256)`` raw byte-count matrix (duplicates served from cache)."""
+        matrix = np.zeros((len(bytecodes), 256), dtype=np.int64)
+        for row, bytecode in enumerate(bytecodes):
+            matrix[row] = self.byte_counts(bytecode)
+        return matrix
+
+    def r2d2_image(self, bytecode: BytecodeLike, image_size: int) -> np.ndarray:
+        """R2D2-style RGB tensor of one bytecode, cached per image size."""
+        code = normalize_bytecode(bytecode)
+        key = self._key(code)
+        image = self._raw_view_get(
+            key, self.image_stats, lambda e: e.images.get(image_size)
+        )
+        if image is None:
+            image = r2d2_image_from_bytes(code, image_size)
+            if self.cache_size > 0:
+                image.setflags(write=False)
+                with self._lock:
+                    self._entry_for(key).images[image_size] = image
+        return image
+
+    def r2d2_images(
+        self, bytecodes: Sequence[BytecodeLike], image_size: int
+    ) -> np.ndarray:
+        """``(n, 3, image_size, image_size)`` batch of R2D2 images."""
+        return np.stack(
+            [self.r2d2_image(bytecode, image_size) for bytecode in bytecodes]
+        )
+
+    def aggregate_stats(self) -> CacheStats:
+        """Hit/miss/eviction totals across every feature view.
+
+        The serving telemetry surface reports one feature-cache hit rate;
+        this sums the count, sequence, n-gram, byte and image view counters
+        into a single :class:`CacheStats` snapshot.
+        """
+        total = CacheStats()
+        with self._lock:
+            for stats in (
+                self.stats,
+                self.sequence_stats,
+                self.ngram_stats,
+                self.byte_stats,
+                self.image_stats,
+            ):
+                total.hits += stats.hits
+                total.misses += stats.misses
+                total.evictions += stats.evictions
+        return total
 
     # ------------------------------------------------------------------
     # Persistence

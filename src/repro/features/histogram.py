@@ -83,6 +83,11 @@ class OpcodeHistogramExtractor:
         """
         return resolve_service(self._service)
 
+    @service.setter
+    def service(self, service: Optional[BatchFeatureService]) -> None:
+        """Inject a service (``None`` reverts to the process-wide default)."""
+        self._service = service
+
     def _count(self, bytecode) -> Counter:
         return Counter(self._disassembler.mnemonics(bytecode))
 

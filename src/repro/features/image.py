@@ -38,6 +38,7 @@ from ..evm.fastcount import BIN_MNEMONICS, OpcodeSequence
 from ..evm.opcodes import SHANGHAI_OPCODES
 from ..ml.preprocessing import FrequencyEncoder
 from .batch import BatchFeatureService, resolve_service
+from .rawbytes import r2d2_image_from_bytes
 
 #: Byte-value range of opcodes that carry an immediate (PUSH1..PUSH32; the
 #: disassembler reports no operand for anything else, including PUSH0).
@@ -53,25 +54,50 @@ _GAS_TOKENS: Dict[int, object] = {
 
 
 class R2D2ImageEncoder:
-    """Map raw bytecode bytes to RGB images (no training state)."""
+    """Map raw bytecode bytes to RGB images (no training state).
 
-    def __init__(self, image_size: int = 32):
+    Encoding is pure byte arithmetic (no disassembly), but it still resolves
+    through the shared :class:`~repro.features.batch.BatchFeatureService` by
+    default: the service caches the rendered image per ``(bytecode,
+    image_size)``, so the two R2D2-fed detectors (ViT+R2D2 and
+    ECA+EfficientNet) and repeated fit/score calls over duplicate-heavy
+    corpora encode each unique bytecode once.  The direct per-call path is
+    kept behind ``use_fast_path=False``; both are bit-identical (they share
+    :func:`~repro.features.rawbytes.r2d2_image_from_bytes`).
+    """
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        service: Optional[BatchFeatureService] = None,
+        use_fast_path: bool = True,
+    ):
         if image_size < 2:
             raise ValueError("image_size must be at least 2")
         self.image_size = image_size
+        self.use_fast_path = use_fast_path
+        self._service = service
+
+    @property
+    def service(self) -> BatchFeatureService:
+        """The batch service used by the fast path (default resolved lazily)."""
+        return resolve_service(self._service)
+
+    @service.setter
+    def service(self, service: Optional[BatchFeatureService]) -> None:
+        """Inject a service (``None`` reverts to the process-wide default)."""
+        self._service = service
 
     def encode_one(self, bytecode) -> np.ndarray:
         """Encode one bytecode as a ``(3, image_size, image_size)`` tensor."""
-        raw = normalize_bytecode(bytecode)
-        capacity = self.image_size * self.image_size * 3
-        buffer = np.zeros(capacity, dtype=np.float64)
-        flat = np.frombuffer(raw[: capacity], dtype=np.uint8).astype(np.float64)
-        buffer[: len(flat)] = flat / 255.0
-        image = buffer.reshape(self.image_size, self.image_size, 3)
-        return np.transpose(image, (2, 0, 1))
+        if self.use_fast_path:
+            return self.service.r2d2_image(bytecode, self.image_size)
+        return r2d2_image_from_bytes(normalize_bytecode(bytecode), self.image_size)
 
     def transform(self, bytecodes: Sequence) -> np.ndarray:
         """Encode a batch: ``(n, 3, image_size, image_size)``."""
+        if self.use_fast_path:
+            return self.service.r2d2_images(bytecodes, self.image_size)
         return np.stack([self.encode_one(bytecode) for bytecode in bytecodes])
 
     # The encoder is stateless; fit is provided for interface symmetry.
@@ -115,6 +141,11 @@ class FrequencyImageEncoder:
     def service(self) -> BatchFeatureService:
         """The batch service used by the fast path (default resolved lazily)."""
         return resolve_service(self._service)
+
+    @service.setter
+    def service(self, service: Optional[BatchFeatureService]) -> None:
+        """Inject a service (``None`` reverts to the process-wide default)."""
+        self._service = service
 
     def _records(self, bytecode) -> list:
         instructions = self._disassembler.disassemble(bytecode)

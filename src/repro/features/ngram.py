@@ -72,6 +72,11 @@ class HexNgramEncoder:
         """The batch service used by the fast path (default resolved lazily)."""
         return resolve_service(self._service)
 
+    @service.setter
+    def service(self, service: Optional[BatchFeatureService]) -> None:
+        """Inject a service (``None`` reverts to the process-wide default)."""
+        self._service = service
+
     @property
     def _bytes_per_gram(self) -> int:
         return self.chars_per_gram // 2

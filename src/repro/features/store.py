@@ -55,6 +55,7 @@ from .batch import (
     CACHE_FILE_VERSION,
     BatchFeatureService,
     CacheLoadError,
+    content_key,
     use_service,
 )
 
@@ -64,9 +65,7 @@ STORE_FILE_PREFIX = "features-"
 
 def _fingerprint_normalized(codes: Sequence[bytes]) -> str:
     """Fingerprint of already-normalised codes (one hash pass, no copies)."""
-    hashes = sorted(
-        {hashlib.blake2b(code, digest_size=16).digest() for code in codes}
-    )
+    hashes = sorted({content_key(code) for code in codes})
     digest = hashlib.blake2b(digest_size=16)
     digest.update(str(CACHE_FILE_VERSION).encode("ascii"))
     digest.update(len(hashes).to_bytes(8, "little"))

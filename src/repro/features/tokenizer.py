@@ -110,6 +110,11 @@ class OpcodeTokenizer:
         """The batch service used by the fast path (default resolved lazily)."""
         return resolve_service(self._service)
 
+    @service.setter
+    def service(self, service: Optional[BatchFeatureService]) -> None:
+        """Inject a service (``None`` reverts to the process-wide default)."""
+        self._service = service
+
     @property
     def vocabulary_size(self) -> int:
         """Number of distinct token ids."""

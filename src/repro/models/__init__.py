@@ -2,7 +2,13 @@
 
 from .base import ModelCategory, PhishingDetector, validate_labels
 from .eca_efficientnet import ECAEfficientNet, ECAModule
-from .escort import ESCORTDetector, ESCORTNetwork, VULNERABILITY_CLASSES, structural_vulnerability_label
+from .escort import (
+    ESCORTDetector,
+    ESCORTNetwork,
+    VULNERABILITY_CLASSES,
+    structural_vulnerability_label,
+    vulnerability_label_from_counts,
+)
 from .gpt2 import CausalTransformerClassifier, GPT2Detector
 from .hsc import (
     HSC_FACTORIES,
@@ -40,6 +46,7 @@ __all__ = [
     "ESCORTNetwork",
     "VULNERABILITY_CLASSES",
     "structural_vulnerability_label",
+    "vulnerability_label_from_counts",
     "CausalTransformerClassifier",
     "GPT2Detector",
     "HSC_FACTORIES",

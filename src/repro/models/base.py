@@ -1,17 +1,24 @@
 """Common interface of the 16 phishing detectors.
 
 Every detector consumes raw contract bytecodes and binary labels
-(1 = phishing) and owns its feature-extraction pipeline internally, exactly
-as the paper's model-evaluation module treats them.
+(1 = phishing).  Feature extraction is resolved through one shared,
+injectable :class:`~repro.features.batch.BatchFeatureService`: a detector
+constructed without an explicit service extracts through the process-wide
+default (so all sixteen detectors share a single multi-view cache), and the
+:attr:`PhishingDetector.feature_service` property lets callers — the serving
+layer in particular — inject a dedicated service after construction, which
+subclasses propagate into the extractors they own.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from enum import Enum
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from ..features.batch import BatchFeatureService, resolve_service
 
 
 class ModelCategory(str, Enum):
@@ -30,6 +37,35 @@ class PhishingDetector(ABC):
     name: str = "detector"
     #: Model family.
     category: ModelCategory = ModelCategory.HISTOGRAM
+    #: Probability cutoff of :meth:`predict` (and, through it, :meth:`score`).
+    #: The serving layer overrides this per deployment; 0.5 reproduces the
+    #: paper's argmax decision rule.
+    decision_threshold: float = 0.5
+    #: Explicitly injected feature service (``None`` = process-wide default).
+    _feature_service: Optional[BatchFeatureService] = None
+
+    @property
+    def feature_service(self) -> BatchFeatureService:
+        """The batch feature service this detector extracts through.
+
+        Resolved per access when no service was injected, so process-wide
+        swaps (``use_service``/``set_default_service``) reach detectors that
+        have already been built.
+        """
+        return resolve_service(self._feature_service)
+
+    @feature_service.setter
+    def feature_service(self, service: Optional[BatchFeatureService]) -> None:
+        self._feature_service = service
+        self._propagate_service(service)
+
+    def _propagate_service(self, service: Optional[BatchFeatureService]) -> None:
+        """Subclass hook: push an injected service into owned extractors.
+
+        The default is a no-op for detectors that call
+        :attr:`feature_service` directly instead of holding extractor
+        objects with their own service reference.
+        """
 
     @abstractmethod
     def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "PhishingDetector":
@@ -40,12 +76,12 @@ class PhishingDetector(ABC):
         """Return ``(n, 2)`` class probabilities (column 1 = phishing)."""
 
     def predict(self, bytecodes: Sequence) -> np.ndarray:
-        """Binary predictions (1 = phishing)."""
+        """Binary predictions (1 = phishing) at :attr:`decision_threshold`."""
         probabilities = self.predict_proba(bytecodes)
-        return (probabilities[:, 1] >= 0.5).astype(int)
+        return (probabilities[:, 1] >= self.decision_threshold).astype(int)
 
     def score(self, bytecodes: Sequence, labels: Sequence[int]) -> float:
-        """Mean accuracy."""
+        """Mean accuracy (predictions taken at :attr:`decision_threshold`)."""
         return float(np.mean(self.predict(bytecodes) == np.asarray(labels)))
 
 

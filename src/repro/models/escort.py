@@ -27,6 +27,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..evm.disassembler import Disassembler
+from ..evm.fastcount import MNEMONIC_BINS
+from ..features.batch import BatchFeatureService
 from ..nn.layers import Linear, ReLU, Sequential
 from ..nn.losses import cross_entropy
 from ..nn.module import Module
@@ -44,15 +46,8 @@ VULNERABILITY_CLASSES = (
 )
 
 
-def structural_vulnerability_label(bytecode, disassembler: Optional[Disassembler] = None) -> int:
-    """Heuristic vulnerability class of a bytecode (pretraining target).
-
-    The classes describe technical code properties and are deliberately
-    orthogonal to the phishing label.
-    """
-    disassembler = disassembler or Disassembler()
-    mnemonics = disassembler.mnemonics(bytecode)
-    counts = {name: mnemonics.count(name) for name in set(mnemonics)}
+def _vulnerability_class(counts, total: int) -> int:
+    """Shared decision rule over per-mnemonic counts (``counts[name]``)."""
     if counts.get("DELEGATECALL", 0) > 0:
         return VULNERABILITY_CLASSES.index("delegatecall_injection")
     if counts.get("SELFDESTRUCT", 0) > 0:
@@ -62,9 +57,41 @@ def structural_vulnerability_label(bytecode, disassembler: Optional[Disassembler
     if calls > 0 and iszero < calls:
         return VULNERABILITY_CLASSES.index("unchecked_call")
     arithmetic = sum(counts.get(name, 0) for name in ("ADD", "MUL", "SUB", "DIV", "EXP", "MOD"))
-    if arithmetic >= max(8, len(mnemonics) // 20):
+    if arithmetic >= max(8, total // 20):
         return VULNERABILITY_CLASSES.index("arithmetic_heavy")
     return VULNERABILITY_CLASSES.index("none")
+
+
+#: Mnemonics the decision rule reads, with their opcode byte values.
+_RULE_MNEMONICS = (
+    "DELEGATECALL", "SELFDESTRUCT", "CALL", "CALLCODE", "ISZERO",
+    "ADD", "MUL", "SUB", "DIV", "EXP", "MOD",
+)
+_RULE_BINS = {name: MNEMONIC_BINS[name] for name in _RULE_MNEMONICS}
+
+
+def structural_vulnerability_label(bytecode, disassembler: Optional[Disassembler] = None) -> int:
+    """Heuristic vulnerability class of a bytecode (pretraining target).
+
+    The classes describe technical code properties and are deliberately
+    orthogonal to the phishing label.
+    """
+    disassembler = disassembler or Disassembler()
+    mnemonics = disassembler.mnemonics(bytecode)
+    counts = {name: mnemonics.count(name) for name in set(mnemonics)}
+    return _vulnerability_class(counts, len(mnemonics))
+
+
+def vulnerability_label_from_counts(count_vector: np.ndarray) -> int:
+    """The same decision rule applied to a 256-bin opcode-count vector.
+
+    The count view of the shared feature service is pinned bit-identical to
+    the disassembler's instruction stream, so this agrees with
+    :func:`structural_vulnerability_label` on every bytecode while costing
+    only a handful of array reads.
+    """
+    counts = {name: int(count_vector[value]) for name, value in _RULE_BINS.items()}
+    return _vulnerability_class(counts, int(count_vector.sum()))
 
 
 class ESCORTNetwork(Module):
@@ -103,6 +130,8 @@ class ESCORTDetector(PhishingDetector):
         transfer_epochs: int = 6,
         batch_size: int = 32,
         learning_rate: float = 2e-3,
+        service: Optional[BatchFeatureService] = None,
+        use_fast_path: bool = True,
         seed: int = 0,
     ):
         self.d_hidden = d_hidden
@@ -111,13 +140,28 @@ class ESCORTDetector(PhishingDetector):
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.seed = seed
+        self._feature_service = service
+        self.use_fast_path = use_fast_path
         self.network: Optional[ESCORTNetwork] = None
         self._disassembler = Disassembler()
 
     # ------------------------------------------------------------------
 
     def _embed(self, bytecodes: Sequence) -> np.ndarray:
-        """Byte-value frequency embedding of each bytecode (256-dim)."""
+        """Byte-value frequency embedding of each bytecode (256-dim).
+
+        The fast path resolves the byte-count view through the shared
+        feature service (duplicates are counted once per process); the
+        legacy per-contract path is kept behind ``use_fast_path=False`` and
+        both are bit-identical (same integer counts, same denominator).
+        """
+        if self.use_fast_path:
+            counts = self.feature_service.byte_count_matrix(bytecodes)
+            totals = counts.sum(axis=1)
+            features = np.zeros((len(bytecodes), 256))
+            populated = totals > 0
+            features[populated] = counts[populated] / totals[populated, np.newaxis]
+            return features
         features = np.zeros((len(bytecodes), 256))
         for row, bytecode in enumerate(bytecodes):
             raw = bytecode if isinstance(bytecode, (bytes, bytearray)) else bytes.fromhex(
@@ -128,6 +172,15 @@ class ESCORTDetector(PhishingDetector):
             counts = np.bincount(np.frombuffer(raw, dtype=np.uint8), minlength=256)
             features[row] = counts / len(raw)
         return features
+
+    def _vulnerability_targets(self, bytecodes: Sequence) -> np.ndarray:
+        """Pretraining classes; the fast path reads cached count vectors."""
+        if self.use_fast_path:
+            matrix = self.feature_service.count_matrix(bytecodes)
+            return np.array([vulnerability_label_from_counts(row) for row in matrix])
+        return np.array(
+            [structural_vulnerability_label(code, self._disassembler) for code in bytecodes]
+        )
 
     def _train_phase(
         self,
@@ -159,9 +212,7 @@ class ESCORTDetector(PhishingDetector):
         self.network = ESCORTNetwork(input_dim=256, d_hidden=self.d_hidden, seed=self.seed)
 
         # Phase 1: multi-class vulnerability pretraining (trunk + vuln branch).
-        vulnerability_targets = np.array(
-            [structural_vulnerability_label(code, self._disassembler) for code in bytecodes]
-        )
+        vulnerability_targets = self._vulnerability_targets(bytecodes)
         phase1_parameters = (
             self.network.trunk.parameters() + self.network.vulnerability_branch.parameters()
         )

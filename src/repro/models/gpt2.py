@@ -101,9 +101,13 @@ class GPT2Detector(PhishingDetector):
         self.trainer_config = trainer_config or TrainerConfig(
             epochs=4, batch_size=16, learning_rate=2e-3
         )
+        self._feature_service = service
         self.tokenizer = OpcodeTokenizer(max_length=max_length, service=service)
         self.network: Optional[CausalTransformerClassifier] = None
         self._trainer: Optional[Trainer] = None
+
+    def _propagate_service(self, service: Optional[BatchFeatureService]) -> None:
+        self.tokenizer.service = service
 
     # ------------------------------------------------------------------
 

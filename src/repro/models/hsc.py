@@ -38,7 +38,11 @@ class HistogramDetector(PhishingDetector):
         self.classifier = classifier
         # All detectors extract through the (shared by default) batch service,
         # so repeated fits over the same contracts hit the count-vector cache.
+        self._feature_service = service
         self.extractor = OpcodeHistogramExtractor(normalize=False, service=service)
+
+    def _propagate_service(self, service: Optional[BatchFeatureService]) -> None:
+        self.extractor.service = service
 
     def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "HistogramDetector":
         """Fit the histogram vocabulary and the underlying classifier."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..features.batch import BatchFeatureService
 from ..nn.trainer import TrainerConfig
 from .base import ModelCategory, PhishingDetector
 from .escort import ESCORTDetector
@@ -115,9 +116,23 @@ class ModelSpec:
     category: ModelCategory
     factory: Callable[..., PhishingDetector]
 
-    def build(self, scale: Optional[DeepModelScale] = None, seed: int = 0) -> PhishingDetector:
-        """Instantiate the detector at the given scale."""
-        return self.factory(scale or DeepModelScale.ci(), seed)
+    def build(
+        self,
+        scale: Optional[DeepModelScale] = None,
+        seed: int = 0,
+        service: Optional["BatchFeatureService"] = None,
+    ) -> PhishingDetector:
+        """Instantiate the detector at the given scale.
+
+        ``service`` injects a dedicated feature service into the fresh
+        detector (propagated into its extractors through the
+        :attr:`~repro.models.base.PhishingDetector.feature_service` setter);
+        ``None`` keeps the process-wide shared default.
+        """
+        detector = self.factory(scale or DeepModelScale.ci(), seed)
+        if service is not None:
+            detector.feature_service = service
+        return detector
 
 
 def _hsc(name: str, factory: Callable[..., PhishingDetector]) -> ModelSpec:
@@ -278,7 +293,15 @@ def get_model_spec(name: str) -> ModelSpec:
 
 
 def build_model(
-    name: str, scale: Optional[DeepModelScale] = None, seed: int = 0
+    name: str,
+    scale: Optional[DeepModelScale] = None,
+    seed: int = 0,
+    service: Optional["BatchFeatureService"] = None,
 ) -> PhishingDetector:
-    """Instantiate the detector registered under ``name``."""
-    return get_model_spec(name).build(scale=scale, seed=seed)
+    """Instantiate the detector registered under ``name``.
+
+    ``service`` optionally injects a dedicated
+    :class:`~repro.features.batch.BatchFeatureService`; by default the
+    detector extracts through the process-wide shared service.
+    """
+    return get_model_spec(name).build(scale=scale, seed=seed, service=service)

@@ -76,6 +76,7 @@ class SCSGuardDetector(PhishingDetector):
         service: Optional[BatchFeatureService] = None,
         seed: int = 0,
     ):
+        self._feature_service = service
         self.encoder = HexNgramEncoder(
             chars_per_gram=chars_per_gram,
             max_length=max_length,
@@ -91,6 +92,9 @@ class SCSGuardDetector(PhishingDetector):
         )
         self.network: Optional[SCSGuardNetwork] = None
         self._trainer: Optional[Trainer] = None
+
+    def _propagate_service(self, service: Optional[BatchFeatureService]) -> None:
+        self.encoder.service = service
 
     def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "SCSGuardDetector":
         """Build the n-gram vocabulary and train the network."""

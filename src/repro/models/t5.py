@@ -100,9 +100,13 @@ class T5Detector(PhishingDetector):
         self.trainer_config = trainer_config or TrainerConfig(
             epochs=4, batch_size=16, learning_rate=2e-3
         )
+        self._feature_service = service
         self.tokenizer = OpcodeTokenizer(max_length=max_length, service=service)
         self.network: Optional[EncoderTransformerClassifier] = None
         self._trainer: Optional[Trainer] = None
+
+    def _propagate_service(self, service: Optional[BatchFeatureService]) -> None:
+        self.tokenizer.service = service
 
     def _build_network(self) -> EncoderTransformerClassifier:
         return EncoderTransformerClassifier(

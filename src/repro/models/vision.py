@@ -38,6 +38,7 @@ class VisionDetector(PhishingDetector):
         network: Module,
         trainer_config: Optional[TrainerConfig] = None,
         name: str = "VisionDetector",
+        service: Optional[BatchFeatureService] = None,
     ):
         self.name = name
         self.encoder = encoder
@@ -46,6 +47,13 @@ class VisionDetector(PhishingDetector):
             epochs=4, batch_size=16, learning_rate=2e-3
         )
         self._trainer: Optional[Trainer] = None
+        self._feature_service = service
+        if service is not None:
+            self._propagate_service(service)
+
+    def _propagate_service(self, service: Optional[BatchFeatureService]) -> None:
+        # Both image encoders expose the same injectable ``service`` slot.
+        self.encoder.service = service
 
     def fit(self, bytecodes: Sequence, labels: Sequence[int]) -> "VisionDetector":
         """Encode bytecodes as images and train the classifier."""
@@ -72,16 +80,24 @@ class VisionDetector(PhishingDetector):
 def make_vit_r2d2(
     image_size: int = 32,
     trainer_config: Optional[TrainerConfig] = None,
+    service: Optional[BatchFeatureService] = None,
     seed: int = 0,
     **vit_kwargs,
 ) -> VisionDetector:
-    """ViT+R2D2: raw-byte RGB images classified by a Vision Transformer."""
+    """ViT+R2D2: raw-byte RGB images classified by a Vision Transformer.
+
+    The encoder renders through the shared
+    :class:`~repro.features.batch.BatchFeatureService` image view
+    (``service=None`` resolves the process-wide default), so duplicate
+    bytecodes are encoded once across detectors and calls.
+    """
     network = VisionTransformer(image_size=image_size, seed=seed, **vit_kwargs)
     return VisionDetector(
-        encoder=R2D2ImageEncoder(image_size=image_size),
+        encoder=R2D2ImageEncoder(image_size=image_size, service=service),
         network=network,
         trainer_config=trainer_config,
         name="ViT+R2D2",
+        service=service,
     )
 
 
@@ -105,20 +121,27 @@ def make_vit_freq(
         network=network,
         trainer_config=trainer_config,
         name="ViT+Freq",
+        service=service,
     )
 
 
 def make_eca_efficientnet(
     image_size: int = 32,
     trainer_config: Optional[TrainerConfig] = None,
+    service: Optional[BatchFeatureService] = None,
     seed: int = 0,
     **net_kwargs,
 ) -> VisionDetector:
-    """ECA+EfficientNet: raw-byte RGB images + channel-attention CNN."""
+    """ECA+EfficientNet: raw-byte RGB images + channel-attention CNN.
+
+    Like :func:`make_vit_r2d2`, images resolve through the shared batch
+    service's cached R2D2 view.
+    """
     network = ECAEfficientNet(image_size=image_size, seed=seed, **net_kwargs)
     return VisionDetector(
-        encoder=R2D2ImageEncoder(image_size=image_size),
+        encoder=R2D2ImageEncoder(image_size=image_size, service=service),
         network=network,
         trainer_config=trainer_config,
         name="ECA+EfficientNet",
+        service=service,
     )

@@ -1,0 +1,77 @@
+"""Cross-detector equivalence: shared injected service vs. legacy extraction.
+
+The shared feature-resolution refactor must not move a single probability:
+for every one of the 16 Table II detectors, fitting and scoring through an
+explicitly injected :class:`~repro.features.batch.BatchFeatureService` has
+to produce bit-identical ``predict_proba`` output to the same detector run
+on its legacy internal extraction path (per-instruction disassembly, string
+n-grams, per-contract byte loops).  Training is deterministic given the
+seed, so any feature-level divergence would surface as a probability
+mismatch here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.batch import BatchFeatureService
+from repro.models.base import PhishingDetector
+from repro.models.registry import DeepModelScale, TABLE2_MODEL_NAMES, build_model
+
+
+def force_legacy_path(detector: PhishingDetector) -> PhishingDetector:
+    """Flip the detector and every extractor it owns onto the legacy path."""
+    flipped = 0
+    if hasattr(detector, "use_fast_path"):
+        detector.use_fast_path = False
+        flipped += 1
+    for attribute in ("extractor", "tokenizer", "encoder"):
+        extractor = getattr(detector, attribute, None)
+        if extractor is not None and hasattr(extractor, "use_fast_path"):
+            extractor.use_fast_path = False
+            flipped += 1
+    assert flipped > 0, f"{detector.name} exposes no legacy path to compare against"
+    return detector
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    codes = dataset.bytecodes[:22]
+    labels = dataset.labels[:22]
+    return codes[:14], labels[:14], codes[14:]
+
+
+@pytest.mark.parametrize("name", TABLE2_MODEL_NAMES)
+def test_detector_bit_identical_with_shared_service(name, split):
+    train_codes, train_labels, test_codes = split
+    scale = DeepModelScale.smoke()
+
+    service = BatchFeatureService()
+    shared = build_model(name, scale=scale, seed=0, service=service)
+    shared.fit(train_codes, train_labels)
+    shared_probabilities = shared.predict_proba(test_codes)
+
+    legacy = force_legacy_path(build_model(name, scale=scale, seed=0))
+    legacy.fit(train_codes, train_labels)
+    legacy_probabilities = legacy.predict_proba(test_codes)
+
+    assert np.array_equal(shared_probabilities, legacy_probabilities), name
+    # The shared detector really resolved its features through the injected
+    # service (not some private extractor or the process-wide default).
+    assert service.aggregate_stats().lookups > 0, name
+
+
+def test_all_16_detectors_share_one_service(split):
+    """One injected service serves every detector; dedup works across them."""
+    train_codes, train_labels, test_codes = split
+    scale = DeepModelScale.smoke()
+    service = BatchFeatureService()
+    for name in TABLE2_MODEL_NAMES:
+        detector = build_model(name, scale=scale, seed=0, service=service)
+        assert detector.feature_service is service, name
+        detector.fit(train_codes, train_labels)
+        detector.predict_proba(test_codes)
+    # Every disassembly-consuming view was served out of at most one kernel
+    # pass per unique bytecode, across all 16 detectors.
+    unique = len({bytes(code) for code in train_codes + test_codes})
+    assert service.kernel_passes <= unique
+    assert service.aggregate_stats().hit_rate > 0.5

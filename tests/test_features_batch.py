@@ -210,3 +210,109 @@ class TestDefaultService:
         opcode_usage_distribution(make_codes(3, seed=6), ["PUSH1"], service=scoped)
         assert scoped.stats.lookups == 3
         assert len(scoped) > 0
+
+
+class TestRawByteViews:
+    """The memory-only byte-count and R2D2-image views (ESCORT / vision)."""
+
+    def test_byte_counts_match_numpy_reference(self):
+        service = BatchFeatureService()
+        codes = make_codes(5, seed=11) + [b""]
+        matrix = service.byte_count_matrix(codes)
+        for row, code in enumerate(codes):
+            expected = np.bincount(
+                np.frombuffer(code, dtype=np.uint8), minlength=256
+            ) if code else np.zeros(256, dtype=np.int64)
+            assert np.array_equal(matrix[row], expected)
+            assert int(matrix[row].sum()) == len(code)
+
+    def test_byte_view_is_cached_and_accounted(self):
+        service = BatchFeatureService()
+        codes = make_codes(4, seed=12)
+        service.byte_count_matrix(codes)
+        assert service.byte_stats.misses == 4
+        service.byte_count_matrix(codes)
+        assert service.byte_stats.hits == 4
+        # No disassembly happens for the byte view.
+        assert service.kernel_passes == 0
+
+    def test_r2d2_image_matches_encoder_legacy_path(self):
+        from repro.features.image import R2D2ImageEncoder
+
+        service = BatchFeatureService()
+        codes = make_codes(4, seed=13) + [b""]
+        fast = R2D2ImageEncoder(image_size=8, service=service)
+        legacy = R2D2ImageEncoder(image_size=8, use_fast_path=False)
+        assert np.array_equal(fast.transform(codes), legacy.transform(codes))
+        for code in codes:
+            assert np.array_equal(fast.encode_one(code), legacy.encode_one(code))
+
+    def test_image_view_cached_per_size(self):
+        service = BatchFeatureService()
+        code = make_codes(1, seed=14)[0]
+        small = service.r2d2_image(code, 4)
+        again = service.r2d2_image(code, 4)
+        assert small is again  # served the cached (frozen) tensor
+        large = service.r2d2_image(code, 8)
+        assert large.shape == (3, 8, 8)
+        assert service.image_stats.hits == 1
+        assert service.image_stats.misses == 2
+
+    def test_caching_disabled_still_serves_views(self):
+        service = BatchFeatureService(cache_size=0)
+        codes = make_codes(3, seed=15)
+        reference = BatchFeatureService()
+        assert np.array_equal(
+            service.byte_count_matrix(codes), reference.byte_count_matrix(codes)
+        )
+        assert np.array_equal(
+            service.r2d2_images(codes, 4), reference.r2d2_images(codes, 4)
+        )
+        assert len(service) == 0
+
+    def test_aggregate_stats_sums_all_views(self):
+        service = BatchFeatureService()
+        codes = make_codes(3, seed=16)
+        service.count_matrix(codes)
+        service.byte_count_matrix(codes)
+        service.r2d2_images(codes, 4)
+        service.ngram_codes_batch(codes, 3)
+        total = service.aggregate_stats()
+        assert total.lookups == (
+            service.stats.lookups
+            + service.sequence_stats.lookups
+            + service.ngram_stats.lookups
+            + service.byte_stats.lookups
+            + service.image_stats.lookups
+        )
+        assert total.hits == (
+            service.stats.hits
+            + service.sequence_stats.hits
+            + service.ngram_stats.hits
+            + service.byte_stats.hits
+            + service.image_stats.hits
+        )
+
+    def test_cache_clear_resets_raw_byte_stats(self):
+        service = BatchFeatureService()
+        codes = make_codes(2, seed=17)
+        service.byte_count_matrix(codes)
+        service.r2d2_images(codes, 4)
+        service.cache_clear()
+        assert service.byte_stats.lookups == 0
+        assert service.image_stats.lookups == 0
+
+    def test_raw_views_survive_save_load_roundtrip(self, tmp_path):
+        # Raw-byte views are memory-only: a reloaded cache simply recomputes
+        # them; the persisted views (counts/sequences/ngrams) are unaffected.
+        service = BatchFeatureService()
+        codes = make_codes(3, seed=18)
+        service.count_matrix(codes)
+        images = service.r2d2_images(codes, 4)
+        path = tmp_path / "cache.npz"
+        service.save(path)
+        fresh = BatchFeatureService()
+        fresh.load(path)
+        assert np.array_equal(fresh.count_matrix(codes), service.count_matrix(codes))
+        assert fresh.kernel_passes == service.kernel_passes
+        assert np.array_equal(fresh.r2d2_images(codes, 4), images)
