@@ -9,6 +9,15 @@ stream of addresses — reporting per-request verdicts, p50/p95 latency over
 the screened batch, and the serving telemetry (verdict/feature cache hit
 rates, kernel passes) that capacity planning reads.
 
+Continuous monitoring
+---------------------
+
+This example is the *pull* side: a wallet asks about one contract at a
+time.  The *push* side — following the chain and flagging phishing
+deployments as they land, with checkpointed resume and drift telemetry —
+is the :mod:`repro.monitor` pipeline; see ``examples/chain_monitor.py``
+and ``examples/drift_monitoring.py``.
+
 Run with::
 
     python examples/wallet_screening.py

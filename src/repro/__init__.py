@@ -16,6 +16,8 @@ The package is organised in layers:
   construction, MEM, PAM);
 * :mod:`repro.serving` — the request-facing scoring service (bytecode
   ingest, verdict cache, micro-batching, serving telemetry);
+* :mod:`repro.monitor` — the deploy-time block-stream monitor (reorg-safe
+  block follower, checkpointed resume, alert sinks, drift telemetry);
 * :mod:`repro.stats` / :mod:`repro.hpo` — post-hoc statistics and
   hyperparameter search;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -36,6 +38,7 @@ from .core.mem import ModelEvaluationModule
 from .core.pam import PostHocAnalysisModule, PostHocReport
 from .core.results import EvaluationSuite, render_table2
 from .models.registry import TABLE2_MODEL_NAMES, build_model
+from .monitor import MonitorConfig, MonitorPipeline
 from .serving import ScoringService, ServingConfig
 
 __version__ = "1.0.0"
@@ -109,5 +112,7 @@ __all__ = [
     "render_table2",
     "ScoringService",
     "ServingConfig",
+    "MonitorConfig",
+    "MonitorPipeline",
     "__version__",
 ]

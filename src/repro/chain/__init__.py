@@ -7,6 +7,14 @@ equivalents built around a synthetic labelled contract corpus.
 
 from .addresses import bytecode_hash, derive_address, is_valid_address, normalize_address
 from .bigquery import ContractIndexRow, SimulatedBigQueryIndex
+from .blocks import (
+    Block,
+    BlockStream,
+    BlockStreamConfig,
+    DeployTransaction,
+    GENESIS_PARENT_HASH,
+    GENESIS_TIMESTAMP,
+)
 from .contracts import (
     ContractLabel,
     ContractRecord,
@@ -51,6 +59,12 @@ __all__ = [
     "normalize_address",
     "ContractIndexRow",
     "SimulatedBigQueryIndex",
+    "Block",
+    "BlockStream",
+    "BlockStreamConfig",
+    "DeployTransaction",
+    "GENESIS_PARENT_HASH",
+    "GENESIS_TIMESTAMP",
     "ContractLabel",
     "ContractRecord",
     "DeploymentMonth",

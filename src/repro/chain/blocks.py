@@ -1,0 +1,302 @@
+"""Deterministic block stream: the chain side of deploy-time monitoring.
+
+The paper's deployment scenario is catching phishing contracts *as they are
+deployed*: a monitor follows the chain head, pulls contract-creation
+transactions out of each new block, and scores the deployed bytecode.  This
+module provides the simulated chain for that scenario — a seeded generator
+of :class:`Block` objects whose contract-creation transactions interleave
+benign and phishing deployments drawn from :mod:`repro.chain.templates`.
+
+Determinism is the design constraint: the content of block ``n`` depends
+only on the :class:`BlockStreamConfig` and on ``n`` (each block derives its
+own PRNG from ``(seed, n)``), so two streams with the same config produce
+bit-identical chains regardless of how far or in what session they were
+advanced.  That is what makes the monitor's crash/resume guarantee testable:
+a restarted monitor re-follows the *same* chain.
+
+Deploy-rate schedule
+--------------------
+
+The stream is divided into *phases* of ``blocks_per_phase`` blocks.  Each
+phase scales the Poisson deployment rate by ``rate_profile`` and the
+phishing share by ``phishing_profile`` (both cycled), so a config can
+express "quiet chain, then an airdrop-scam wave" — the population shift
+whose effect on model quality the paper's Fig. 8 time-resistance experiment
+measures, and which :mod:`repro.monitor.drift` turns into an observable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .addresses import derive_address
+from .contracts import ContractLabel
+from .templates import (
+    build_family_bytecode,
+    families_for_label,
+    minimal_proxy_bytecode,
+)
+
+#: Parent hash of the genesis block.
+GENESIS_PARENT_HASH = "0x" + "00" * 32
+
+#: Fixed epoch of the genesis block timestamp (determinism: no wall clock).
+GENESIS_TIMESTAMP = 1_696_118_400  # 2023-10-01 00:00:00 UTC, the study start
+
+
+@dataclass(frozen=True)
+class DeployTransaction:
+    """One contract-creation transaction inside a block.
+
+    ``label`` and ``family`` are ground truth carried for evaluation of the
+    monitor's alerts — the monitor itself only ever reads ``bytecode``.
+    """
+
+    tx_hash: str
+    sender: str
+    nonce: int
+    contract_address: str
+    bytecode: bytes
+    label: ContractLabel
+    family: str
+
+    @property
+    def is_phishing(self) -> bool:
+        """Ground-truth phishing flag (evaluation only)."""
+        return self.label is ContractLabel.PHISHING
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of the simulated chain."""
+
+    number: int
+    block_hash: str
+    parent_hash: str
+    timestamp: int
+    transactions: Tuple[DeployTransaction, ...]
+
+    @property
+    def deployments(self) -> Tuple[DeployTransaction, ...]:
+        """All contract-creation transactions (every tx in this simulation)."""
+        return self.transactions
+
+
+@dataclass(frozen=True)
+class BlockStreamConfig:
+    """Configuration of one deterministic block stream.
+
+    Attributes:
+        seed: PRNG seed; together with the block number it fully determines
+            every block's contents.
+        deploys_per_block: Mean (Poisson) number of contract creations per
+            block, before the phase multiplier.
+        phishing_share: Base probability that a deployment is phishing,
+            before the phase multiplier (clamped to [0, 1] after scaling).
+        rate_profile: Per-phase multiplicative schedule of the deploy rate,
+            cycled over phases.
+        phishing_profile: Per-phase multiplicative schedule of the phishing
+            share, cycled over phases — a rising profile simulates a scam
+            wave and drives the drift telemetry.
+        blocks_per_phase: Number of blocks in one schedule phase.
+        block_time: Seconds between consecutive block timestamps.
+        proxy_clone_share: Fraction of phishing deployments that are
+            EIP-1167 clones of a small drainer-implementation pool
+            (bit-identical bytecode, the duplicate-heavy traffic the
+            verdict cache collapses).
+        n_drainer_implementations: Size of that implementation pool.
+        hard_fraction: Fraction of direct (non-proxy) deployments built
+            with a fragment mix biased towards the opposite class.
+    """
+
+    seed: int = 2025
+    deploys_per_block: float = 3.0
+    phishing_share: float = 0.25
+    rate_profile: Tuple[float, ...] = (1.0,)
+    phishing_profile: Tuple[float, ...] = (1.0,)
+    blocks_per_phase: int = 64
+    block_time: int = 12
+    proxy_clone_share: float = 0.4
+    n_drainer_implementations: int = 8
+    hard_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.deploys_per_block < 0:
+            raise ValueError("deploys_per_block must be >= 0")
+        if not 0.0 <= self.phishing_share <= 1.0:
+            raise ValueError("phishing_share must be in [0, 1]")
+        if not self.rate_profile or not self.phishing_profile:
+            raise ValueError("schedule profiles must be non-empty")
+        if self.blocks_per_phase < 1:
+            raise ValueError("blocks_per_phase must be >= 1")
+        if self.block_time < 1:
+            raise ValueError("block_time must be >= 1")
+        if not 0.0 <= self.proxy_clone_share <= 1.0:
+            raise ValueError("proxy_clone_share must be in [0, 1]")
+        if self.n_drainer_implementations < 1:
+            raise ValueError("n_drainer_implementations must be >= 1")
+
+    def phase_of(self, number: int) -> int:
+        """The schedule phase block ``number`` falls into."""
+        return number // self.blocks_per_phase
+
+    def rate_at(self, number: int) -> float:
+        """Mean deployments per block at ``number`` (schedule applied)."""
+        phase = self.phase_of(number)
+        return self.deploys_per_block * self.rate_profile[phase % len(self.rate_profile)]
+
+    def phishing_share_at(self, number: int) -> float:
+        """Phishing deployment probability at ``number`` (clamped)."""
+        phase = self.phase_of(number)
+        share = self.phishing_share * self.phishing_profile[phase % len(self.phishing_profile)]
+        return float(min(1.0, max(0.0, share)))
+
+
+def _hash_hex(*parts: bytes) -> str:
+    digest = hashlib.sha3_256()
+    for part in parts:
+        digest.update(part)
+    return "0x" + digest.hexdigest()
+
+
+class BlockStream:
+    """Lazily generated, memoized, fully deterministic chain of blocks.
+
+    Block *contents* (transactions) depend only on ``(config.seed, number)``;
+    block *hashes* additionally chain over the parent hash, so the stream
+    memoizes generated blocks and always extends sequentially from genesis.
+    Two streams with equal configs yield bit-identical blocks no matter how
+    they are advanced.
+    """
+
+    def __init__(self, config: Optional[BlockStreamConfig] = None):
+        self.config = config or BlockStreamConfig()
+        self._blocks: List[Block] = []
+        # Skewed drainer-campaign popularity, as in the corpus generator: a
+        # handful of implementations account for most clones.
+        self._drainer_implementations = [
+            derive_address(f"stream-drainer:{self.config.seed}:{i}")
+            for i in range(self.config.n_drainer_implementations)
+        ]
+        weights = np.array(
+            [1.0 / (rank + 1) for rank in range(len(self._drainer_implementations))]
+        )
+        self._drainer_weights = weights / weights.sum()
+        # Per-label direct-family pools and popularity weights are constant;
+        # precompute them once instead of per deployment.
+        self._families = {}
+        for label in (ContractLabel.BENIGN, ContractLabel.PHISHING):
+            families = [f for f in families_for_label(label) if not f.is_proxy]
+            popularity = np.array([f.popularity for f in families])
+            self._families[label] = (families, popularity / popularity.sum())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block(self, number: int) -> Block:
+        """The block at height ``number`` (generates up to it, memoized)."""
+        if number < 0:
+            raise ValueError("block number must be >= 0")
+        while len(self._blocks) <= number:
+            self._blocks.append(self._generate(len(self._blocks)))
+        return self._blocks[number]
+
+    def take(self, count: int) -> List[Block]:
+        """The first ``count`` blocks of the chain (genesis included)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.block(count - 1)
+        return self._blocks[:count]
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+
+    def _generate(self, number: int) -> Block:
+        config = self.config
+        parent_hash = GENESIS_PARENT_HASH if number == 0 else self._blocks[number - 1].block_hash
+        timestamp = GENESIS_TIMESTAMP + number * config.block_time
+        transactions: Tuple[DeployTransaction, ...] = ()
+        if number > 0:  # genesis carries no deployments
+            rng = np.random.default_rng([config.seed, number])
+            n_deploys = int(rng.poisson(config.rate_at(number)))
+            phishing_share = config.phishing_share_at(number)
+            transactions = tuple(
+                self._deploy(rng, number, index, phishing_share)
+                for index in range(n_deploys)
+            )
+        block_hash = _hash_hex(
+            b"phishinghook-block:",
+            parent_hash.encode("ascii"),
+            number.to_bytes(8, "big"),
+            timestamp.to_bytes(8, "big"),
+            *(tx.tx_hash.encode("ascii") for tx in transactions),
+        )
+        return Block(
+            number=number,
+            block_hash=block_hash,
+            parent_hash=parent_hash,
+            timestamp=timestamp,
+            transactions=transactions,
+        )
+
+    def _deploy(
+        self,
+        rng: np.random.Generator,
+        number: int,
+        index: int,
+        phishing_share: float,
+    ) -> DeployTransaction:
+        config = self.config
+        phishing = bool(rng.random() < phishing_share)
+        label = ContractLabel.PHISHING if phishing else ContractLabel.BENIGN
+        if phishing and rng.random() < config.proxy_clone_share:
+            implementation = str(
+                self._drainer_implementations[
+                    int(rng.choice(len(self._drainer_implementations), p=self._drainer_weights))
+                ]
+            )
+            bytecode = minimal_proxy_bytecode(implementation)
+            family = "drainer_proxy"
+        else:
+            families, weights = self._families[label]
+            family_pick = families[int(rng.choice(len(families), p=weights))]
+            hard = bool(rng.random() < config.hard_fraction)
+            bias = None
+            if hard:
+                # Lean the fragment mix towards the opposite class, as the
+                # corpus generator does for its "hard" samples.
+                strength = float(rng.uniform(2.0, 4.0))
+                markers = (
+                    ("callvalue_guard", "balance_check", "timestamp_check")
+                    if phishing
+                    else ("approval_harvest", "selfbalance_sweep", "hidden_redirect")
+                )
+                bias = {marker: strength for marker in markers}
+            bytecode = build_family_bytecode(family_pick, rng, mix_bias=bias)
+            family = family_pick.name
+        sender = derive_address(f"deployer:{config.seed}:{number}:{index}")
+        nonce = int(rng.integers(0, 1 << 16))
+        contract_address = derive_address(
+            f"deployment:{config.seed}:{number}:{index}:{sender}:{nonce}"
+        )
+        tx_hash = _hash_hex(
+            b"phishinghook-tx:",
+            number.to_bytes(8, "big"),
+            index.to_bytes(4, "big"),
+            sender.encode("ascii"),
+            bytecode,
+        )
+        return DeployTransaction(
+            tx_hash=tx_hash,
+            sender=sender,
+            nonce=nonce,
+            contract_address=contract_address,
+            bytecode=bytecode,
+            label=label,
+            family=family,
+        )

@@ -1,9 +1,27 @@
 """Simulated Ethereum JSON-RPC node.
 
 The paper's bytecode extraction module (BEM) retrieves runtime bytecode with
-the public ``eth_getCode`` endpoint over JSON-RPC.  This module provides a
-local stand-in exposing the same request/response shape so the BEM code path
-is exercised exactly as it would be against a real node.
+the public ``eth_getCode`` endpoint over JSON-RPC, and its deployment
+scenario — catching phishing contracts at deploy time — additionally needs a
+node that *produces blocks*.  This module provides a local stand-in exposing
+the same request/response shapes so both code paths are exercised exactly as
+they would be against a real node:
+
+* **code store** — ``eth_getCode`` over a fixed set of registered contracts
+  (what the BEM uses);
+* **block chain** — ``eth_blockNumber`` / ``eth_getBlockByNumber`` /
+  ``eth_getTransactionReceipt`` over a chain of appended
+  :class:`~repro.chain.blocks.Block` objects (what the
+  :mod:`repro.monitor` block follower polls).  Appending a block also
+  registers every contract it deploys in the code store, so a monitor can
+  fetch the deployed runtime bytecode of a fresh creation transaction
+  through the ordinary ``eth_getCode`` path.
+
+One simulation simplification is documented here once: creation
+transactions carry the deployed *runtime* bytecode in their ``input`` field
+(a real chain carries init code and only the receipt's ``contractAddress``
+plus ``eth_getCode`` reveal the runtime code — an indirection that adds RPC
+chatter but no information).
 """
 
 from __future__ import annotations
@@ -12,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 from .addresses import normalize_address
+from .blocks import Block, BlockStream, DeployTransaction
 from .contracts import ContractRecord
 from .errors import RPCError
 
@@ -22,11 +41,20 @@ INVALID_PARAMS = -32602
 
 @dataclass
 class SimulatedEthereumNode:
-    """An in-memory node serving ``eth_getCode`` for a fixed set of contracts."""
+    """An in-memory node serving code lookups and a block-producing chain.
+
+    Without any appended blocks the node behaves exactly like the original
+    code-store: ``eth_blockNumber`` reports the static ``latest_block``
+    height.  Once blocks are appended (:meth:`append_block` /
+    :meth:`mine`), the chain is authoritative and ``eth_blockNumber``
+    follows its head.
+    """
 
     chain_id: int = 1
     latest_block: int = 21_000_000
     _code_by_address: Dict[str, bytes] = field(default_factory=dict)
+    _blocks: List[Block] = field(default_factory=list)
+    _tx_index: Dict[str, tuple] = field(default_factory=dict)
     request_count: int = 0
 
     @classmethod
@@ -40,6 +68,49 @@ class SimulatedEthereumNode:
     def register(self, address: str, bytecode: bytes) -> None:
         """Deploy ``bytecode`` at ``address`` in the simulated state."""
         self._code_by_address[normalize_address(address)] = bytes(bytecode)
+
+    # ------------------------------------------------------------------
+    # Chain production
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> Optional[int]:
+        """Head block number of the appended chain (``None`` when empty)."""
+        return self._blocks[-1].number if self._blocks else None
+
+    def append_block(self, block: Block) -> None:
+        """Append the next block of the chain and deploy its contracts.
+
+        Blocks must arrive contiguously from genesis (number 0) with a
+        matching parent hash, mirroring how a real chain extends.
+
+        Raises:
+            ValueError: on a height gap or a parent-hash mismatch.
+        """
+        expected = len(self._blocks)
+        if block.number != expected:
+            raise ValueError(
+                f"expected block {expected} next, got block {block.number}"
+            )
+        if self._blocks and block.parent_hash != self._blocks[-1].block_hash:
+            raise ValueError(
+                f"block {block.number} parent hash does not match the chain head"
+            )
+        self._blocks.append(block)
+        for tx in block.transactions:
+            self._tx_index[tx.tx_hash] = (block, tx)
+            self.register(tx.contract_address, tx.bytecode)
+
+    def mine(self, stream: BlockStream, count: int = 1) -> List[Block]:
+        """Extend the chain with the next ``count`` blocks of ``stream``."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        mined = []
+        for _ in range(count):
+            block = stream.block(len(self._blocks))
+            self.append_block(block)
+            mined.append(block)
+        return mined
 
     # ------------------------------------------------------------------
     # JSON-RPC surface
@@ -65,7 +136,12 @@ class SimulatedEthereumNode:
         if method == "eth_chainId":
             return hex(self.chain_id)
         if method == "eth_blockNumber":
-            return hex(self.latest_block)
+            height = self.height
+            return hex(self.latest_block if height is None else height)
+        if method == "eth_getBlockByNumber":
+            return self._eth_get_block_by_number(params)
+        if method == "eth_getTransactionReceipt":
+            return self._eth_get_transaction_receipt(params)
         raise RPCError(METHOD_NOT_FOUND, f"method {method!r} not found")
 
     def _eth_get_code(self, params: List[Any]) -> str:
@@ -78,17 +154,110 @@ class SimulatedEthereumNode:
         code = self._code_by_address.get(address, b"")
         return "0x" + code.hex()
 
+    def _resolve_block_number(self, tag: Any) -> int:
+        """Parse a block-number param (hex quantity or ``"latest"``)."""
+        if tag == "latest":
+            height = self.height
+            return self.latest_block if height is None else height
+        if tag == "earliest":
+            return 0
+        try:
+            text = str(tag)
+            number = int(text, 16) if text.startswith("0x") else int(text)
+        except (TypeError, ValueError) as exc:
+            raise RPCError(
+                INVALID_PARAMS, f"invalid block number {tag!r}"
+            ) from exc
+        if number < 0:
+            raise RPCError(INVALID_PARAMS, f"invalid block number {tag!r}")
+        return number
+
+    def _eth_get_block_by_number(self, params: List[Any]) -> Optional[Dict[str, Any]]:
+        if not params:
+            raise RPCError(
+                INVALID_PARAMS, "eth_getBlockByNumber requires a block number parameter"
+            )
+        number = self._resolve_block_number(params[0])
+        full = bool(params[1]) if len(params) > 1 else False
+        if number >= len(self._blocks):
+            return None  # a real node returns null for unknown blocks
+        block = self._blocks[number]
+        transactions: List[Any] = [
+            self._tx_payload(block, tx) if full else tx.tx_hash
+            for tx in block.transactions
+        ]
+        return {
+            "number": hex(block.number),
+            "hash": block.block_hash,
+            "parentHash": block.parent_hash,
+            "timestamp": hex(block.timestamp),
+            "transactions": transactions,
+        }
+
+    @staticmethod
+    def _tx_payload(block: Block, tx: DeployTransaction) -> Dict[str, Any]:
+        return {
+            "hash": tx.tx_hash,
+            "blockNumber": hex(block.number),
+            "from": tx.sender,
+            "to": None,  # contract creation
+            "nonce": hex(tx.nonce),
+            "input": "0x" + tx.bytecode.hex(),
+        }
+
+    def _eth_get_transaction_receipt(self, params: List[Any]) -> Optional[Dict[str, Any]]:
+        if not params:
+            raise RPCError(
+                INVALID_PARAMS,
+                "eth_getTransactionReceipt requires a transaction hash parameter",
+            )
+        entry = self._tx_index.get(str(params[0]))
+        if entry is None:
+            return None
+        block, tx = entry
+        return {
+            "transactionHash": tx.tx_hash,
+            "blockNumber": hex(block.number),
+            "blockHash": block.block_hash,
+            "from": tx.sender,
+            "to": None,
+            "contractAddress": tx.contract_address,
+            "status": "0x1",
+        }
+
     # ------------------------------------------------------------------
-    # convenience wrappers (what the BEM actually calls)
+    # convenience wrappers (what the BEM / monitor actually call)
     # ------------------------------------------------------------------
+
+    def _result(self, method: str, params: List[Any]) -> Any:
+        response = self.request(method, params)
+        if "error" in response:
+            raise RPCError(response["error"]["code"], response["error"]["message"])
+        return response["result"]
 
     def get_code(self, address: str) -> bytes:
         """Return the runtime bytecode at ``address`` (empty if none)."""
-        response = self.request("eth_getCode", [address, "latest"])
-        if "error" in response:
-            raise RPCError(response["error"]["code"], response["error"]["message"])
-        return bytes.fromhex(response["result"][2:])
+        return bytes.fromhex(self._result("eth_getCode", [address, "latest"])[2:])
 
     def has_code(self, address: str) -> bool:
         """Whether a contract is deployed at ``address``."""
         return len(self.get_code(address)) > 0
+
+    def block_number(self) -> int:
+        """Current head height (via ``eth_blockNumber``)."""
+        return int(self._result("eth_blockNumber", []), 16)
+
+    def get_block(self, number: int) -> Optional[Block]:
+        """The appended :class:`Block` at ``number`` (``None`` if unknown).
+
+        The RPC envelope is exercised for protocol fidelity; the returned
+        object is the rich dataclass the monitor consumes.
+        """
+        payload = self._result("eth_getBlockByNumber", [hex(number), True])
+        if payload is None:
+            return None
+        return self._blocks[number]
+
+    def get_receipt(self, tx_hash: str) -> Optional[Dict[str, Any]]:
+        """Transaction receipt payload (``None`` for unknown hashes)."""
+        return self._result("eth_getTransactionReceipt", [tx_hash])

@@ -49,6 +49,15 @@ class Scale:
     ``serving_verdict_cache`` sizes the content-hash verdict cache, and
     ``serving_threshold`` is the served decision cutoff (``None``, the
     default, adopts the wrapped detector's own ``decision_threshold``).
+
+    The ``monitor_*`` knobs parameterise the deploy-time block monitor
+    (:class:`~repro.monitor.MonitorPipeline`;
+    :meth:`~repro.monitor.MonitorConfig.from_scale` reads them):
+    ``monitor_confirmations`` is the block follower's confirmation depth,
+    ``monitor_poll_blocks`` the block-window size scored in one vectorized
+    pass (also the checkpoint granularity), and ``monitor_drift_window`` /
+    ``monitor_drift_alpha`` the score-count and significance level of the
+    drift telemetry windows.
     """
 
     name: str = "ci"
@@ -68,6 +77,10 @@ class Scale:
     serving_max_wait_ms: float = 2.0
     serving_verdict_cache: int = 4096
     serving_threshold: Optional[float] = None
+    monitor_confirmations: int = 2
+    monitor_poll_blocks: int = 8
+    monitor_drift_window: int = 64
+    monitor_drift_alpha: float = 0.05
 
     @classmethod
     def smoke(cls) -> "Scale":

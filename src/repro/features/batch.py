@@ -834,12 +834,16 @@ class BatchFeatureService:
             error=CacheWriteError,
         )
 
-    def load(self, path: Union[str, Path]) -> int:
+    def load(self, path: Union[str, Path], grow: bool = False) -> int:
         """Replace the cache contents with a store written by :meth:`save`.
 
         Statistics are restored from the file; entries beyond the service's
         ``cache_size`` are evicted oldest-first (adding to the restored
-        eviction count).  Returns the number of entries retained.
+        eviction count) — unless ``grow`` is set, in which case the cache
+        capacity is raised to fit every stored entry, so an eviction-aware
+        warm-up (e.g. :class:`~repro.serving.ScoringService` pre-populating
+        its feature cache from a store file) can never silently drop part
+        of what it just loaded.  Returns the number of entries retained.
 
         Raises:
             CacheLoadError: if the file is missing, corrupt, or was written
@@ -855,6 +859,8 @@ class BatchFeatureService:
         entries, stats = self._read_cache_file(path)
         with self._lock:
             self._cache = OrderedDict(entries)
+            if grow and len(self._cache) > self._cache_size:
+                self._cache_size = len(self._cache)
             (
                 self.stats.hits, self.stats.misses, self.stats.evictions,
                 self.sequence_stats.hits, self.sequence_stats.misses,

@@ -1,0 +1,125 @@
+"""Atomic JSON checkpointing of the monitor's chain cursor.
+
+A killed monitor must resume *exactly* where it stopped: no checkpointed
+block is ever re-scored and none is skipped.  The checkpoint persists the
+follower cursor — the next block to process plus the hash of the last
+processed block for reorg detection — together with the cumulative
+counters, and every save is atomic (write to a per-writer staging file in
+the same directory, then ``os.replace``), so a crash mid-save leaves the
+previous checkpoint intact rather than a truncated file.
+
+The granularity of the guarantee is the *window*: the pipeline saves the
+cursor after a window's alerts have been emitted, so a crash between
+windows resumes seamlessly (the alert sequence continues bit-for-bit),
+while a crash in the instant between emitting a window's alerts and saving
+the cursor re-processes that one window on restart — at-least-once
+delivery for externally side-effecting sinks, never a gap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+#: Format version; a bump makes old checkpoint files unreadable-as-stale.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be trusted (corrupt or stale)."""
+
+
+@dataclass(frozen=True)
+class MonitorCursor:
+    """The resumable state of one monitor run.
+
+    ``next_block`` is the first block the monitor has *not* processed;
+    ``last_hash`` is the hash of block ``next_block - 1`` (empty before any
+    block was processed) and lets the follower detect a reorg under the
+    confirmation depth.  The counters continue across restarts so telemetry
+    reflects the whole monitored history, not just the current process.
+    """
+
+    next_block: int = 0
+    last_hash: str = ""
+    blocks_scanned: int = 0
+    contracts_scanned: int = 0
+    alerts_emitted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.next_block < 0:
+            raise ValueError("next_block must be >= 0")
+        for name in ("blocks_scanned", "contracts_scanned", "alerts_emitted"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+class Checkpoint:
+    """Load/save :class:`MonitorCursor` state at a fixed path, atomically."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether a checkpoint file is present."""
+        return self.path.exists()
+
+    def load(self) -> Optional[MonitorCursor]:
+        """The persisted cursor, or ``None`` when no checkpoint exists.
+
+        Raises:
+            CheckpointError: if the file is unreadable, not valid JSON, has
+                the wrong format version, or misses a cursor field —
+                resuming from a guessed cursor would silently violate the
+                no-duplicates/no-gaps guarantee, so corruption is loud.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has unsupported version "
+                f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+            )
+        try:
+            return MonitorCursor(
+                next_block=int(payload["next_block"]),
+                last_hash=str(payload["last_hash"]),
+                blocks_scanned=int(payload["blocks_scanned"]),
+                contracts_scanned=int(payload["contracts_scanned"]),
+                alerts_emitted=int(payload["alerts_emitted"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint {self.path}: {exc}") from exc
+
+    def save(self, cursor: MonitorCursor) -> None:
+        """Atomically persist ``cursor`` (parent directories are created)."""
+        payload = dict(asdict(cursor), version=CHECKPOINT_VERSION)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        staging = self.path.with_name(
+            f".{self.path.name}.{os.getpid()}.{id(self):x}.tmp"
+        )
+        try:
+            staging.write_text(json.dumps(payload, indent=0), encoding="utf-8")
+            os.replace(staging, self.path)
+        except OSError as exc:
+            raise CheckpointError(f"cannot write checkpoint {self.path}: {exc}") from exc
+        finally:
+            if staging.exists():
+                try:
+                    staging.unlink()
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (a fresh run starts from genesis)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,163 @@
+"""Rolling drift telemetry over the monitored score stream.
+
+The paper's Fig. 8 time-resistance experiment shows model quality decaying
+as the contract population shifts over months — offline, as a figure.  A
+deployed monitor needs the same phenomenon as an *observable*: a statistic
+that moves when the score distribution of freshly deployed contracts drifts
+away from what the model saw at deployment time.
+
+:class:`DriftTracker` consumes the phishing probabilities the pipeline
+produces, groups them into fixed-size windows, and compares every completed
+window against a *reference* window (the first completed window by default —
+the distribution right after the monitor went live — or one installed
+explicitly from held-out training scores).  The comparison reuses the
+repository's rank machinery (:func:`repro.stats.rank_tests.kruskal_wallis`;
+with two groups the H test is the Wilcoxon rank-sum up to the chi-square
+approximation), which is exactly the family of non-parametric procedures
+the paper's PAM applies — scores are bounded, bimodal and decidedly
+non-normal, so a rank test is the right tool here too.
+
+Each completed window yields a :class:`DriftWindow` carrying the windowed
+alert rate, the shift statistic and p-value, and the mean-score delta
+against the reference, so "the model is drifting" becomes a thresholded
+telemetry field instead of a retrospective figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..stats.rank_tests import kruskal_wallis
+
+
+@dataclass(frozen=True)
+class DriftWindow:
+    """Telemetry of one completed score window.
+
+    ``statistic`` / ``p_value`` come from the rank test of this window's
+    scores against the reference window; ``drifted`` is the thresholded
+    decision at the tracker's ``alpha``.  The reference window itself is
+    reported with ``statistic == 0.0`` and ``p_value == 1.0`` (it cannot
+    drift from itself).
+    """
+
+    index: int
+    start_block: int
+    end_block: int
+    n_scores: int
+    alert_rate: float
+    mean_score: float
+    mean_shift: float
+    statistic: float
+    p_value: float
+    drifted: bool
+
+
+class DriftTracker:
+    """Windowed score-distribution shift detector.
+
+    Args:
+        window: Number of scores per drift window.
+        alpha: Significance level of the drift decision.
+        reference: Optional explicit reference scores (e.g. the detector's
+            scores on held-out training contracts).  Without it the first
+            completed window becomes the reference.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        alpha: float = 0.05,
+        reference: Optional[Sequence[float]] = None,
+    ):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.window = window
+        self.alpha = alpha
+        self._reference: Optional[np.ndarray] = (
+            np.asarray(list(reference), dtype=float) if reference is not None else None
+        )
+        self._scores: List[float] = []
+        self._alerts: List[bool] = []
+        self._start_block: Optional[int] = None
+        self._last_block: Optional[int] = None
+        self.windows: List[DriftWindow] = []
+
+    @property
+    def reference(self) -> Optional[np.ndarray]:
+        """The reference score sample (``None`` until established)."""
+        return self._reference
+
+    @property
+    def latest(self) -> Optional[DriftWindow]:
+        """The most recently completed window (``None`` before the first)."""
+        return self.windows[-1] if self.windows else None
+
+    @property
+    def drifted(self) -> bool:
+        """Whether the most recent completed window drifted."""
+        latest = self.latest
+        return bool(latest and latest.drifted)
+
+    def observe(
+        self,
+        probabilities: Sequence[float],
+        alerts: Sequence[bool],
+        block_number: int,
+    ) -> List[DriftWindow]:
+        """Feed one block's scores; returns the windows completed by them."""
+        if len(probabilities) != len(alerts):
+            raise ValueError("probabilities and alerts must have the same length")
+        completed: List[DriftWindow] = []
+        for probability, alert in zip(probabilities, alerts):
+            if self._start_block is None:
+                self._start_block = block_number
+            self._last_block = block_number
+            self._scores.append(float(probability))
+            self._alerts.append(bool(alert))
+            if len(self._scores) >= self.window:
+                completed.append(self._complete_window())
+        return completed
+
+    def _complete_window(self) -> DriftWindow:
+        scores = np.asarray(self._scores, dtype=float)
+        alert_rate = float(np.mean(self._alerts))
+        mean_score = float(scores.mean())
+        if self._reference is None:
+            # The first completed window defines "normal".
+            self._reference = scores
+            statistic, p_value = 0.0, 1.0
+        else:
+            statistic, p_value = self._shift(self._reference, scores)
+        window = DriftWindow(
+            index=len(self.windows),
+            start_block=int(self._start_block),
+            end_block=int(self._last_block),
+            n_scores=len(scores),
+            alert_rate=alert_rate,
+            mean_score=mean_score,
+            mean_shift=mean_score - float(self._reference.mean()),
+            statistic=statistic,
+            p_value=p_value,
+            drifted=p_value < self.alpha,
+        )
+        self.windows.append(window)
+        self._scores = []
+        self._alerts = []
+        self._start_block = None
+        self._last_block = None
+        return window
+
+    @staticmethod
+    def _shift(reference: np.ndarray, scores: np.ndarray) -> tuple:
+        """Rank-test statistic and p-value of ``scores`` vs ``reference``."""
+        pooled = np.concatenate([reference, scores])
+        if np.allclose(pooled, pooled[0]):
+            return 0.0, 1.0  # identical samples carry no rank information
+        result = kruskal_wallis([reference, scores])
+        return result.statistic, result.p_value

@@ -1,0 +1,141 @@
+"""Reorg-safe block follower: the poll loop under the monitor pipeline.
+
+:class:`BlockFollower` tracks a cursor over a JSON-RPC-shaped node (anything
+with ``block_number()`` / ``get_block(number)``, e.g.
+:class:`~repro.chain.rpc.SimulatedEthereumNode`) and, on each
+:meth:`BlockFollower.poll`, returns the blocks that have become *confirmed*
+since the last poll:
+
+* **confirmation depth** — only blocks at least ``confirmations`` below the
+  head are handed out, so a shallow reorg near the tip never reaches the
+  scoring pipeline at all;
+* **hash-linkage check** — each returned block's ``parent_hash`` must chain
+  onto the previously returned block.  A mismatch means the chain below the
+  cursor was rewritten despite the confirmation depth (a deep reorg); the
+  follower walks its ring of recently returned hashes back to the deepest
+  block still on the canonical chain and rewinds the cursor to just past
+  it, so every replaced block is re-scored — rather than silently scoring
+  a stale branch.  When no recent hash can be verified (a fresh resume
+  knows only one hash, or the reorg is deeper than the retained history),
+  it falls back to backing off by the confirmation depth and re-linking
+  from scratch.
+
+The cursor (``next_block`` + ``last_hash``) is exactly what
+:class:`~repro.monitor.checkpoint.MonitorCursor` persists, so a follower can
+be reconstructed mid-chain and continue without duplicates or gaps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..chain.blocks import Block
+
+
+class BlockFollower:
+    """Confirmation-depth poller over a block-producing node.
+
+    Args:
+        node: Block source (``block_number()`` / ``get_block(number)``).
+        confirmations: How many blocks below the head a block must be
+            before it is considered final and returned.
+        start_block: First block of interest (genesis by default).
+        last_hash: Hash of block ``start_block - 1`` when resuming
+            mid-chain (enables the linkage check across the restart).
+        recent_hashes: How many returned block hashes are retained for
+            reorg recovery — the deepest reorg that can be unwound
+            precisely instead of via the blind fallback.
+    """
+
+    def __init__(
+        self,
+        node,
+        confirmations: int = 2,
+        start_block: int = 0,
+        last_hash: str = "",
+        recent_hashes: int = 64,
+    ):
+        if confirmations < 0:
+            raise ValueError("confirmations must be >= 0")
+        if start_block < 0:
+            raise ValueError("start_block must be >= 0")
+        if recent_hashes < 1:
+            raise ValueError("recent_hashes must be >= 1")
+        self.node = node
+        self.confirmations = confirmations
+        self.start_block = start_block
+        self.next_block = start_block
+        self.last_hash = last_hash
+        self.reorgs_detected = 0
+        self._recent: Deque[Tuple[int, str]] = deque(maxlen=recent_hashes)
+
+    @property
+    def cursor(self) -> tuple:
+        """``(next_block, last_hash)`` — the checkpointable position."""
+        return (self.next_block, self.last_hash)
+
+    def confirmed_head(self) -> int:
+        """Highest block number currently considered final (may be < 0)."""
+        return self.node.block_number() - self.confirmations
+
+    def poll(self, limit: Optional[int] = None) -> List[Block]:
+        """Confirmed blocks since the cursor, oldest first (may be empty).
+
+        At most ``limit`` blocks are returned (``None`` = everything
+        currently confirmed), and the cursor advances past what was
+        returned.  On a detected deep reorg the cursor rewinds by the
+        confirmation depth and an empty list is returned; the next poll
+        re-fetches from the rewound position.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1")
+        safe = self.confirmed_head()
+        if safe < self.next_block:
+            return []
+        stop = safe if limit is None else min(safe, self.next_block + limit - 1)
+        blocks: List[Block] = []
+        expected_parent = self.last_hash
+        for number in range(self.next_block, stop + 1):
+            block = self.node.get_block(number)
+            if block is None:
+                break  # the node knows a height it cannot serve yet
+            if expected_parent and block.parent_hash != expected_parent:
+                self._rewind()
+                return []
+            blocks.append(block)
+            expected_parent = block.block_hash
+        if blocks:
+            self.next_block = blocks[-1].number + 1
+            self.last_hash = blocks[-1].block_hash
+            self._recent.extend((block.number, block.block_hash) for block in blocks)
+        return blocks
+
+    def _rewind(self) -> None:
+        """Back the cursor off a reorged branch onto the canonical chain.
+
+        Walks the retained ring of returned block hashes from newest to
+        oldest, asking the node for each height again; the deepest block
+        whose hash still matches is the fork point, and the cursor rewinds
+        to just past it so every replaced block is re-fetched and
+        re-scored.  Without a verifiable recent hash (a fresh resume
+        carries only ``last_hash``, which just failed, or the reorg is
+        deeper than the retained history) the follower backs off by the
+        confirmation depth and re-links from scratch.  The floor is
+        genesis, not ``start_block``: a reorg that crosses a resume point
+        replaced already-processed blocks, and re-scoring the replacement
+        branch is the correct monitor behaviour.
+        """
+        self.reorgs_detected += 1
+        while self._recent:
+            number, block_hash = self._recent[-1]
+            canonical = self.node.get_block(number)
+            if canonical is not None and canonical.block_hash == block_hash:
+                self.next_block = number + 1
+                self.last_hash = block_hash
+                return
+            self._recent.pop()
+        self.next_block = max(0, self.next_block - self.confirmations - 1)
+        # The stored hash belonged to the abandoned branch; drop it so the
+        # refetch can re-link from scratch.
+        self.last_hash = ""

@@ -221,6 +221,21 @@ class ScoringService:
             detector keeps extracting through the process-wide shared one.
         store: Optional :class:`~repro.features.store.FeatureStore` whose
             file hit/miss counters should appear in :meth:`stats`.
+        warmup_path: Optional path of a persisted feature-cache file (a
+            :class:`~repro.features.store.FeatureStore`
+            ``features-<fingerprint>.npz``).  It is loaded *eviction-aware*
+            (``load(grow=True)``: the cache capacity is raised to fit every
+            stored entry) into the injected ``feature_service`` — or, when
+            none was given, into a fresh dedicated service created for the
+            purpose (loading replaces a service's cache wholesale, so the
+            process-wide shared service is never clobbered implicitly).
+            A warm-started service scores its first batch of known
+            bytecodes with zero kernel passes.
+
+    Raises:
+        CacheLoadError: if ``warmup_path`` is missing, corrupt, or stale —
+            an explicitly requested warm start that silently degraded to a
+            cold one would defeat its purpose.
     """
 
     def __init__(
@@ -230,11 +245,16 @@ class ScoringService:
         config: Optional[ServingConfig] = None,
         feature_service: Optional[BatchFeatureService] = None,
         store=None,
+        warmup_path=None,
     ):
         self.detector = detector
         self.node = node
         self.config = config or ServingConfig()
         self.store = store
+        if warmup_path is not None:
+            if feature_service is None:
+                feature_service = BatchFeatureService()
+            feature_service.load(warmup_path, grow=True)
         if feature_service is not None:
             detector.feature_service = feature_service
         threshold = self.config.decision_threshold

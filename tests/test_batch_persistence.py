@@ -112,6 +112,28 @@ class TestRoundTrip:
         small.count_vector(codes[-1])
         assert small.kernel_passes == passes
 
+    def test_load_grow_retains_every_entry(self, tmp_path):
+        codes = make_codes(8, seed=4)
+        service = populated_service(codes)
+        path = tmp_path / "cache.npz"
+        service.save(path)
+        small = BatchFeatureService(cache_size=3)
+        assert small.load(path, grow=True) == 8  # capacity grew to fit
+        assert len(small) == 8
+        assert small.cache_size == 8
+        assert small.stats.evictions == service.stats.evictions
+        passes = small.kernel_passes
+        for code in codes:
+            small.count_vector(code)
+        assert small.kernel_passes == passes  # nothing was dropped
+
+    def test_load_grow_keeps_larger_capacity(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        populated_service(make_codes(2, seed=10)).save(path)
+        roomy = BatchFeatureService(cache_size=64)
+        roomy.load(path, grow=True)
+        assert roomy.cache_size == 64  # grow never shrinks
+
     def test_load_into_disabled_cache_raises(self, tmp_path):
         # A cache_size=0 service would silently drop every loaded entry
         # while reporting success; that must be an explicit error.

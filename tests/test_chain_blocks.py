@@ -1,0 +1,219 @@
+"""Tests for the deterministic block stream and the block-producing node."""
+
+import numpy as np
+import pytest
+
+from repro.chain.blocks import (
+    Block,
+    BlockStream,
+    BlockStreamConfig,
+    GENESIS_PARENT_HASH,
+    GENESIS_TIMESTAMP,
+)
+from repro.chain.contracts import ContractLabel
+from repro.chain.rpc import SimulatedEthereumNode
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BlockStreamConfig(seed=11, deploys_per_block=2.5, phishing_share=0.3)
+
+
+@pytest.fixture(scope="module")
+def chain(config):
+    return BlockStream(config).take(40)
+
+
+class TestBlockStreamConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deploys_per_block": -1.0},
+            {"phishing_share": 1.5},
+            {"rate_profile": ()},
+            {"phishing_profile": ()},
+            {"blocks_per_phase": 0},
+            {"block_time": 0},
+            {"proxy_clone_share": -0.1},
+            {"n_drainer_implementations": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BlockStreamConfig(**kwargs)
+
+    def test_schedule_cycles_over_phases(self):
+        config = BlockStreamConfig(
+            deploys_per_block=2.0,
+            rate_profile=(1.0, 3.0),
+            phishing_share=0.2,
+            phishing_profile=(1.0, 2.0),
+            blocks_per_phase=10,
+        )
+        assert config.rate_at(5) == 2.0
+        assert config.rate_at(15) == 6.0
+        assert config.rate_at(25) == 2.0  # cycled back
+        assert config.phishing_share_at(15) == pytest.approx(0.4)
+
+    def test_phishing_share_clamped(self):
+        config = BlockStreamConfig(phishing_share=0.8, phishing_profile=(5.0,))
+        assert config.phishing_share_at(1) == 1.0
+
+
+class TestBlockStream:
+    def test_deterministic_across_instances(self, config, chain):
+        other = BlockStream(BlockStreamConfig(seed=11, deploys_per_block=2.5, phishing_share=0.3))
+        for mine, theirs in zip(chain, other.take(40)):
+            assert mine == theirs
+
+    def test_determinism_independent_of_access_order(self, config, chain):
+        # Jumping straight to a deep block yields the same chain as walking.
+        fresh = BlockStream(config)
+        assert fresh.block(39) == chain[39]
+        assert fresh.block(17) == chain[17]
+
+    def test_genesis_shape(self, chain):
+        genesis = chain[0]
+        assert genesis.number == 0
+        assert genesis.parent_hash == GENESIS_PARENT_HASH
+        assert genesis.timestamp == GENESIS_TIMESTAMP
+        assert genesis.transactions == ()
+
+    def test_hash_linkage_and_timestamps(self, config, chain):
+        for parent, child in zip(chain, chain[1:]):
+            assert child.parent_hash == parent.block_hash
+            assert child.timestamp == parent.timestamp + config.block_time
+
+    def test_different_seeds_fork_the_chain(self, chain):
+        other = BlockStream(BlockStreamConfig(seed=12, deploys_per_block=2.5, phishing_share=0.3))
+        assert other.block(5).block_hash != chain[5].block_hash
+
+    def test_deploys_carry_both_labels(self, chain):
+        labels = {tx.label for block in chain for tx in block.transactions}
+        assert labels == {ContractLabel.BENIGN, ContractLabel.PHISHING}
+
+    def test_proxy_clones_duplicate_bytecode(self):
+        # A clone-heavy phishing stream must produce bit-identical bytecodes.
+        stream = BlockStream(
+            BlockStreamConfig(
+                seed=3,
+                deploys_per_block=4.0,
+                phishing_share=1.0,
+                proxy_clone_share=1.0,
+                n_drainer_implementations=2,
+            )
+        )
+        codes = [tx.bytecode for block in stream.take(20) for tx in block.transactions]
+        assert len(codes) > len(set(codes))
+
+    def test_rate_profile_shifts_volume(self):
+        quiet = BlockStream(BlockStreamConfig(seed=5, deploys_per_block=1.0))
+        busy = BlockStream(BlockStreamConfig(seed=5, deploys_per_block=8.0))
+        count = lambda blocks: sum(len(b.transactions) for b in blocks)
+        assert count(busy.take(30)) > count(quiet.take(30))
+
+    def test_phishing_profile_shifts_mix(self):
+        stream = BlockStream(
+            BlockStreamConfig(
+                seed=6,
+                deploys_per_block=6.0,
+                phishing_share=0.1,
+                phishing_profile=(1.0, 8.0),
+                blocks_per_phase=25,
+            )
+        )
+        blocks = stream.take(50)
+        share = lambda part: np.mean(
+            [tx.is_phishing for b in part for tx in b.transactions]
+        )
+        assert share(blocks[25:]) > share(blocks[:25])
+
+    def test_negative_block_rejected(self, config):
+        with pytest.raises(ValueError):
+            BlockStream(config).block(-1)
+
+    def test_take_requires_positive_count(self, config):
+        with pytest.raises(ValueError):
+            BlockStream(config).take(0)
+
+
+class TestNodeChain:
+    @pytest.fixture()
+    def node(self, config, chain):
+        node = SimulatedEthereumNode()
+        node.mine(BlockStream(config), 40)
+        return node
+
+    def test_mine_appends_stream_blocks(self, node, chain):
+        assert node.height == 39
+        assert node.block_number() == 39
+        assert node.get_block(7) == chain[7]
+
+    def test_empty_chain_keeps_legacy_block_number(self):
+        node = SimulatedEthereumNode()
+        assert node.height is None
+        assert node.block_number() == node.latest_block
+
+    def test_appending_gap_rejected(self, chain):
+        node = SimulatedEthereumNode()
+        with pytest.raises(ValueError):
+            node.append_block(chain[1])
+
+    def test_appending_foreign_parent_rejected(self, chain):
+        node = SimulatedEthereumNode()
+        node.append_block(chain[0])
+        impostor = Block(
+            number=1,
+            block_hash="0x" + "11" * 32,
+            parent_hash="0x" + "22" * 32,
+            timestamp=chain[1].timestamp,
+            transactions=(),
+        )
+        with pytest.raises(ValueError):
+            node.append_block(impostor)
+
+    def test_deployed_contracts_served_by_get_code(self, node, chain):
+        for block in chain[:10]:
+            for tx in block.transactions:
+                assert node.get_code(tx.contract_address) == tx.bytecode
+
+    def test_get_block_by_number_envelope(self, node, chain):
+        block = next(b for b in chain if b.transactions)
+        payload = node.request("eth_getBlockByNumber", [hex(block.number), True])["result"]
+        assert payload["hash"] == block.block_hash
+        assert payload["parentHash"] == block.parent_hash
+        assert int(payload["number"], 16) == block.number
+        assert int(payload["timestamp"], 16) == block.timestamp
+        tx_payload = payload["transactions"][0]
+        tx = block.transactions[0]
+        assert tx_payload["hash"] == tx.tx_hash
+        assert tx_payload["to"] is None
+        assert tx_payload["from"] == tx.sender
+        assert bytes.fromhex(tx_payload["input"][2:]) == tx.bytecode
+
+    def test_get_block_by_number_hashes_only(self, node, chain):
+        block = next(b for b in chain if b.transactions)
+        payload = node.request("eth_getBlockByNumber", [hex(block.number), False])["result"]
+        assert payload["transactions"] == [tx.tx_hash for tx in block.transactions]
+
+    def test_get_block_latest_and_earliest(self, node, chain):
+        latest = node.request("eth_getBlockByNumber", ["latest", False])["result"]
+        assert int(latest["number"], 16) == 39
+        earliest = node.request("eth_getBlockByNumber", ["earliest", False])["result"]
+        assert int(earliest["number"], 16) == 0
+
+    def test_unknown_block_returns_null(self, node):
+        assert node.request("eth_getBlockByNumber", ["0x1000", False])["result"] is None
+        assert node.get_block(4096) is None
+
+    def test_receipt_carries_contract_address(self, node, chain):
+        block = next(b for b in chain if b.transactions)
+        tx = block.transactions[0]
+        receipt = node.get_receipt(tx.tx_hash)
+        assert receipt["contractAddress"] == tx.contract_address
+        assert int(receipt["blockNumber"], 16) == block.number
+        assert receipt["status"] == "0x1"
+        assert receipt["to"] is None
+
+    def test_unknown_receipt_returns_null(self, node):
+        assert node.get_receipt("0x" + "ab" * 32) is None

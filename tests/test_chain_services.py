@@ -6,7 +6,7 @@ from repro.chain.bigquery import SimulatedBigQueryIndex
 from repro.chain.contracts import ContractLabel, DeploymentMonth
 from repro.chain.errors import RPCError, UnknownContractError
 from repro.chain.explorer import PHISH_HACK_TAG, SimulatedExplorer
-from repro.chain.rpc import SimulatedEthereumNode
+from repro.chain.rpc import INVALID_PARAMS, METHOD_NOT_FOUND, SimulatedEthereumNode
 
 
 @pytest.fixture(scope="module")
@@ -145,3 +145,69 @@ class TestRPCNode:
         _, _, node, _ = services
         response = node.request("eth_getCode", [])
         assert "error" in response
+
+
+class TestRPCErrorShape:
+    """Regression: the JSON-RPC error envelope of every endpoint.
+
+    Error codes must match the spec constants (``METHOD_NOT_FOUND`` /
+    ``INVALID_PARAMS``), unknown-method errors must carry the offending
+    method name, and every error response must keep the ``jsonrpc`` / ``id``
+    envelope fields — the shapes a real client would branch on.
+    """
+
+    @pytest.fixture()
+    def node(self):
+        return SimulatedEthereumNode()
+
+    @pytest.mark.parametrize("method", ["eth_call", "eth_sendRawTransaction", "net_version"])
+    def test_unknown_method_carries_method_name(self, node, method):
+        response = node.request(method, [])
+        assert response["jsonrpc"] == "2.0"
+        assert response["id"] == node.request_count
+        assert "result" not in response
+        assert response["error"]["code"] == METHOD_NOT_FOUND
+        assert method in response["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "method, params",
+        [
+            ("eth_getCode", []),
+            ("eth_getCode", ["not-an-address"]),
+            ("eth_getCode", ["0x1234"]),
+            ("eth_getBlockByNumber", []),
+            ("eth_getBlockByNumber", ["not-a-number", False]),
+            ("eth_getBlockByNumber", ["-5", False]),
+            ("eth_getTransactionReceipt", []),
+        ],
+    )
+    def test_invalid_params_shape(self, node, params, method):
+        response = node.request(method, params)
+        assert response["jsonrpc"] == "2.0"
+        assert "result" not in response
+        assert response["error"]["code"] == INVALID_PARAMS
+        assert response["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "method, params",
+        [
+            ("eth_chainId", []),
+            ("eth_blockNumber", []),
+            ("eth_getCode", ["0x" + "00" * 20]),
+            ("eth_getBlockByNumber", ["latest", False]),
+            ("eth_getTransactionReceipt", ["0x" + "00" * 32]),
+        ],
+    )
+    def test_valid_requests_have_no_error(self, node, params, method):
+        response = node.request(method, params)
+        assert "error" not in response
+        assert "result" in response
+
+    def test_chain_id_reflects_configuration(self):
+        node = SimulatedEthereumNode(chain_id=11155111)  # Sepolia
+        assert node.request("eth_chainId")["result"] == hex(11155111)
+
+    def test_wrapper_raises_typed_error_with_code(self, node):
+        with pytest.raises(RPCError) as excinfo:
+            node.get_code("nonsense")
+        assert excinfo.value.code == INVALID_PARAMS

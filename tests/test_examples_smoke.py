@@ -5,6 +5,12 @@ so import errors, API drift, and broken output paths surface in CI instead
 of rotting silently.  Examples all run at ``Scale.smoke()`` internally, so
 the whole sweep stays within a few seconds per script.  The scripts are
 discovered dynamically: adding an example automatically adds its smoke test.
+
+Every example must also finish inside a hard wall-clock budget
+(``EXAMPLE_BUDGET_S``): the subprocess is killed at the budget and its test
+failed with a clear message, so a hang — the monitor examples in particular
+must terminate cleanly under their ``max_blocks`` caps rather than poll
+forever — fails fast instead of stalling the suite.
 """
 
 import os
@@ -18,9 +24,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
 
+#: Hard per-example wall-clock cap, in seconds.  Generous against CI noise
+#: (examples finish in a few seconds each) but tight enough that a monitor
+#: loop failing to terminate, or an example quietly outgrowing smoke scale,
+#: fails the suite instead of stalling it.
+EXAMPLE_BUDGET_S = 120
+
 
 def test_examples_directory_discovered():
-    assert len(EXAMPLE_SCRIPTS) >= 5
+    assert len(EXAMPLE_SCRIPTS) >= 6
 
 
 @pytest.mark.parametrize(
@@ -35,14 +47,20 @@ def test_example_runs_clean(script, tmp_path):
     # Scripts that take an output directory (dataset_release) write into the
     # tmp dir; the others ignore the extra argument.  cwd is the tmp dir so
     # any default relative output paths land there too.
-    result = subprocess.run(
-        [sys.executable, str(script), str(tmp_path / "output")],
-        cwd=tmp_path,
-        env=env,
-        capture_output=True,
-        text=True,
-        timeout=300,
-    )
+    try:
+        result = subprocess.run(
+            [sys.executable, str(script), str(tmp_path / "output")],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=EXAMPLE_BUDGET_S,
+        )
+    except subprocess.TimeoutExpired:
+        pytest.fail(
+            f"{script.name} exceeded the {EXAMPLE_BUDGET_S}s wall-clock budget "
+            f"(hung or far beyond smoke scale) and was killed"
+        )
     assert result.returncode == 0, (
         f"{script.name} exited with {result.returncode}\n"
         f"--- stdout ---\n{result.stdout[-2000:]}\n"

@@ -315,3 +315,70 @@ class TestTelemetry:
                 assert dedicated.aggregate_stats().lookups > 0
         finally:
             fitted_detector.feature_service = module_service
+
+
+class TestWarmStart:
+    """Eviction-aware feature-cache warm-up from a ``FeatureStore`` file."""
+
+    @pytest.fixture()
+    def store_path(self, dataset, tmp_path):
+        """A persisted feature-cache file covering the whole dataset."""
+        store = FeatureStore(tmp_path / "store")
+        with store.session(dataset.bytecodes, install_default=False) as session:
+            pass  # the pre-warm sweep inside the session fills both views
+        assert session.saved
+        return session.path
+
+    @pytest.fixture()
+    def cold_detector(self, dataset, module_service):
+        """A fitted detector whose feature service holds nothing yet."""
+        detector = make_random_forest_hsc(seed=3)
+        detector.feature_service = module_service  # warm fit, cold serving
+        detector.fit(dataset.bytecodes, dataset.labels)
+        return detector
+
+    def test_warm_start_scores_first_batch_without_kernels(
+        self, cold_detector, dataset, store_path
+    ):
+        with ScoringService(cold_detector, warmup_path=store_path) as service:
+            verdicts = service.score_batch(dataset.bytecodes)
+            stats = service.stats()
+        assert len(verdicts) == len(dataset.bytecodes)
+        # The first batch the service ever scored ran zero bytecode sweeps:
+        # every feature lookup was served from the pre-populated cache.
+        assert stats.kernel_passes == 0
+        assert stats.feature_hit_rate == 1.0
+        assert stats.feature_lookups > 0
+
+    def test_warmup_grows_dedicated_cache_to_fit_file(
+        self, cold_detector, dataset, store_path
+    ):
+        tiny = BatchFeatureService(cache_size=4)
+        with ScoringService(
+            cold_detector, feature_service=tiny, warmup_path=store_path
+        ) as service:
+            assert service.feature_service is tiny
+            # Eviction-aware: the capacity grew to fit every stored entry
+            # instead of silently dropping all but 4 of them.
+            assert tiny.cache_size == len(tiny)
+            assert len(tiny) > 4
+            service.score_batch(dataset.bytecodes)
+            assert service.stats().kernel_passes == 0
+
+    def test_warmup_without_explicit_service_is_dedicated(
+        self, cold_detector, module_service, store_path
+    ):
+        from repro.features.batch import get_default_service
+
+        with ScoringService(cold_detector, warmup_path=store_path) as service:
+            # Loading replaces a cache wholesale, so the warm-up must never
+            # implicitly clobber the process-wide shared service.
+            assert service.feature_service is not get_default_service()
+            assert service.feature_service is not module_service
+            assert len(service.feature_service) > 0
+
+    def test_warmup_missing_file_raises(self, cold_detector, tmp_path):
+        from repro.features.batch import CacheLoadError
+
+        with pytest.raises(CacheLoadError):
+            ScoringService(cold_detector, warmup_path=tmp_path / "absent.npz")
