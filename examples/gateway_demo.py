@@ -1,0 +1,139 @@
+"""HTTP gateway: the network front door of the wallet-screening stack.
+
+``examples/wallet_screening.py`` calls the :class:`~repro.serving
+.ScoringService` in-process; this example puts the :class:`~repro.serving
+.Gateway` in front of it and talks to the stack the way a wallet backend
+would — over HTTP.  It starts the asyncio gateway on a background thread
+(:class:`~repro.serving.BackgroundGateway`), then exercises every endpoint
+with stdlib ``http.client`` requests, the equivalent of::
+
+    curl -s http://127.0.0.1:$PORT/healthz
+    curl -s -X POST http://127.0.0.1:$PORT/score/address \
+         -d '{"address": "0x…"}'
+    curl -s -X POST http://127.0.0.1:$PORT/score/bytecode \
+         -d '{"bytecode": "0x6080…", "explain": true}'
+    curl -s -X POST http://127.0.0.1:$PORT/score/batch \
+         -d '{"bytecodes": ["0x…", "0x…"]}'
+    curl -s http://127.0.0.1:$PORT/stats
+
+Verdicts come back in scanner-backend shape — phishing probability, a
+0–100 risk score, the thresholded verdict — and ``"explain": true`` adds
+the top contributing opcodes via the cached per-model SHAP explainer
+(:class:`~repro.serving.ExplanationService`), so a wallet can show *why*
+a contract was flagged.  Malformed input demonstrates the structured
+error envelope, and the closing ``/stats`` snapshot shows the admission
+and cache telemetry capacity planning reads.
+
+Run with::
+
+    python examples/gateway_demo.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro import PhishingHook, Scale, ScoringService, ServingConfig, build_model
+from repro.chain.rpc import SimulatedEthereumNode
+from repro.serving import BackgroundGateway, ExplanationService, Gateway, GatewayConfig
+
+
+def call(port: int, method: str, path: str, body=None):
+    """One JSON request against the gateway (what curl would send)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def main() -> None:
+    scale = Scale.smoke()
+    hook = PhishingHook(scale=scale)
+    corpus = hook.generate_corpus()
+    dataset = hook.build_dataset()
+
+    detector = build_model("Random Forest", seed=1)
+    detector.fit(dataset.bytecodes, dataset.labels)
+
+    node = SimulatedEthereumNode.from_records(corpus.records)
+    service = ScoringService(detector, node=node, config=ServingConfig.from_scale(scale))
+    explainer = ExplanationService(
+        detector, background=dataset.bytecodes[:16], n_permutations=4, seed=7
+    )
+    gateway = Gateway(
+        service, config=GatewayConfig.from_scale(scale), explainer=explainer
+    )
+
+    phishing = next(r for r in corpus.records if r.is_phishing)
+    benign = next(r for r in corpus.records if not r.is_phishing)
+
+    with service, BackgroundGateway(gateway) as running:
+        port = running.port
+        print(f"gateway listening on http://127.0.0.1:{port}\n")
+
+        status, body = call(port, "GET", "/healthz")
+        print(f"GET /healthz -> {status} {body}")
+
+        for record in (phishing, benign):
+            status, body = call(
+                port, "POST", "/score/address", {"address": record.address}
+            )
+            truth = "phishing" if record.is_phishing else "benign"
+            print(
+                f"POST /score/address {record.address} ({truth}) -> {status}: "
+                f"score {body['score']}/100, verdict {body['verdict']} "
+                f"(P={body['probability']:.3f}, {body['latency_ms']:.1f} ms)"
+            )
+
+        # Explainable verdict: the top opcodes pushing the score, via the
+        # cached per-model SHAP explainer.
+        status, body = call(
+            port,
+            "POST",
+            "/score/bytecode",
+            {"bytecode": "0x" + phishing.bytecode.hex(), "explain": True},
+        )
+        print(f"POST /score/bytecode explain=true -> {status}: {body['verdict']}")
+        for reason in body["reasons"]:
+            print(
+                f"    {reason['opcode']:<14s} shap {reason['shap']:+.4f} "
+                f"(count {reason['count']}, pushes {reason['direction']})"
+            )
+
+        batch = ["0x" + r.bytecode.hex() for r in corpus.records[:8]]
+        status, body = call(port, "POST", "/score/batch", {"bytecodes": batch})
+        flagged = sum(v["verdict"] == "phishing" for v in body["verdicts"])
+        print(
+            f"POST /score/batch ({len(batch)} contracts) -> {status}: "
+            f"{flagged} flagged phishing"
+        )
+
+        # Malformed input gets a structured error envelope, not a stack trace.
+        status, body = call(port, "POST", "/score/address", {"address": "0x1234"})
+        print(f"POST /score/address (bad address) -> {status}: {body['error']}")
+
+        status, body = call(port, "GET", "/stats")
+        gw, sv, ex = body["gateway"], body["service"], body["explain"]
+        print(
+            f"\nGET /stats -> {status}: "
+            f"{gw['requests']} requests ({gw['responses_ok']} ok, "
+            f"{gw['responses_client_error']} client errors), "
+            f"peak inflight {gw['peak_inflight']}"
+        )
+        print(
+            f"service: verdict-cache hit rate {sv['verdict_hit_rate']:.0%}, "
+            f"batches {sv['batches']}, p95 {sv['latency_ms_p95']:.1f} ms; "
+            f"explainers built {ex['explainers_built']} "
+            f"({ex['explanations']} explanations, {ex['memo_hits']} memo hits)"
+        )
+
+    print("\ngateway drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,15 @@ class Scale:
     ``serving_threshold`` is the served decision cutoff (``None``, the
     default, adopts the wrapped detector's own ``decision_threshold``).
 
+    The ``gateway_*`` knobs parameterise the HTTP front end
+    (:class:`~repro.serving.Gateway`;
+    :meth:`~repro.serving.GatewayConfig.from_scale` reads them):
+    ``gateway_max_inflight`` bounds concurrently admitted scoring requests
+    (excess load is shed as fast 429s), ``gateway_rate_limit`` /
+    ``gateway_rate_burst`` set the per-client token bucket (a zero rate
+    disables limiting), and ``gateway_timeout_s`` is the per-request budget
+    after which the gateway answers 504.
+
     The ``monitor_*`` knobs parameterise the deploy-time block monitor
     (:class:`~repro.monitor.MonitorPipeline`;
     :meth:`~repro.monitor.MonitorConfig.from_scale` reads them):
@@ -77,6 +86,10 @@ class Scale:
     serving_max_wait_ms: float = 2.0
     serving_verdict_cache: int = 4096
     serving_threshold: Optional[float] = None
+    gateway_max_inflight: int = 64
+    gateway_rate_limit: float = 0.0
+    gateway_rate_burst: int = 16
+    gateway_timeout_s: float = 10.0
     monitor_confirmations: int = 2
     monitor_poll_blocks: int = 8
     monitor_drift_window: int = 64

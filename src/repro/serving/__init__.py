@@ -58,8 +58,45 @@ p50/p95/p99 request-latency percentiles over a sliding window.
 
 Defaults come from :class:`~repro.core.config.Scale`'s ``serving_*`` knobs
 via :meth:`ServingConfig.from_scale`.
+
+HTTP gateway
+------------
+
+:class:`Gateway` (:mod:`repro.serving.gateway`) is the network front door:
+an asyncio HTTP server (stdlib streams, no extra dependencies) exposing
+``/score/address``, ``/score/bytecode``, ``/score/batch``, ``/healthz`` and
+``/stats`` on top of the micro-batcher, with per-client token-bucket rate
+limiting, a bounded-admission load shed (fast 429s instead of latency
+collapse), per-request timeouts (504), and graceful drain.  Verdicts follow
+the scanner-backend shape — probability, 0–100 score, threshold verdict —
+and ``"explain": true`` adds the top contributing opcodes through
+:class:`ExplanationService` (:mod:`repro.serving.explain`), a per-model
+SHAP-explainer cache so explanations never pay a background refit per
+request.  Gateway knobs come from ``Scale``'s ``gateway_*`` fields via
+:meth:`GatewayConfig.from_scale`.
 """
 
+from .explain import ExplainerCache, ExplainStats, ExplanationService
+from .gateway import (
+    BackgroundGateway,
+    Gateway,
+    GatewayConfig,
+    GatewayStats,
+    TokenBucket,
+)
 from .service import ScoringService, ServiceStats, ServingConfig, Verdict
 
-__all__ = ["ScoringService", "ServiceStats", "ServingConfig", "Verdict"]
+__all__ = [
+    "BackgroundGateway",
+    "ExplainerCache",
+    "ExplainStats",
+    "ExplanationService",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "ScoringService",
+    "ServiceStats",
+    "ServingConfig",
+    "TokenBucket",
+    "Verdict",
+]

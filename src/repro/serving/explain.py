@@ -1,0 +1,257 @@
+"""Per-model SHAP explainer cache: explainable verdicts without per-request refits.
+
+The gateway serves verdicts in the scanner-backend shape — a probability, a
+0–100 score, and the *top contributing opcodes* — but a naive implementation
+would rebuild a :class:`~repro.ml.shap.PermutationShapExplainer` (which
+subsamples and predicts its whole background dataset) on every explained
+request.  This module makes explanations serving-grade:
+
+* :class:`ExplainerCache` — an LRU of *fitted* explainers keyed per model.
+  The first explained request for a model pays the one-off construction
+  (background feature extraction plus the base-value predict); every later
+  request for the same model reuses it.  Swapping the detector's classifier
+  (a model promotion) naturally keys a new entry while the old one ages out.
+* :class:`ExplanationService` — the request-facing wrapper.  It memoizes the
+  per-bytecode SHAP rows under the same content hash the verdict and feature
+  caches use, so explaining a proxy clone (or re-explaining after a runtime
+  ``decision_threshold`` change — thresholds never touch SHAP values) costs
+  one dict lookup.  Explanations are deterministic for a fixed seed: the
+  estimator re-seeds its permutation stream per call.
+
+Usage (the gateway does exactly this)::
+
+    explainer = ExplanationService(detector, background=train_bytecodes)
+    reasons = explainer.explain(code)     # [{"opcode": "CALLER", ...}, ...]
+
+Only detectors exposing the opcode-histogram feature space (an
+``extractor.transform`` plus ``feature_names()`` — the HSC family) can be
+explained; anything else raises :class:`TypeError` at construction so a
+misconfigured deployment fails at boot, not on the first explained request.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..evm.disassembler import BytecodeLike, normalize_bytecode
+from ..features.batch import content_key
+from ..ml.shap import PermutationShapExplainer, positive_class_predictor
+
+
+@dataclass(frozen=True)
+class ExplainStats:
+    """Telemetry snapshot of one :class:`ExplanationService`.
+
+    ``explainers_built`` counts explainer *constructions* (the expensive
+    background refits) — the number the explainer-cache tests pin at one per
+    model regardless of request volume.  ``memo_hits`` counts explanations
+    served straight from the per-bytecode SHAP memo.
+    """
+
+    explainers_built: int
+    explainer_entries: int
+    explanations: int
+    memo_hits: int
+    memo_entries: int
+
+
+class ExplainerCache:
+    """LRU cache of fitted :class:`PermutationShapExplainer`s, keyed per model.
+
+    Keys are opaque (the :class:`ExplanationService` uses object identities
+    of the detector and its classifier); ``get`` builds-on-miss under the
+    lock so the :attr:`built` counter counts exactly one construction per
+    cached model even under concurrent explain calls.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.built = 0
+        self._entries: "OrderedDict[object, PermutationShapExplainer]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(
+        self, key, build: Callable[[], PermutationShapExplainer]
+    ) -> PermutationShapExplainer:
+        """Return the cached explainer for ``key``, building it on a miss."""
+        with self._lock:
+            explainer = self._entries.get(key)
+            if explainer is None:
+                explainer = build()
+                self.built += 1
+                self._entries[key] = explainer
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            else:
+                self._entries.move_to_end(key)
+            return explainer
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ExplanationService:
+    """Serve top-contributing-opcode explanations for a detector's verdicts.
+
+    Args:
+        detector: A fitted detector exposing the opcode-histogram feature
+            space (``extractor.transform`` + ``feature_names()``, i.e. the
+            HSC family).
+        background: Non-empty sequence of bytecodes whose histogram features
+            provide the explainer's "absent feature" reference values —
+            typically a slice of the training corpus.
+        top_k: Default number of reasons per explanation.
+        n_permutations: Monte-Carlo permutations per explained sample (cost
+            knob; explanations stay deterministic for a fixed seed).
+        max_background: Background rows are subsampled to at most this many.
+        seed: PRNG seed of the permutation stream (reseeded per call, so
+            equal inputs yield bit-equal explanations).
+        cache: Optional shared :class:`ExplainerCache` (one per process lets
+            several gateways share fitted explainers); a private one is
+            created by default.
+        memo_size: Entry capacity of the per-bytecode SHAP memo; ``0``
+            disables memoization.
+    """
+
+    def __init__(
+        self,
+        detector,
+        background: Sequence[BytecodeLike],
+        *,
+        top_k: int = 5,
+        n_permutations: int = 8,
+        max_background: int = 16,
+        seed: int = 0,
+        cache: Optional[ExplainerCache] = None,
+        memo_size: int = 2048,
+    ):
+        extractor = getattr(detector, "extractor", None)
+        if (
+            extractor is None
+            or not callable(getattr(extractor, "transform", None))
+            or not callable(getattr(detector, "feature_names", None))
+        ):
+            raise TypeError(
+                "detector does not expose the opcode-histogram feature space "
+                "(needs extractor.transform and feature_names()); only the "
+                "HSC family can serve explained verdicts"
+            )
+        background = [normalize_bytecode(code) for code in background]
+        if not background:
+            raise ValueError("background must be a non-empty sequence of bytecodes")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if n_permutations < 1:
+            raise ValueError("n_permutations must be >= 1")
+        if max_background < 1:
+            raise ValueError("max_background must be >= 1")
+        if memo_size < 0:
+            raise ValueError("memo_size must be >= 0")
+        self.detector = detector
+        self.top_k = top_k
+        self.n_permutations = n_permutations
+        self.max_background = max_background
+        self.seed = seed
+        self.memo_size = memo_size
+        self._background = background
+        self._cache = cache if cache is not None else ExplainerCache()
+        self._memo: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._memo_hits = 0
+        self._explanations = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _model_key(self) -> Tuple[int, int]:
+        """Identity of the currently served model (detector + classifier).
+
+        A runtime classifier swap (model promotion) changes the key, so the
+        cache never serves explanations of a retired model.
+        """
+        model = getattr(self.detector, "classifier", self.detector)
+        return (id(self.detector), id(model))
+
+    def _build_explainer(self) -> PermutationShapExplainer:
+        features = self.detector.extractor.transform(self._background)
+        model = getattr(self.detector, "classifier", self.detector)
+        return PermutationShapExplainer(
+            positive_class_predictor(model),
+            background=features,
+            n_permutations=self.n_permutations,
+            max_background=self.max_background,
+            seed=self.seed,
+        )
+
+    def _shap_row(self, code: bytes) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+        """(shap values, histogram counts, feature names) for one bytecode."""
+        memo_key = (self._model_key(), content_key(code))
+        with self._lock:
+            entry = self._memo.get(memo_key)
+            if entry is not None:
+                self._memo.move_to_end(memo_key)
+                self._memo_hits += 1
+                return entry
+        explainer = self._cache.get(self._model_key(), self._build_explainer)
+        features = np.asarray(self.detector.extractor.transform([code]), dtype=float)
+        names = list(self.detector.feature_names())
+        explanation = explainer.shap_values(features, feature_names=names)
+        entry = (explanation.values[0], features[0], names)
+        with self._lock:
+            self._explanations += 1
+            if self.memo_size > 0:
+                self._memo[memo_key] = entry
+                self._memo.move_to_end(memo_key)
+                while len(self._memo) > self.memo_size:
+                    self._memo.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------
+    # request surface
+    # ------------------------------------------------------------------
+
+    def explain(
+        self, bytecode: BytecodeLike, top_k: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Top contributing opcodes of one bytecode's verdict.
+
+        Returns up to ``top_k`` reasons ordered by descending ``|shap|``;
+        each carries the opcode mnemonic, its signed Shapley value, its
+        occurrence count in the explained contract, and the direction the
+        opcode pushes the verdict (positive SHAP = towards phishing).
+        """
+        code = normalize_bytecode(bytecode)
+        k = self.top_k if top_k is None else top_k
+        if k < 1:
+            raise ValueError("top_k must be >= 1")
+        shap_row, counts, names = self._shap_row(code)
+        order = np.argsort(np.abs(shap_row))[::-1][:k]
+        return [
+            {
+                "opcode": names[index],
+                "shap": float(shap_row[index]),
+                "count": int(counts[index]),
+                "direction": "phishing" if shap_row[index] > 0 else "benign",
+            }
+            for index in order
+        ]
+
+    def stats(self) -> ExplainStats:
+        """Consistent snapshot of the explanation telemetry."""
+        with self._lock:
+            return ExplainStats(
+                explainers_built=self._cache.built,
+                explainer_entries=len(self._cache),
+                explanations=self._explanations,
+                memo_hits=self._memo_hits,
+                memo_entries=len(self._memo),
+            )

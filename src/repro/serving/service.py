@@ -384,6 +384,13 @@ class ScoringService:
 
     def _flush_batch(self, batch: List[_Pending]) -> None:
         """Micro-batcher callback: score one flush in a single model pass."""
+        # Transition every future to RUNNING first: a caller that gave up
+        # (the gateway cancels timed-out requests) is dropped from
+        # resolution here, atomically — resolving a cancelled future would
+        # raise mid-flush and poison its batch siblings.  The abandoned
+        # codes are still scored below so the probability lands in the
+        # verdict cache and a retry is a pure cache hit.
+        live = [item for item in batch if item.future.set_running_or_notify_cancel()]
         # An earlier flush may have scored a key between submit and now;
         # snapshot those probabilities under the lock so eviction between
         # check and read cannot lose them.
@@ -401,7 +408,7 @@ class ScoringService:
             if missing
             else {}
         )
-        for item in batch:
+        for item in live:
             probability = scored.get(item.key)
             cached = probability is None
             if cached:

@@ -1,6 +1,16 @@
-"""Shared fixtures: a small deterministic corpus and dataset reused by tests."""
+"""Shared fixtures: a small deterministic corpus and dataset reused by tests.
+
+Also hosts the dependency-free async harness the gateway tests run on:
+``event_loop_thread`` (a private asyncio loop on a daemon thread, driven
+synchronously with ``run``) and ``free_port``, so tier 1 exercises the
+asyncio HTTP server without ``pytest-asyncio``.
+"""
 
 from __future__ import annotations
+
+import asyncio
+import socket
+import threading
 
 import numpy as np
 import pytest
@@ -8,6 +18,50 @@ import pytest
 from repro.chain.generator import ContractCorpusGenerator, CorpusConfig
 from repro.core.config import Scale
 from repro.core.dataset import PhishingDataset
+
+
+class EventLoopThread:
+    """A dedicated asyncio event loop running on a daemon thread.
+
+    Synchronous test bodies drive async server code by submitting
+    coroutines with :meth:`run`; the loop is torn down by :meth:`close`.
+    """
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="test-event-loop", daemon=True
+        )
+        self._thread.start()
+
+    def run(self, coroutine, timeout: float = 30.0):
+        """Run ``coroutine`` on the loop and block for its result."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result(timeout)
+
+    def close(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture()
+def event_loop_thread():
+    """A fresh background event loop per test (no pytest-asyncio needed)."""
+    loop_thread = EventLoopThread()
+    yield loop_thread
+    loop_thread.close()
+
+
+def free_tcp_port() -> int:
+    """A currently free localhost TCP port (bind-to-zero probe)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture()
+def free_port() -> int:
+    return free_tcp_port()
 
 
 @pytest.fixture(scope="session")
