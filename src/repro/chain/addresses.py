@@ -45,6 +45,31 @@ def derive_address(seed: int | str | bytes) -> str:
     return "0x" + digest[-20:].hex()
 
 
+def create_address(sender: str, nonce: int) -> str:
+    """The address a contract created by ``sender`` at ``nonce`` lands on.
+
+    Mirrors Ethereum's CREATE rule — the created address is a pure function
+    of the deployer account and its transaction nonce, so a monitor can
+    derive it from the creation transaction alone, without waiting for the
+    receipt.  The real chain hashes the RLP encoding with Keccak-256; this
+    simulation substitutes SHA3-256 over a canonical encoding (the same
+    documented substitution as :func:`bytecode_hash` — all the pipeline
+    needs is a stable, collision-resistant mapping).
+
+    Raises:
+        ValueError: if ``sender`` is malformed or ``nonce`` negative.
+    """
+    sender = normalize_address(sender)
+    if nonce < 0:
+        raise ValueError("nonce must be >= 0")
+    digest = hashlib.sha3_256(
+        b"phishinghook-create:"
+        + bytes.fromhex(sender[2:])
+        + int(nonce).to_bytes(8, "big")
+    ).digest()
+    return "0x" + digest[-20:].hex()
+
+
 def bytecode_hash(bytecode: bytes | str) -> str:
     """Stable hex fingerprint of a bytecode, used for duplicate detection."""
     if isinstance(bytecode, str):

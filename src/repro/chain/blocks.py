@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .addresses import derive_address
+from .addresses import create_address, derive_address
 from .contracts import ContractLabel
 from .templates import (
     build_family_bytecode,
@@ -91,6 +91,12 @@ class BlockStreamConfig:
     """Configuration of one deterministic block stream.
 
     Attributes:
+        chain_id: EIP-155 chain identifier of the simulated chain.  It is
+            mixed into block/transaction hashes and deployer derivation, so
+            two chains sharing a ``seed`` but not a ``chain_id`` are
+            distinct chains (distinct hashes, senders and addresses) with
+            the *same* deployment bytecodes — the clone-heavy cross-chain
+            workload one shared scoring service collapses onto cache hits.
         seed: PRNG seed; together with the block number it fully determines
             every block's contents.
         deploys_per_block: Mean (Poisson) number of contract creations per
@@ -111,8 +117,22 @@ class BlockStreamConfig:
         n_drainer_implementations: Size of that implementation pool.
         hard_fraction: Fraction of direct (non-proxy) deployments built
             with a fragment mix biased towards the opposite class.
+        impersonation_share: Probability that a deployment is an *address
+            impersonation* — a scam contract whose address copies the
+            first/last hex characters of a contract deployed in an earlier
+            block (vanity-address grinding, fast-forwarded by the
+            simulation; see :meth:`BlockStream._impersonate`).  Such
+            deployments carry *benign-family* bytecode but a ``PHISHING``
+            label: the scam is the address, not the opcodes, which is
+            exactly what a bytecode-free detector must catch.
+        impersonation_profile: Per-phase multiplicative schedule of the
+            impersonation share, cycled like the other profiles.
+        impersonation_prefix: Leading hex characters copied from the
+            impersonated address.
+        impersonation_suffix: Trailing hex characters copied.
     """
 
+    chain_id: int = 1
     seed: int = 2025
     deploys_per_block: float = 3.0
     phishing_share: float = 0.25
@@ -123,8 +143,14 @@ class BlockStreamConfig:
     proxy_clone_share: float = 0.4
     n_drainer_implementations: int = 8
     hard_fraction: float = 0.15
+    impersonation_share: float = 0.0
+    impersonation_profile: Tuple[float, ...] = (1.0,)
+    impersonation_prefix: int = 4
+    impersonation_suffix: int = 4
 
     def __post_init__(self) -> None:
+        if self.chain_id < 0:
+            raise ValueError("chain_id must be >= 0")
         if self.deploys_per_block < 0:
             raise ValueError("deploys_per_block must be >= 0")
         if not 0.0 <= self.phishing_share <= 1.0:
@@ -139,6 +165,14 @@ class BlockStreamConfig:
             raise ValueError("proxy_clone_share must be in [0, 1]")
         if self.n_drainer_implementations < 1:
             raise ValueError("n_drainer_implementations must be >= 1")
+        if not 0.0 <= self.impersonation_share <= 1.0:
+            raise ValueError("impersonation_share must be in [0, 1]")
+        if not self.impersonation_profile:
+            raise ValueError("schedule profiles must be non-empty")
+        if self.impersonation_prefix < 1 or self.impersonation_suffix < 1:
+            raise ValueError("impersonation prefix/suffix must be >= 1")
+        if self.impersonation_prefix + self.impersonation_suffix > 40:
+            raise ValueError("impersonation prefix+suffix exceed the address length")
 
     def phase_of(self, number: int) -> int:
         """The schedule phase block ``number`` falls into."""
@@ -153,6 +187,14 @@ class BlockStreamConfig:
         """Phishing deployment probability at ``number`` (clamped)."""
         phase = self.phase_of(number)
         share = self.phishing_share * self.phishing_profile[phase % len(self.phishing_profile)]
+        return float(min(1.0, max(0.0, share)))
+
+    def impersonation_share_at(self, number: int) -> float:
+        """Address-impersonation probability at ``number`` (clamped)."""
+        phase = self.phase_of(number)
+        share = self.impersonation_share * self.impersonation_profile[
+            phase % len(self.impersonation_profile)
+        ]
         return float(min(1.0, max(0.0, share)))
 
 
@@ -231,6 +273,7 @@ class BlockStream:
             )
         block_hash = _hash_hex(
             b"phishinghook-block:",
+            config.chain_id.to_bytes(8, "big"),
             parent_hash.encode("ascii"),
             number.to_bytes(8, "big"),
             timestamp.to_bytes(8, "big"),
@@ -252,6 +295,14 @@ class BlockStream:
         phishing_share: float,
     ) -> DeployTransaction:
         config = self.config
+        # The impersonation draw is only consumed when the schedule can
+        # actually produce one, so configs without an impersonation wave
+        # keep their exact historical draw sequence (and therefore chain).
+        impersonation_share = config.impersonation_share_at(number)
+        if impersonation_share > 0.0 and rng.random() < impersonation_share:
+            impersonation = self._impersonate(rng, number, index)
+            if impersonation is not None:
+                return impersonation
         phishing = bool(rng.random() < phishing_share)
         label = ContractLabel.PHISHING if phishing else ContractLabel.BENIGN
         if phishing and rng.random() < config.proxy_clone_share:
@@ -279,16 +330,40 @@ class BlockStream:
                 bias = {marker: strength for marker in markers}
             bytecode = build_family_bytecode(family_pick, rng, mix_bias=bias)
             family = family_pick.name
-        sender = derive_address(f"deployer:{config.seed}:{number}:{index}")
+        sender = self._sender(number, index)
         nonce = int(rng.integers(0, 1 << 16))
-        contract_address = derive_address(
-            f"deployment:{config.seed}:{number}:{index}:{sender}:{nonce}"
+        # The created address follows Ethereum's CREATE rule: a pure
+        # function of (sender, nonce), recomputable by any observer of the
+        # creation transaction (repro.monitor.impersonation relies on it).
+        contract_address = create_address(sender, nonce)
+        return self._transaction(
+            number, index, sender, nonce, contract_address, bytecode, label, family
         )
+
+    def _sender(self, number: int, index: int) -> str:
+        config = self.config
+        return derive_address(
+            f"deployer:{config.chain_id}:{config.seed}:{number}:{index}"
+        )
+
+    def _transaction(
+        self,
+        number: int,
+        index: int,
+        sender: str,
+        nonce: int,
+        contract_address: str,
+        bytecode: bytes,
+        label: ContractLabel,
+        family: str,
+    ) -> DeployTransaction:
         tx_hash = _hash_hex(
             b"phishinghook-tx:",
+            self.config.chain_id.to_bytes(8, "big"),
             number.to_bytes(8, "big"),
             index.to_bytes(4, "big"),
             sender.encode("ascii"),
+            contract_address.encode("ascii"),
             bytecode,
         )
         return DeployTransaction(
@@ -299,4 +374,58 @@ class BlockStream:
             bytecode=bytecode,
             label=label,
             family=family,
+        )
+
+    def _impersonate(
+        self, rng: np.random.Generator, number: int, index: int
+    ) -> Optional[DeployTransaction]:
+        """One address-impersonation deployment (``None`` when impossible).
+
+        Real impersonators grind CREATE2 salts or deployer keys offline
+        until the created address shares the leading/trailing hex digits
+        wallets display of a reputable contract; the simulation fast
+        -forwards that grind and fabricates the vanity address directly
+        (the node deploys at whatever address the creation produced, so the
+        receipt stays authoritative).  The impersonated target is a
+        contract deployed in an *earlier* block — already generated, since
+        blocks generate sequentially from genesis — keeping block contents
+        a pure function of ``(config, number)``.  The bytecode is drawn
+        from a *benign* family: the scam is the address, and only a
+        bytecode-free detector can see it.
+        """
+        config = self.config
+        if number < 2:
+            return None  # no earlier deployments exist to impersonate
+        target: Optional[DeployTransaction] = None
+        for _ in range(4):  # a few draws to land on a non-empty block
+            victim_block = self._blocks[int(rng.integers(1, number))]
+            if victim_block.transactions:
+                target = victim_block.transactions[
+                    int(rng.integers(0, len(victim_block.transactions)))
+                ]
+                break
+        if target is None:
+            return None
+        prefix = target.contract_address[: 2 + config.impersonation_prefix]
+        suffix = target.contract_address[40 + 2 - config.impersonation_suffix :]
+        middle_len = 40 - config.impersonation_prefix - config.impersonation_suffix
+        middle = "".join(
+            "0123456789abcdef"[digit]
+            for digit in rng.integers(0, 16, size=middle_len)
+        )
+        contract_address = prefix + middle + suffix
+        families, weights = self._families[ContractLabel.BENIGN]
+        family_pick = families[int(rng.choice(len(families), p=weights))]
+        bytecode = build_family_bytecode(family_pick, rng)
+        sender = self._sender(number, index)
+        nonce = int(rng.integers(0, 1 << 16))
+        return self._transaction(
+            number,
+            index,
+            sender,
+            nonce,
+            contract_address,
+            bytecode,
+            ContractLabel.PHISHING,
+            "address_impersonation",
         )

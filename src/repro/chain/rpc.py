@@ -65,6 +65,23 @@ class SimulatedEthereumNode:
             node.register(record.address, record.bytecode)
         return node
 
+    @classmethod
+    def from_stream(
+        cls, stream: BlockStream, blocks: int = 0, **kwargs: Any
+    ) -> "SimulatedEthereumNode":
+        """A node serving ``stream``'s chain, adopting its ``chain_id``.
+
+        The multi-chain supervisor builds one node per simulated chain this
+        way, so ``eth_chainId`` answers the stream's identity without the
+        caller repeating it.  ``blocks`` optionally pre-mines the first
+        blocks of the stream.
+        """
+        kwargs.setdefault("chain_id", stream.config.chain_id)
+        node = cls(**kwargs)
+        if blocks:
+            node.mine(stream, blocks)
+        return node
+
     def register(self, address: str, bytecode: bytes) -> None:
         """Deploy ``bytecode`` at ``address`` in the simulated state."""
         self._code_by_address[normalize_address(address)] = bytes(bytecode)

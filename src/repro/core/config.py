@@ -64,9 +64,18 @@ class Scale:
     :meth:`~repro.monitor.MonitorConfig.from_scale` reads them):
     ``monitor_confirmations`` is the block follower's confirmation depth,
     ``monitor_poll_blocks`` the block-window size scored in one vectorized
-    pass (also the checkpoint granularity), and ``monitor_drift_window`` /
+    pass (also the checkpoint granularity), ``monitor_drift_window`` /
     ``monitor_drift_alpha`` the score-count and significance level of the
-    drift telemetry windows.
+    drift telemetry windows, ``monitor_start_block`` the first block a
+    fresh (un-checkpointed) monitor processes, ``monitor_latency_window``
+    the size of the rolling per-block latency reservoir behind the
+    p50/p95 telemetry, and ``monitor_known_contracts`` the rolling
+    registry size of the address-impersonation detector.  The multi-chain
+    supervisor (:class:`~repro.monitor.MultiChainMonitor`;
+    :meth:`~repro.monitor.MultiChainConfig.from_scale` reads them) adds
+    ``monitor_chains``, the number of simulated chains it fans in, and
+    ``monitor_shards``, the shard count of its consistent-hash cache
+    router.
     """
 
     name: str = "ci"
@@ -94,6 +103,11 @@ class Scale:
     monitor_poll_blocks: int = 8
     monitor_drift_window: int = 64
     monitor_drift_alpha: float = 0.05
+    monitor_start_block: int = 0
+    monitor_latency_window: int = 4096
+    monitor_known_contracts: int = 512
+    monitor_chains: int = 3
+    monitor_shards: int = 4
 
     @classmethod
     def smoke(cls) -> "Scale":

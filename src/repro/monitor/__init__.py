@@ -45,17 +45,52 @@ time-resistance phenomenon of the paper's Fig. 8 becomes an operational
 observable — a ``drifted`` flag and a shift statistic per window — instead
 of a retrospective figure.
 
+Two detectors ride on the pipeline: the opcode models behind the scoring
+service, and the bytecode-free address-impersonation screen
+(:class:`~repro.monitor.impersonation.ImpersonationDetector`) that flags
+fresh deployments whose created address shares the displayed leading and
+trailing hex digits of an already-known contract — the vanity-address
+social-engineering scam no opcode feature can see.  Both emit through the
+same pluggable sink.
+
+Above the single-chain pipeline sits the fan-in supervisor
+(:class:`~repro.monitor.multichain.MultiChainMonitor`): one pipeline per
+simulated chain (distinct ``eth_chainId``, seed and schedule; per-chain
+checkpoints under one directory), all scoring through one **shared**
+:class:`~repro.serving.ScoringService` into one merged,
+deterministically-ordered alert stream, with
+:func:`~repro.monitor.multichain.shard_for` providing the consistent-hash
+routing for splitting caches across worker shards.
+
 Knobs come from :class:`~repro.core.config.Scale`'s ``monitor_*`` fields
-via :meth:`~repro.monitor.pipeline.MonitorConfig.from_scale`.  The chain
-side (deterministic seeded block streams with configurable deploy-rate and
-phishing-share schedules) lives in :mod:`repro.chain.blocks`; see
-``examples/chain_monitor.py`` for the end-to-end loop and
-``examples/drift_monitoring.py`` for the drift telemetry in action.
+via :meth:`~repro.monitor.pipeline.MonitorConfig.from_scale` and
+:meth:`~repro.monitor.multichain.MultiChainConfig.from_scale`.  The chain
+side (deterministic seeded block streams with configurable deploy-rate,
+phishing-share and impersonation schedules) lives in
+:mod:`repro.chain.blocks`; see ``examples/chain_monitor.py`` for the
+end-to-end loop, ``examples/drift_monitoring.py`` for the drift telemetry
+in action and ``examples/multichain_monitor.py`` for the multi-chain
+fan-in with impersonation alerts.
 """
 
-from .checkpoint import CHECKPOINT_VERSION, Checkpoint, CheckpointError, MonitorCursor
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    MonitorCursor,
+    MonitorState,
+)
 from .drift import DriftTracker, DriftWindow
 from .follower import BlockFollower
+from .impersonation import ImpersonationAlert, ImpersonationDetector
+from .multichain import (
+    MultiChainConfig,
+    MultiChainMonitor,
+    MultiChainStats,
+    ShardRouter,
+    chain_stream_configs,
+    shard_for,
+)
 from .pipeline import (
     Alert,
     AlertSink,
@@ -71,9 +106,18 @@ __all__ = [
     "Checkpoint",
     "CheckpointError",
     "MonitorCursor",
+    "MonitorState",
     "DriftTracker",
     "DriftWindow",
     "BlockFollower",
+    "ImpersonationAlert",
+    "ImpersonationDetector",
+    "MultiChainConfig",
+    "MultiChainMonitor",
+    "MultiChainStats",
+    "ShardRouter",
+    "chain_stream_configs",
+    "shard_for",
     "Alert",
     "AlertSink",
     "JsonlSink",

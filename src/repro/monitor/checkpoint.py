@@ -1,19 +1,54 @@
-"""Atomic JSON checkpointing of the monitor's chain cursor.
+"""Atomic JSON checkpointing of the monitor's resumable state.
 
 A killed monitor must resume *exactly* where it stopped: no checkpointed
-block is ever re-scored and none is skipped.  The checkpoint persists the
-follower cursor — the next block to process plus the hash of the last
-processed block for reorg detection — together with the cumulative
-counters, and every save is atomic (write to a per-writer staging file in
-the same directory, then ``os.replace``), so a crash mid-save leaves the
-previous checkpoint intact rather than a truncated file.
+block is ever re-scored, none is skipped, and the telemetry continues as if
+the restart never happened.  The checkpoint persists the follower cursor —
+the next block to process plus the hash of the last processed block for
+reorg detection — together with the cumulative counters, the drift
+tracker's runtime state and (when the pipeline runs an impersonation
+detector) the known-contract registry.  Every save is atomic (write to a
+per-writer staging file in the same directory, then ``os.replace``), so a
+crash mid-save leaves the previous checkpoint intact rather than a
+truncated file; stale staging files orphaned by a crash *between* the write
+and the replace are swept the next time a :class:`Checkpoint` opens the
+same name (live writers, identified by their pid, are never touched).
 
 The granularity of the guarantee is the *window*: the pipeline saves the
-cursor after a window's alerts have been emitted, so a crash between
-windows resumes seamlessly (the alert sequence continues bit-for-bit),
-while a crash in the instant between emitting a window's alerts and saving
-the cursor re-processes that one window on restart — at-least-once
-delivery for externally side-effecting sinks, never a gap.
+state after a window's alerts have been emitted, so a crash between
+windows resumes seamlessly (the alert *and* drift-window sequences continue
+bit-for-bit), while a crash in the instant between emitting a window's
+alerts and saving the state re-processes that one window on restart —
+at-least-once delivery for externally side-effecting sinks, never a gap.
+
+Checkpoint format (version 2)
+-----------------------------
+
+One JSON object::
+
+    {
+      "version": 2,
+      "cursor": {            # the resumable follower position + counters
+        "next_block": int, "last_hash": str,
+        "blocks_scanned": int, "contracts_scanned": int,
+        "alerts_emitted": int
+      },
+      "drift": null | {      # DriftTracker.state(): reference window,
+        ...                  # partial score buffer, completed-window count
+      },
+      "impersonation": null | {   # ImpersonationDetector.state(): rolling
+        ...                       # known-contract registry + counters
+      }
+    }
+
+Version 1 files persisted the cursor fields alone (flat), which silently
+re-baselined drift detection after every restart — the resumed tracker
+built a *new* reference window from the post-restart (possibly already
+-drifted) distribution and the ``drifted`` signal went quiet.  There is no
+in-place migration: loading a v1 file raises a loud :class:`CheckpointError`
+naming the version, and the operator either deletes the file (restart from
+``start_block``; the verdict cache makes the rescan cheap) or replays the
+chain once to rebuild telemetry.  Silent adoption of a v1 cursor would
+resurrect exactly the re-baselining bug the version bump fixes.
 """
 
 from __future__ import annotations
@@ -22,10 +57,10 @@ import json
 import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 #: Format version; a bump makes old checkpoint files unreadable-as-stale.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -34,7 +69,7 @@ class CheckpointError(RuntimeError):
 
 @dataclass(frozen=True)
 class MonitorCursor:
-    """The resumable state of one monitor run.
+    """The resumable chain position of one monitor run.
 
     ``next_block`` is the first block the monitor has *not* processed;
     ``last_hash`` is the hash of block ``next_block - 1`` (empty before any
@@ -57,24 +92,73 @@ class MonitorCursor:
                 raise ValueError(f"{name} must be >= 0")
 
 
+@dataclass(frozen=True)
+class MonitorState:
+    """Everything one checkpoint file persists.
+
+    ``drift`` and ``impersonation`` are the opaque JSON-able snapshots of
+    :meth:`~repro.monitor.drift.DriftTracker.state` and
+    :meth:`~repro.monitor.impersonation.ImpersonationDetector.state`
+    (``None`` when the saving pipeline ran without the component).
+    """
+
+    cursor: MonitorCursor
+    drift: Optional[Dict[str, Any]] = None
+    impersonation: Optional[Dict[str, Any]] = None
+
+
 class Checkpoint:
-    """Load/save :class:`MonitorCursor` state at a fixed path, atomically."""
+    """Load/save :class:`MonitorState` at a fixed path, atomically.
+
+    Opening a checkpoint sweeps staging files orphaned at this name by
+    crashed writers (a crash between the staging write and the atomic
+    rename leaks one ``.{name}.{pid}.{id}.tmp`` per attempt, forever).
+    Only files whose embedded pid is no longer alive are removed: a
+    concurrent live writer's staging file — and any staging file of a
+    *different* checkpoint name in the same directory — is never touched.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        self._sweep_stale_staging()
+
+    def _staging_path(self) -> Path:
+        return self.path.with_name(
+            f".{self.path.name}.{os.getpid()}.{id(self):x}.tmp"
+        )
+
+    def _sweep_stale_staging(self) -> None:
+        if not self.path.parent.is_dir():
+            return
+        for staging in self.path.parent.glob(f".{self.path.name}.*.tmp"):
+            # Name shape: .{name}.{pid}.{id}.tmp — a malformed match (or a
+            # different checkpoint whose name merely extends ours) is
+            # skipped rather than guessed about.
+            remainder = staging.name[len(self.path.name) + 2 : -len(".tmp")]
+            parts = remainder.split(".")
+            if len(parts) != 2 or not parts[0].isdigit():
+                continue
+            pid = int(parts[0])
+            if pid != os.getpid() and not _pid_alive(pid):
+                try:
+                    staging.unlink()
+                except OSError:
+                    pass  # a racing sweep won; the file is gone either way
 
     def exists(self) -> bool:
         """Whether a checkpoint file is present."""
         return self.path.exists()
 
-    def load(self) -> Optional[MonitorCursor]:
-        """The persisted cursor, or ``None`` when no checkpoint exists.
+    def load(self) -> Optional[MonitorState]:
+        """The persisted state, or ``None`` when no checkpoint exists.
 
         Raises:
             CheckpointError: if the file is unreadable, not valid JSON, has
-                the wrong format version, or misses a cursor field —
-                resuming from a guessed cursor would silently violate the
-                no-duplicates/no-gaps guarantee, so corruption is loud.
+                the wrong format version (v1 included — see the module
+                docstring for the migration story), or misses a cursor
+                field — resuming from a guessed cursor would silently
+                violate the no-duplicates/no-gaps guarantee, so corruption
+                is loud.
         """
         if not self.path.exists():
             return None
@@ -82,29 +166,51 @@ class Checkpoint:
             payload = json.loads(self.path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
             raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}") from exc
+        if isinstance(payload, dict) and payload.get("version") == 1:
+            raise CheckpointError(
+                f"checkpoint {self.path} has stale version 1 (cursor-only, "
+                f"pre-drift-state); delete it to restart from start_block, "
+                f"or replay the chain once to rebuild telemetry"
+            )
         if not isinstance(payload, dict) or payload.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"checkpoint {self.path} has unsupported version "
                 f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
             )
         try:
-            return MonitorCursor(
-                next_block=int(payload["next_block"]),
-                last_hash=str(payload["last_hash"]),
-                blocks_scanned=int(payload["blocks_scanned"]),
-                contracts_scanned=int(payload["contracts_scanned"]),
-                alerts_emitted=int(payload["alerts_emitted"]),
+            cursor_payload = payload["cursor"]
+            cursor = MonitorCursor(
+                next_block=int(cursor_payload["next_block"]),
+                last_hash=str(cursor_payload["last_hash"]),
+                blocks_scanned=int(cursor_payload["blocks_scanned"]),
+                contracts_scanned=int(cursor_payload["contracts_scanned"]),
+                alerts_emitted=int(cursor_payload["alerts_emitted"]),
             )
+            drift = payload.get("drift")
+            impersonation = payload.get("impersonation")
+            if drift is not None and not isinstance(drift, dict):
+                raise TypeError("drift state must be an object")
+            if impersonation is not None and not isinstance(impersonation, dict):
+                raise TypeError("impersonation state must be an object")
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed checkpoint {self.path}: {exc}") from exc
+        return MonitorState(cursor=cursor, drift=drift, impersonation=impersonation)
 
-    def save(self, cursor: MonitorCursor) -> None:
-        """Atomically persist ``cursor`` (parent directories are created)."""
-        payload = dict(asdict(cursor), version=CHECKPOINT_VERSION)
+    def save(
+        self,
+        cursor: MonitorCursor,
+        drift: Optional[Dict[str, Any]] = None,
+        impersonation: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Atomically persist the state (parent directories are created)."""
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "cursor": asdict(cursor),
+            "drift": drift,
+            "impersonation": impersonation,
+        }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        staging = self.path.with_name(
-            f".{self.path.name}.{os.getpid()}.{id(self):x}.tmp"
-        )
+        staging = self._staging_path()
         try:
             staging.write_text(json.dumps(payload, indent=0), encoding="utf-8")
             os.replace(staging, self.path)
@@ -123,3 +229,18 @@ class Checkpoint:
             self.path.unlink()
         except FileNotFoundError:
             pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (best effort, permission-safe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, just not ours
+    except OSError:
+        return True  # unknown — err on the side of not deleting
+    return True

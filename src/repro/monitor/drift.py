@@ -21,12 +21,26 @@ Each completed window yields a :class:`DriftWindow` carrying the windowed
 alert rate, the shift statistic and p-value, and the mean-score delta
 against the reference, so "the model is drifting" becomes a thresholded
 telemetry field instead of a retrospective figure.
+
+Restart persistence
+-------------------
+
+The tracker's runtime state — the established reference window, the
+partially filled score/alert buffer with its block span, and the count of
+completed windows — round-trips through :meth:`DriftTracker.state` /
+:meth:`DriftTracker.restore` as a JSON-able dict, which the monitor's
+checkpoint embeds.  Without it a restart would silently install a *new*
+reference window drawn from the post-restart (possibly already-drifted)
+distribution, and the ``drifted`` signal would go quiet exactly when it
+matters; with it, a resumed tracker continues the ``DriftWindow`` sequence
+bit-for-bit (JSON serialises floats via ``repr``, which round-trips IEEE
+doubles exactly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -86,6 +100,9 @@ class DriftTracker:
         self._alerts: List[bool] = []
         self._start_block: Optional[int] = None
         self._last_block: Optional[int] = None
+        #: Windows completed by *earlier process lifetimes* (restored from a
+        #: checkpoint); indexes of new windows continue after them.
+        self._completed_before: int = 0
         self.windows: List[DriftWindow] = []
 
     @property
@@ -103,6 +120,69 @@ class DriftTracker:
         """Whether the most recent completed window drifted."""
         latest = self.latest
         return bool(latest and latest.drifted)
+
+    @property
+    def completed_windows(self) -> int:
+        """Windows completed over the tracker's whole (restored) lifetime."""
+        return self._completed_before + len(self.windows)
+
+    # ------------------------------------------------------------------
+    # restart persistence
+    # ------------------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the resumable tracker state.
+
+        Captures the reference window, the partial score/alert buffer with
+        its block span, and the lifetime completed-window count — the
+        configuration (``window`` / ``alpha``) is *not* included; it comes
+        from the constructor on restore, like the rest of the monitor's
+        config.
+        """
+        return {
+            "reference": (
+                None if self._reference is None else [float(s) for s in self._reference]
+            ),
+            "scores": list(self._scores),
+            "alerts": list(self._alerts),
+            "start_block": self._start_block,
+            "last_block": self._last_block,
+            "completed_windows": self.completed_windows,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Install a :meth:`state` snapshot into this (fresh) tracker.
+
+        Raises:
+            ValueError: if the snapshot is malformed or the tracker has
+                already observed scores (restoring over live state would
+                silently discard observations).
+        """
+        if self._scores or self.windows or self._completed_before:
+            raise ValueError("cannot restore into a tracker that already observed scores")
+        try:
+            reference = state["reference"]
+            scores = [float(s) for s in state["scores"]]
+            alerts = [bool(a) for a in state["alerts"]]
+            start_block = state["start_block"]
+            last_block = state["last_block"]
+            completed = int(state["completed_windows"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed drift-tracker state: {exc}") from exc
+        if len(scores) != len(alerts):
+            raise ValueError("malformed drift-tracker state: score/alert length mismatch")
+        if completed < 0:
+            raise ValueError("malformed drift-tracker state: negative window count")
+        self._reference = (
+            None
+            if reference is None
+            else np.asarray([float(s) for s in reference], dtype=float)
+        )
+        self._scores = scores
+        self._alerts = alerts
+        self._start_block = None if start_block is None else int(start_block)
+        self._last_block = None if last_block is None else int(last_block)
+        self._completed_before = completed
 
     def observe(
         self,
@@ -135,7 +215,7 @@ class DriftTracker:
         else:
             statistic, p_value = self._shift(self._reference, scores)
         window = DriftWindow(
-            index=len(self.windows),
+            index=self._completed_before + len(self.windows),
             start_block=int(self._start_block),
             end_block=int(self._last_block),
             n_scores=len(scores),

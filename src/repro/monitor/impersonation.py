@@ -1,0 +1,199 @@
+"""Bytecode-free address-impersonation detection.
+
+A social-engineering scam that no opcode model can see: the attacker grinds
+deployer keys or CREATE2 salts until the created contract's address shares
+the leading and trailing hex digits of a reputable contract — exactly the
+digits wallets and explorers display ("0x1234…abcd") — then lures victims
+into interacting with the look-alike.  The Forta social-engineering starter
+kit detects this from deployment *metadata* alone; this module reproduces
+that scheme on the simulated chain, composed with the opcode models behind
+the same alert sink.
+
+:class:`ImpersonationDetector` keeps a rolling bounded registry of
+known-contract addresses per chain and, for every fresh deployment,
+resolves the created address — from the receipt when present, otherwise
+recomputed from ``(sender, nonce)`` via
+:func:`repro.chain.addresses.create_address`, Ethereum's CREATE rule — and
+flags it when the first ``prefix_hex`` and last ``suffix_hex`` characters
+both match a *different* known contract.  No bytecode is read at any point,
+so the detector catches scams whose contract code is entirely benign.
+
+With the default 4+4 hex match and a bounded registry, an honest deployment
+collides with probability ``registry_size / 16**8`` (≈ 1e-7 at the default
+512 entries), so alerts are effectively precise; the deliberately
+impersonating deployments of
+:class:`~repro.chain.blocks.BlockStream` are caught exactly.
+
+The rolling registry and counters round-trip through :meth:`state` /
+:meth:`restore` so the monitor checkpoint can persist them — a restarted
+monitor keeps recognising contracts it saw before the restart.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from ..chain.addresses import create_address
+
+
+@dataclass(frozen=True)
+class ImpersonationAlert:
+    """One deployment whose address impersonates a known contract."""
+
+    chain_id: int
+    block_number: int
+    tx_hash: str
+    contract_address: str
+    impersonated_address: str
+    matched_prefix: str
+    matched_suffix: str
+
+
+class ImpersonationDetector:
+    """Rolling known-contract registry + prefix/suffix match.
+
+    Args:
+        known_contracts: Size of the rolling registry; the oldest known
+            address is forgotten when a new one arrives at capacity.
+        prefix_hex: Leading hex characters (after ``0x``) that must match.
+        suffix_hex: Trailing hex characters that must match.
+        chain_id: Chain identifier stamped onto emitted alerts.
+    """
+
+    def __init__(
+        self,
+        known_contracts: int = 512,
+        prefix_hex: int = 4,
+        suffix_hex: int = 4,
+        chain_id: int = 0,
+    ):
+        if known_contracts < 1:
+            raise ValueError("known_contracts must be >= 1")
+        if prefix_hex < 1 or suffix_hex < 1:
+            raise ValueError("prefix_hex and suffix_hex must be >= 1")
+        if prefix_hex + suffix_hex > 40:
+            raise ValueError("prefix_hex + suffix_hex exceed the address length")
+        self.known_contracts = known_contracts
+        self.prefix_hex = prefix_hex
+        self.suffix_hex = suffix_hex
+        self.chain_id = chain_id
+        self._known: Deque[str] = deque(maxlen=known_contracts)
+        self._known_set: Dict[str, int] = {}
+        self._observed = 0
+        self._alerts_emitted = 0
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def resolve_created_address(tx) -> str:
+        """The created contract's address for a deployment transaction.
+
+        Prefers the receipt-backed ``contract_address`` when the source
+        carries one (authoritative on-chain truth — vanity-ground
+        deployments land wherever the grind put them); otherwise derives it
+        from ``(sender, nonce)`` exactly as the chain does, which is all a
+        raw creation transaction reveals.
+        """
+        address = getattr(tx, "contract_address", None)
+        if address:
+            return address.lower()
+        return create_address(tx.sender, tx.nonce)
+
+    def observe(self, block_number: int, tx) -> Optional[ImpersonationAlert]:
+        """Screen one deployment; returns the alert when it impersonates.
+
+        The fresh address is compared against the registry *before* being
+        registered, so a contract never impersonates itself, and the first
+        deployment of any address family is the innocent one.
+        """
+        address = self.resolve_created_address(tx)
+        self._observed += 1
+        alert: Optional[ImpersonationAlert] = None
+        impersonated = self._match(address)
+        if impersonated is not None:
+            self._alerts_emitted += 1
+            alert = ImpersonationAlert(
+                chain_id=self.chain_id,
+                block_number=block_number,
+                tx_hash=tx.tx_hash,
+                contract_address=address,
+                impersonated_address=impersonated,
+                matched_prefix=address[2 : 2 + self.prefix_hex],
+                matched_suffix=address[-self.suffix_hex :],
+            )
+        self._register(address)
+        return alert
+
+    def _match(self, address: str) -> Optional[str]:
+        prefix = address[2 : 2 + self.prefix_hex]
+        suffix = address[-self.suffix_hex :]
+        for known in self._known:
+            if known == address:
+                continue  # a re-deployment at the same address is not a scam
+            if known[2 : 2 + self.prefix_hex] == prefix and known[-self.suffix_hex :] == suffix:
+                return known
+        return None
+
+    def _register(self, address: str) -> None:
+        if address in self._known_set:
+            return  # already known; keep its original registry age
+        if len(self._known) == self.known_contracts:
+            evicted = self._known[0]
+            self._known_set.pop(evicted, None)
+        self._known.append(address)
+        self._known_set[address] = 1
+
+    # ------------------------------------------------------------------
+    # telemetry + restart persistence
+    # ------------------------------------------------------------------
+
+    @property
+    def known(self) -> tuple:
+        """The registry contents, oldest first (diagnostics/tests)."""
+        return tuple(self._known)
+
+    @property
+    def observed(self) -> int:
+        """Deployments screened over the detector's (restored) lifetime."""
+        return self._observed
+
+    @property
+    def alerts_emitted(self) -> int:
+        """Impersonation alerts emitted over the (restored) lifetime."""
+        return self._alerts_emitted
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the registry and lifetime counters."""
+        return {
+            "known": list(self._known),
+            "observed": self._observed,
+            "alerts_emitted": self._alerts_emitted,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Install a :meth:`state` snapshot into this (fresh) detector.
+
+        Raises:
+            ValueError: if the snapshot is malformed or the detector has
+                already observed deployments.
+        """
+        if self._observed or self._known:
+            raise ValueError(
+                "cannot restore into a detector that already observed deployments"
+            )
+        try:
+            known = [str(address) for address in state["known"]]
+            observed = int(state["observed"])
+            alerts_emitted = int(state["alerts_emitted"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed impersonation state: {exc}") from exc
+        if observed < 0 or alerts_emitted < 0:
+            raise ValueError("malformed impersonation state: negative counter")
+        for address in known[-self.known_contracts :]:
+            self._register(address)
+        self._observed = observed
+        self._alerts_emitted = alerts_emitted

@@ -1,0 +1,367 @@
+"""Multi-chain fan-in monitoring: N chains, one service, one alert stream.
+
+A real deployment does not watch one chain: the same drainer campaigns land
+on mainnet, L2s and side-chains within minutes of each other, usually as
+byte-identical clones.  :class:`MultiChainMonitor` supervises one
+:class:`~repro.monitor.pipeline.MonitorPipeline` per simulated chain — each
+with its own :class:`~repro.chain.rpc.SimulatedEthereumNode` (distinct
+``eth_chainId``, seed and :class:`~repro.chain.blocks.BlockStreamConfig`
+schedule), its own per-chain :class:`~repro.monitor.checkpoint.Checkpoint`
+under a single checkpoint directory, and its own bytecode-free
+:class:`~repro.monitor.impersonation.ImpersonationDetector` — all feeding
+**one shared** :class:`~repro.serving.ScoringService` (so a clone wave
+crossing chains collapses onto verdict-cache hits) and **one merged alert
+sink**.
+
+Deterministic merge order
+-------------------------
+
+The supervisor's scheduler is a pure function of the per-chain cursors: at
+every step it advances the *lowest* chain — the pipeline whose follower has
+the smallest ``next_block``, ties broken by ``chain_id`` — by one poll
+window.  Because the cursors are exactly what the per-chain checkpoints
+persist, a killed supervisor resumes with the same scheduling decisions the
+uninterrupted run would have made: the merged alert stream (verdict and
+impersonation alerts alike) and every chain's drift-window sequence
+continue bit-for-bit.  A process-local round counter could not offer that
+(after a restart it would re-interleave the chains differently).
+
+Sharding
+--------
+
+:func:`shard_for` / :class:`ShardRouter` provide the consistent-hash
+routing under which the feature and verdict caches can later split across
+worker processes: bytecodes are assigned to shards by ring position of
+their content hash, so growing the worker pool by one shard remaps only the
+keys adjacent to the new shard's ring points (≈ ``1/(n+1)`` of the keyspace)
+instead of reshuffling everything the way ``hash % n`` would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..chain.blocks import BlockStreamConfig
+from ..serving.service import ScoringService, ServiceStats
+from .checkpoint import Checkpoint
+from .pipeline import AlertSink, ListSink, MonitorConfig, MonitorPipeline, MonitorStats
+
+__all__ = [
+    "ShardRouter",
+    "shard_for",
+    "MultiChainConfig",
+    "MultiChainStats",
+    "MultiChainMonitor",
+    "chain_stream_configs",
+]
+
+
+# ----------------------------------------------------------------------
+# consistent-hash shard routing
+# ----------------------------------------------------------------------
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping content hashes to shard indexes.
+
+    Each shard owns ``replicas`` pseudo-random points on a 64-bit ring; a
+    key routes to the shard owning the first point at or after the key's
+    own ring position (wrapping).  Deterministic across processes (the ring
+    is derived purely from shard indexes), balanced to within a few percent
+    at the default replica count, and *stable under resharding*: adding a
+    shard moves only the keys that fall between the new shard's points and
+    their predecessors.
+
+    Args:
+        n_shards: Number of shards (worker processes) on the ring.
+        replicas: Ring points per shard; more points = better balance at
+            slightly larger routing tables.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 96):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        ring: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                ring.append((self._point(f"shard:{shard}:{replica}".encode()), shard))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._shards = [shard for _, shard in ring]
+
+    @staticmethod
+    def _point(data: bytes) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(data, digest_size=8).digest(), "big"
+        )
+
+    def shard_for(self, content_hash: Union[bytes, str]) -> int:
+        """The shard owning ``content_hash`` (bytes digest or hex string)."""
+        if isinstance(content_hash, str):
+            text = content_hash[2:] if content_hash.startswith(("0x", "0X")) else content_hash
+            data = text.encode("ascii")
+        else:
+            data = bytes(content_hash)
+        index = bisect_right(self._points, self._point(data)) % len(self._points)
+        return self._shards[index]
+
+
+@lru_cache(maxsize=32)
+def _router(n_shards: int) -> ShardRouter:
+    return ShardRouter(n_shards)
+
+
+def shard_for(content_hash: Union[bytes, str], n_shards: int) -> int:
+    """Route a content hash onto one of ``n_shards`` (module-level ring).
+
+    The stateless convenience over :class:`ShardRouter`: every process that
+    calls this with the same arguments routes the same key to the same
+    shard, which is what lets feature/verdict caches split across worker
+    processes without a coordination service.
+    """
+    return _router(n_shards).shard_for(content_hash)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiChainConfig:
+    """Knobs of one :class:`MultiChainMonitor` deployment.
+
+    Args:
+        n_chains: How many chains the deployment watches (builders like
+            :func:`chain_stream_configs` and the example use it; the
+            supervisor itself monitors whatever nodes it is given).
+        n_shards: Shard count of the consistent-hash cache router.
+        monitor: Per-chain pipeline knobs (confirmation depth, poll window,
+            drift telemetry, impersonation registry).
+        impersonation: Whether each chain runs the bytecode-free
+            address-impersonation detector.
+    """
+
+    n_chains: int = 2
+    n_shards: int = 4
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    impersonation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be >= 1")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+
+    @classmethod
+    def from_scale(cls, scale) -> "MultiChainConfig":
+        """Build the config from a :class:`~repro.core.config.Scale`."""
+        return cls(
+            n_chains=scale.monitor_chains,
+            n_shards=scale.monitor_shards,
+            monitor=MonitorConfig.from_scale(scale),
+        )
+
+
+def chain_stream_configs(
+    n_chains: int,
+    base: Optional[BlockStreamConfig] = None,
+    first_chain_id: int = 1,
+    spread_seeds: bool = True,
+) -> List[BlockStreamConfig]:
+    """N per-chain stream configs derived from one base schedule.
+
+    Chain ids count up from ``first_chain_id``; with ``spread_seeds`` each
+    chain also gets a distinct seed (independent traffic).  Without it the
+    chains replay the *same* deployment bytecodes under distinct chain ids,
+    hashes and addresses — the clone-heavy cross-chain workload where one
+    shared scoring service shines (see ``benchmarks/test_bench_multichain``).
+    """
+    if n_chains < 1:
+        raise ValueError("n_chains must be >= 1")
+    base = base or BlockStreamConfig()
+    return [
+        replace(
+            base,
+            chain_id=first_chain_id + offset,
+            seed=base.seed + offset if spread_seeds else base.seed,
+        )
+        for offset in range(n_chains)
+    ]
+
+
+# ----------------------------------------------------------------------
+# aggregate telemetry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiChainStats:
+    """Cross-chain roll-up of N per-chain :class:`MonitorStats`.
+
+    The counters sum the per-chain cumulative counters (checkpointed
+    lifetimes included); ``drifted_chains`` lists the chain ids whose
+    latest drift window drifted; ``service`` embeds the **shared** scoring
+    service's telemetry once (it is deliberately not duplicated into the
+    per-chain snapshots' own ``service`` fields, which all alias it).
+    """
+
+    chains: Tuple[MonitorStats, ...]
+    blocks_scanned: int
+    contracts_scanned: int
+    alerts_emitted: int
+    impersonation_alerts: int
+    alert_rate: float
+    drift_windows: int
+    drifted_chains: Tuple[int, ...]
+    reorgs_detected: int
+    service: ServiceStats
+
+
+# ----------------------------------------------------------------------
+# the supervisor
+# ----------------------------------------------------------------------
+
+
+class MultiChainMonitor:
+    """Fan-in supervisor over one pipeline per chain (see module docstring).
+
+    Args:
+        service: The **shared** :class:`~repro.serving.ScoringService`
+            every chain scores through.
+        nodes: One block source per chain; each must expose a distinct
+            ``chain_id`` (build them with
+            :meth:`~repro.chain.rpc.SimulatedEthereumNode.from_stream`).
+        config: Supervisor knobs; build one from a scale with
+            :meth:`MultiChainConfig.from_scale`.
+        sink: The merged alert destination every chain emits into
+            (defaults to one shared :class:`ListSink`).  Verdict and
+            impersonation alerts both land here, each stamped with its
+            ``chain_id``.
+        checkpoint_dir: Directory of the per-chain checkpoints
+            (``chain-<id>.json``); ``None`` disables persistence.  Existing
+            checkpoints are resumed per chain, independently.
+
+    Raises:
+        ValueError: on missing or duplicate chain ids — an unattributable
+            alert stream would be useless, and two chains sharing a
+            checkpoint file would corrupt each other's cursors.
+    """
+
+    def __init__(
+        self,
+        service: ScoringService,
+        nodes: Sequence,
+        config: Optional[MultiChainConfig] = None,
+        sink: Optional[AlertSink] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.service = service
+        self.config = config or MultiChainConfig()
+        self.sink: AlertSink = sink if sink is not None else ListSink()
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.router = ShardRouter(self.config.n_shards)
+        chain_ids = [int(getattr(node, "chain_id", 0) or 0) for node in nodes]
+        if not chain_ids:
+            raise ValueError("at least one chain node is required")
+        if 0 in chain_ids:
+            raise ValueError("every node must expose a non-zero chain_id")
+        if len(set(chain_ids)) != len(chain_ids):
+            raise ValueError(f"duplicate chain ids: {sorted(chain_ids)}")
+        self.pipelines: Dict[int, MonitorPipeline] = {}
+        for chain_id, node in sorted(zip(chain_ids, nodes)):
+            checkpoint = (
+                Checkpoint(self.checkpoint_dir / f"chain-{chain_id}.json")
+                if self.checkpoint_dir is not None
+                else None
+            )
+            self.pipelines[chain_id] = MonitorPipeline(
+                service,
+                node,
+                config=self.config.monitor,
+                sink=self.sink,
+                checkpoint=checkpoint,
+                impersonation=self.config.impersonation,
+            )
+        self.resumed = any(pipeline.resumed for pipeline in self.pipelines.values())
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def run(self, max_blocks: Optional[int] = None) -> MultiChainStats:
+        """Monitor every chain until all run dry or ``max_blocks`` are done.
+
+        ``max_blocks`` bounds the blocks processed across *all* chains by
+        this call (the kill-point knob of the crash/resume tests): the loop
+        stops before the first window that would exceed it.  A window is
+        never *truncated* to the budget — the checkpoint granularity is the
+        window, so a real kill always lands between whole windows, and
+        truncating one would give every chain a window partition (and hence
+        a merged order) that depends on where the previous lifetime died.
+
+        Each iteration advances the chain whose follower cursor is lowest
+        by one poll window — a decision derived purely from checkpointed
+        state, so stopping anywhere and resuming reproduces the
+        uninterrupted merged alert order exactly.  A chain whose poll comes
+        back empty without a reorg rewind has drained for this call and
+        leaves the rotation; a rewound chain stays (the next visit
+        re-fetches the replaced blocks).
+        """
+        if max_blocks is not None and max_blocks < 0:
+            raise ValueError("max_blocks must be >= 0")
+        active = dict(self.pipelines)
+        processed = 0
+        while active and (max_blocks is None or processed < max_blocks):
+            chain_id = min(
+                active, key=lambda cid: (active[cid].follower.next_block, cid)
+            )
+            pipeline = active[chain_id]
+            reorgs_before = pipeline.follower.reorgs_detected
+            blocks = pipeline.step()
+            if blocks:
+                processed += len(blocks)
+            elif pipeline.follower.reorgs_detected == reorgs_before:
+                del active[chain_id]  # dry, not rewound: out of this rotation
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def shard_for(self, content_hash: Union[bytes, str]) -> int:
+        """Route a content hash through this deployment's shard ring."""
+        return self.router.shard_for(content_hash)
+
+    def stats(self) -> MultiChainStats:
+        """Aggregate snapshot across every chain (cumulative counters)."""
+        per_chain = tuple(
+            self.pipelines[chain_id].stats() for chain_id in sorted(self.pipelines)
+        )
+        contracts = sum(stats.contracts_scanned for stats in per_chain)
+        alerts = sum(stats.alerts_emitted for stats in per_chain)
+        return MultiChainStats(
+            chains=per_chain,
+            blocks_scanned=sum(stats.blocks_scanned for stats in per_chain),
+            contracts_scanned=contracts,
+            alerts_emitted=alerts,
+            impersonation_alerts=sum(
+                stats.impersonation_alerts for stats in per_chain
+            ),
+            alert_rate=alerts / contracts if contracts else 0.0,
+            drift_windows=sum(stats.drift_windows for stats in per_chain),
+            drifted_chains=tuple(
+                stats.chain_id for stats in per_chain if stats.drifted
+            ),
+            reorgs_detected=sum(stats.reorgs_detected for stats in per_chain),
+            service=self.service.stats(),
+        )

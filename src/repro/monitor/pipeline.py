@@ -11,16 +11,30 @@
    the monitoring analogue of the serving micro-batch — proxy-clone waves
    collapse onto verdict-cache hits);
 3. emits an :class:`Alert` through the pluggable sink for every verdict
-   over the service's decision threshold, in deterministic block/tx order;
+   over the service's decision threshold, in deterministic block/tx order —
+   interleaved, when an
+   :class:`~repro.monitor.impersonation.ImpersonationDetector` is attached,
+   with bytecode-free
+   :class:`~repro.monitor.impersonation.ImpersonationAlert` records for
+   deployments whose address impersonates a known contract (per
+   transaction: the verdict alert first, then the impersonation alert);
 4. feeds the scores to the :class:`~repro.monitor.drift.DriftTracker`;
-5. persists the advanced cursor through the
-   :class:`~repro.monitor.checkpoint.Checkpoint` — *after* the window's
-   alerts were emitted, so a restart never re-scores a checkpointed block
-   and never skips one.  The guarantee is window-granular: a kill between
+5. persists the advanced cursor *and* the drift-tracker and impersonation
+   state through the :class:`~repro.monitor.checkpoint.Checkpoint` —
+   *after* the window's alerts were emitted, so a restart never re-scores
+   a checkpointed block, never skips one, and never re-baselines the drift
+   reference window.  The guarantee is window-granular: a kill between
    windows (e.g. anywhere ``run(max_blocks=...)`` can stop) resumes the
-   alert sequence bit-for-bit; a kill in the instant between a window's
-   emission and its checkpoint save re-emits that one window on restart
-   (at-least-once for externally side-effecting sinks, never a gap).
+   alert *and* drift-window sequences bit-for-bit; a kill in the instant
+   between a window's emission and its checkpoint save re-emits that one
+   window on restart (at-least-once for externally side-effecting sinks,
+   never a gap).
+
+Each block source may carry a ``chain_id`` (as
+:class:`~repro.chain.rpc.SimulatedEthereumNode` does); it is stamped onto
+every alert, so the multi-chain supervisor
+(:class:`~repro.monitor.multichain.MultiChainMonitor`) can merge N
+pipelines' alerts into one attributable stream.
 
 The loop terminates when the chain has no more confirmed blocks to hand
 out, or after ``max_blocks`` blocks were processed in this call — the clean
@@ -40,10 +54,12 @@ from typing import IO, List, Optional, Protocol, Union
 
 import numpy as np
 
+from ..chain.blocks import Block
 from ..serving.service import ScoringService, ServiceStats
 from .checkpoint import Checkpoint, MonitorCursor
 from .drift import DriftTracker, DriftWindow
 from .follower import BlockFollower
+from .impersonation import ImpersonationDetector
 
 
 @dataclass(frozen=True)
@@ -59,6 +75,11 @@ class MonitorConfig:
         drift_alpha: Significance level of the drift decision.
         latency_window: Number of recent per-block scoring latencies kept
             for the percentile telemetry.
+        known_contracts: Registry size of an attached impersonation
+            detector (``MonitorPipeline(..., impersonation=True)`` and the
+            multi-chain supervisor build detectors from these knobs).
+        impersonation_prefix: Leading hex characters of an address match.
+        impersonation_suffix: Trailing hex characters of an address match.
     """
 
     confirmations: int = 2
@@ -67,6 +88,9 @@ class MonitorConfig:
     drift_window: int = 64
     drift_alpha: float = 0.05
     latency_window: int = 4096
+    known_contracts: int = 512
+    impersonation_prefix: int = 4
+    impersonation_suffix: int = 4
 
     def __post_init__(self) -> None:
         if self.confirmations < 0:
@@ -81,6 +105,10 @@ class MonitorConfig:
             raise ValueError("drift_alpha must be in (0, 1)")
         if self.latency_window < 1:
             raise ValueError("latency_window must be >= 1")
+        if self.known_contracts < 1:
+            raise ValueError("known_contracts must be >= 1")
+        if self.impersonation_prefix < 1 or self.impersonation_suffix < 1:
+            raise ValueError("impersonation prefix/suffix must be >= 1")
 
     @classmethod
     def from_scale(cls, scale) -> "MonitorConfig":
@@ -88,20 +116,29 @@ class MonitorConfig:
         return cls(
             confirmations=scale.monitor_confirmations,
             poll_blocks=scale.monitor_poll_blocks,
+            start_block=scale.monitor_start_block,
             drift_window=scale.monitor_drift_window,
             drift_alpha=scale.monitor_drift_alpha,
+            latency_window=scale.monitor_latency_window,
+            known_contracts=scale.monitor_known_contracts,
         )
 
 
 @dataclass(frozen=True)
 class Alert:
-    """One flagged deployment (a verdict over the decision threshold)."""
+    """One flagged deployment (a verdict over the decision threshold).
+
+    ``chain_id`` attributes the alert to its source chain (``0`` when the
+    block source does not expose one), so multi-chain deployments can merge
+    N pipelines into one stream without losing provenance.
+    """
 
     block_number: int
     contract_address: str
     tx_hash: str
     probability: float
     threshold: float
+    chain_id: int = 0
 
 
 class AlertSink(Protocol):
@@ -145,11 +182,13 @@ class JsonlSink:
 class MonitorStats:
     """Telemetry snapshot of one :class:`MonitorPipeline`.
 
-    ``blocks_scanned`` / ``contracts_scanned`` / ``alerts_emitted`` are
-    cumulative across restarts (restored from the checkpoint), and
-    ``alert_rate`` is alerts per scanned contract over that whole history;
-    ``windows`` and ``reorgs_detected`` are process-local (they describe
-    this pipeline instance, not the checkpointed lifetime).  The
+    ``blocks_scanned`` / ``contracts_scanned`` / ``alerts_emitted`` —
+    and, with checkpointing, ``drift_windows`` and
+    ``impersonation_alerts`` — are cumulative across restarts (restored
+    from the checkpoint), and ``alert_rate`` is alerts per scanned contract
+    over that whole history; ``windows`` and ``reorgs_detected`` are
+    process-local (they describe this pipeline instance, not the
+    checkpointed lifetime).  The
     latency percentiles cover the *scoring* cost per block over the recent
     ``latency_window`` blocks — each block in a window is attributed the
     window's vectorized scoring time divided by the window's block count.
@@ -171,6 +210,8 @@ class MonitorStats:
     drift_windows: int
     drifted: bool
     service: ServiceStats
+    chain_id: int = 0
+    impersonation_alerts: int = 0
 
 
 class MonitorPipeline:
@@ -185,12 +226,20 @@ class MonitorPipeline:
             :meth:`MonitorConfig.from_scale`.
         sink: Alert destination (defaults to a fresh :class:`ListSink`,
             reachable as :attr:`sink`).
-        checkpoint: Optional cursor persistence; when the file already
-            holds a cursor the pipeline *resumes* from it (``config.
-            start_block`` only seeds a fresh run).
+        checkpoint: Optional state persistence; when the file already
+            holds a checkpoint the pipeline *resumes* from it — cursor,
+            drift-tracker state and impersonation registry alike
+            (``config.start_block`` only seeds a fresh run).
         drift: Optional pre-configured :class:`DriftTracker` (e.g. with an
             explicit reference sample); by default one is built from the
-            config's ``drift_window`` / ``drift_alpha``.
+            config's ``drift_window`` / ``drift_alpha``.  On resume the
+            checkpointed state is restored into it either way.
+        impersonation: ``True`` builds an
+            :class:`~repro.monitor.impersonation.ImpersonationDetector`
+            from the config's ``known_contracts`` /
+            ``impersonation_prefix`` / ``impersonation_suffix`` knobs; a
+            pre-built detector is used as given; ``None`` (default)
+            disables bytecode-free address screening.
     """
 
     def __init__(
@@ -201,18 +250,34 @@ class MonitorPipeline:
         sink: Optional[AlertSink] = None,
         checkpoint: Optional[Checkpoint] = None,
         drift: Optional[DriftTracker] = None,
+        impersonation: Union[None, bool, ImpersonationDetector] = None,
     ):
         self.service = service
         self.node = node
         self.config = config or MonitorConfig()
         self.sink: AlertSink = sink if sink is not None else ListSink()
         self.checkpoint = checkpoint
+        self.chain_id = int(getattr(node, "chain_id", 0) or 0)
         self.drift = drift or DriftTracker(
             window=self.config.drift_window, alpha=self.config.drift_alpha
         )
-        cursor = checkpoint.load() if checkpoint is not None else None
-        self.resumed = cursor is not None
-        if cursor is None:
+        if impersonation is True:
+            impersonation = ImpersonationDetector(
+                known_contracts=self.config.known_contracts,
+                prefix_hex=self.config.impersonation_prefix,
+                suffix_hex=self.config.impersonation_suffix,
+                chain_id=self.chain_id,
+            )
+        self.impersonation: Optional[ImpersonationDetector] = impersonation or None
+        state = checkpoint.load() if checkpoint is not None else None
+        self.resumed = state is not None
+        if state is not None:
+            cursor = state.cursor
+            if state.drift is not None:
+                self.drift.restore(state.drift)
+            if state.impersonation is not None and self.impersonation is not None:
+                self.impersonation.restore(state.impersonation)
+        else:
             cursor = MonitorCursor(next_block=self.config.start_block)
         self.follower = BlockFollower(
             node,
@@ -272,9 +337,14 @@ class MonitorPipeline:
                         tx_hash=tx.tx_hash,
                         probability=verdict.probability,
                         threshold=verdict.threshold,
+                        chain_id=self.chain_id,
                     )
                     self.sink.emit(alert)
                     alerts.append(alert)
+                if self.impersonation is not None:
+                    impersonation = self.impersonation.observe(block.number, tx)
+                    if impersonation is not None:
+                        self.sink.emit(impersonation)
             if probabilities:
                 self.drift.observe(probabilities, flags, block.number)
         self._blocks_scanned += len(blocks)
@@ -282,8 +352,35 @@ class MonitorPipeline:
         self._alerts_emitted += len(alerts)
         self._windows += 1
         if self.checkpoint is not None:
-            self.checkpoint.save(self._cursor())
+            self.checkpoint.save(
+                self._cursor(),
+                drift=self.drift.state(),
+                impersonation=(
+                    self.impersonation.state()
+                    if self.impersonation is not None
+                    else None
+                ),
+            )
         return alerts
+
+    def step(self, limit: Optional[int] = None) -> List[Block]:
+        """Process at most one poll window; returns the blocks it covered.
+
+        One scheduling quantum of the multi-chain supervisor: a single
+        follower poll (clamped to ``limit`` and ``config.poll_blocks``),
+        scored, alerted and checkpointed as one window.  An empty return
+        means the chain is currently dry *or* a reorg rewound the cursor
+        (the follower's ``reorgs_detected`` tells the two apart).
+        """
+        window = self.config.poll_blocks
+        if limit is not None:
+            if limit < 1:
+                raise ValueError("limit must be >= 1")
+            window = min(window, limit)
+        blocks = self.follower.poll(limit=window)
+        if blocks:
+            self._process_window(blocks)
+        return blocks
 
     def run(self, max_blocks: Optional[int] = None) -> MonitorStats:
         """Follow the chain until it runs dry or ``max_blocks`` are done.
@@ -298,13 +395,10 @@ class MonitorPipeline:
             raise ValueError("max_blocks must be >= 0")
         processed = 0
         while max_blocks is None or processed < max_blocks:
-            limit = self.config.poll_blocks
-            if max_blocks is not None:
-                limit = min(limit, max_blocks - processed)
-            blocks = self.follower.poll(limit=limit)
+            limit = None if max_blocks is None else max_blocks - processed
+            blocks = self.step(limit=limit)
             if not blocks:
                 break
-            self._process_window(blocks)
             processed += len(blocks)
         return self.stats()
 
@@ -337,7 +431,13 @@ class MonitorPipeline:
             reorgs_detected=self.follower.reorgs_detected,
             block_latency_ms_p50=float(p50),
             block_latency_ms_p95=float(p95),
-            drift_windows=len(self.drift.windows),
+            drift_windows=self.drift.completed_windows,
             drifted=self.drift.drifted,
             service=self.service.stats(),
+            chain_id=self.chain_id,
+            impersonation_alerts=(
+                self.impersonation.alerts_emitted
+                if self.impersonation is not None
+                else 0
+            ),
         )

@@ -16,7 +16,7 @@ Endpoints
 ``POST /score/bytecode``  ``{"bytecode": "0x…", "explain": false}`` → verdict
 ``POST /score/batch``     ``{"bytecodes": ["0x…", …]}`` → ``{"verdicts": […]}``
 ``GET /healthz``          liveness (``503`` while draining)
-``GET /stats``            gateway + service (+ monitor, + explain) telemetry
+``GET /stats``            gateway + service (+ monitor, + multichain, + explain)
 ========================  ======================================================
 
 Verdicts follow the scanner-backend shape (probability, 0–100 ``score``,
@@ -334,6 +334,10 @@ class Gateway:
         pipeline: Optional :class:`~repro.monitor.MonitorPipeline` whose
             :class:`~repro.monitor.MonitorStats` should appear under
             ``"monitor"`` in ``GET /stats``.
+        monitor: Optional :class:`~repro.monitor.MultiChainMonitor` whose
+            aggregate :class:`~repro.monitor.MultiChainStats` (per-chain
+            roll-up + shared-service telemetry) should appear under
+            ``"multichain"`` in ``GET /stats``.
         clock: Monotonic clock injected into the rate limiter (tests pin
             deterministic refill through it).
 
@@ -348,12 +352,14 @@ class Gateway:
         config: Optional[GatewayConfig] = None,
         explainer: Optional[ExplanationService] = None,
         pipeline=None,
+        monitor=None,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.service = service
         self.config = config or GatewayConfig()
         self.explainer = explainer
         self.pipeline = pipeline
+        self.monitor = monitor
         self._bucket = TokenBucket(
             self.config.rate_limit_per_s, self.config.rate_burst, clock=clock
         )
@@ -851,6 +857,8 @@ class Gateway:
         }
         if self.pipeline is not None:
             body["monitor"] = asdict(self.pipeline.stats())
+        if self.monitor is not None:
+            body["multichain"] = asdict(self.monitor.stats())
         if self.explainer is not None:
             body["explain"] = asdict(self.explainer.stats())
         return _Response(200, body)

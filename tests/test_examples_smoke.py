@@ -32,7 +32,7 @@ EXAMPLE_BUDGET_S = 120
 
 
 def test_examples_directory_discovered():
-    assert len(EXAMPLE_SCRIPTS) >= 7
+    assert len(EXAMPLE_SCRIPTS) >= 8
 
 
 @pytest.mark.parametrize(

@@ -71,12 +71,25 @@ class TestCheckpoint:
         )
         checkpoint.save(cursor)
         assert checkpoint.exists()
-        assert checkpoint.load() == cursor
+        state = checkpoint.load()
+        assert state.cursor == cursor
+        assert state.drift is None
+        assert state.impersonation is None
+
+    def test_roundtrip_with_component_state(self, tmp_path):
+        checkpoint = Checkpoint(tmp_path / "cursor.json")
+        drift = {"reference": [0.25, 0.5], "scores": [0.1], "alerts": [False],
+                 "start_block": 4, "last_block": 4, "completed_windows": 3}
+        impersonation = {"known": ["0x" + "ab" * 20], "observed": 9, "alerts_emitted": 1}
+        checkpoint.save(MonitorCursor(next_block=5), drift=drift, impersonation=impersonation)
+        state = checkpoint.load()
+        assert state.drift == drift
+        assert state.impersonation == impersonation
 
     def test_save_creates_parent_directories(self, tmp_path):
         checkpoint = Checkpoint(tmp_path / "deep" / "nested" / "cursor.json")
         checkpoint.save(MonitorCursor())
-        assert checkpoint.load() == MonitorCursor()
+        assert checkpoint.load().cursor == MonitorCursor()
 
     def test_save_leaves_no_staging_files(self, tmp_path):
         checkpoint = Checkpoint(tmp_path / "cursor.json")
@@ -98,9 +111,73 @@ class TestCheckpoint:
 
     def test_missing_field_raises(self, tmp_path):
         path = tmp_path / "cursor.json"
-        path.write_text(json.dumps({"version": 1, "next_block": 3}), encoding="utf-8")
+        path.write_text(
+            json.dumps({"version": 2, "cursor": {"next_block": 3}}), encoding="utf-8"
+        )
         with pytest.raises(CheckpointError):
             Checkpoint(path).load()
+
+    def test_stale_v1_file_raises_loudly(self, tmp_path):
+        # v1 persisted the flat cursor alone; silently adopting it would
+        # re-baseline drift detection after every restart.
+        path = tmp_path / "cursor.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "next_block": 9,
+                    "last_hash": "0x" + "cd" * 32,
+                    "blocks_scanned": 9,
+                    "contracts_scanned": 21,
+                    "alerts_emitted": 3,
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(CheckpointError, match="version 1"):
+            Checkpoint(path).load()
+
+    def test_init_sweeps_stale_staging_of_dead_writers(self, tmp_path):
+        # A writer that crashed between the staging write and the atomic
+        # rename leaks one staging file per attempt; pid 2**22+5 is far
+        # above any live pid on this box.
+        dead = tmp_path / f".cursor.json.{2**22 + 5}.abc123.tmp"
+        dead.write_text("{}", encoding="utf-8")
+        Checkpoint(tmp_path / "cursor.json")
+        assert not dead.exists()
+
+    def test_sweep_spares_live_writers_and_other_names(self, tmp_path):
+        import os
+
+        live = tmp_path / f".cursor.json.{os.getpid()}.beef.tmp"
+        live.write_text("{}", encoding="utf-8")
+        other = tmp_path / f".cursor.json.backup.{2**22 + 5}.dead.tmp"
+        other.write_text("{}", encoding="utf-8")  # a different checkpoint's name
+        odd = tmp_path / ".cursor.json.notapid.tmp"
+        odd.write_text("{}", encoding="utf-8")  # malformed: never guessed about
+        Checkpoint(tmp_path / "cursor.json")
+        assert live.exists()
+        assert other.exists()
+        assert odd.exists()
+
+    def test_crashed_save_staging_is_swept_on_reopen(self, tmp_path, monkeypatch):
+        import os
+
+        checkpoint = Checkpoint(tmp_path / "cursor.json")
+        real_replace = os.replace
+        monkeypatch.setattr(os, "replace", lambda *a: (_ for _ in ()).throw(OSError("boom")))
+        staging = checkpoint._staging_path()
+        with pytest.raises(CheckpointError):
+            checkpoint.save(MonitorCursor(next_block=3))
+        monkeypatch.setattr(os, "replace", real_replace)
+        # The failed save cleaned its own staging file already …
+        assert not staging.exists()
+        # … and a staging file orphaned by a hard kill (no cleanup ran) is
+        # swept when the checkpoint name is next opened by a fresh process.
+        orphan = tmp_path / f".cursor.json.{2**22 + 7}.{id(checkpoint):x}.tmp"
+        orphan.write_text("{}", encoding="utf-8")
+        Checkpoint(tmp_path / "cursor.json")
+        assert not orphan.exists()
 
     def test_clear_is_idempotent(self, tmp_path):
         checkpoint = Checkpoint(tmp_path / "cursor.json")
@@ -303,12 +380,18 @@ class TestMonitorConfig:
             monitor_poll_blocks=16,
             monitor_drift_window=128,
             monitor_drift_alpha=0.01,
+            monitor_start_block=100,
+            monitor_latency_window=256,
+            monitor_known_contracts=64,
         )
         config = MonitorConfig.from_scale(scale)
         assert config.confirmations == 5
         assert config.poll_blocks == 16
         assert config.drift_window == 128
         assert config.drift_alpha == 0.01
+        assert config.start_block == 100
+        assert config.latency_window == 256
+        assert config.known_contracts == 64
 
 
 class TestMonitorPipeline:
@@ -367,7 +450,7 @@ class TestMonitorPipeline:
         checkpoint = Checkpoint(tmp_path / "cursor.json")
         pipeline = MonitorPipeline(service, node, config=monitor_config, checkpoint=checkpoint)
         pipeline.run(max_blocks=5)
-        cursor = checkpoint.load()
+        cursor = checkpoint.load().cursor
         assert cursor.next_block == 5
         assert cursor.last_hash == node.get_block(4).block_hash
         assert cursor.blocks_scanned == 5
@@ -425,7 +508,8 @@ class TestMonitorPipeline:
         assert len(lines) == pipeline.stats().alerts_emitted
         first = json.loads(lines[0])
         assert set(first) == {
-            "block_number", "contract_address", "tx_hash", "probability", "threshold"
+            "block_number", "contract_address", "tx_hash", "probability",
+            "threshold", "chain_id",
         }
 
     def test_negative_max_blocks_rejected(self, service, node, monitor_config):

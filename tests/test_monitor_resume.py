@@ -10,18 +10,33 @@ start a *fresh* pipeline over the same checkpoint file and let it drain the
 chain.  A deterministic seeded chain plus a deterministic detector make the
 comparison exact.
 
+The same property extends to the drift telemetry: the checkpoint embeds the
+tracker's reference window, partial score buffer and completed-window
+count, so the resumed run's :class:`~repro.monitor.drift.DriftWindow`
+sequence — indexes, block spans, statistics, the reference itself — equals
+the uninterrupted run's bit-for-bit (the historical failure mode was a
+restart silently re-baselining the reference from post-restart scores).
+
 A fixed set of kill points (including the degenerate edges) runs in tier 1;
 the exhaustive sweep over every possible kill point carries the ``slow``
 marker.
 """
 
+import numpy as np
 import pytest
 
 from repro.chain.blocks import BlockStream, BlockStreamConfig
 from repro.chain.rpc import SimulatedEthereumNode
 from repro.features.batch import BatchFeatureService
 from repro.models.hsc import make_random_forest_hsc
-from repro.monitor import Checkpoint, MonitorConfig, MonitorPipeline
+from repro.monitor import (
+    Checkpoint,
+    MonitorConfig,
+    MonitorPipeline,
+    MultiChainConfig,
+    MultiChainMonitor,
+    chain_stream_configs,
+)
 from repro.serving import ScoringService
 
 N_BLOCKS = 26
@@ -56,12 +71,22 @@ def _monitor_config():
 
 def _run(detector, node, checkpoint, max_blocks=None):
     """One monitor process lifetime; returns its emitted alert sequence."""
+    alerts, _, _ = _run_with_drift(detector, node, checkpoint, max_blocks)
+    return alerts
+
+
+def _run_with_drift(detector, node, checkpoint, max_blocks=None):
+    """One process lifetime; returns (alerts, drift windows, reference)."""
     with ScoringService(detector, node=node) as service:
         pipeline = MonitorPipeline(
             service, node, config=_monitor_config(), checkpoint=checkpoint
         )
         pipeline.run(max_blocks=max_blocks)
-        return list(pipeline.sink.alerts)
+        return (
+            list(pipeline.sink.alerts),
+            list(pipeline.drift.windows),
+            pipeline.drift.reference,
+        )
 
 
 @pytest.fixture(scope="module")
@@ -81,7 +106,7 @@ def _assert_resume_exact(detector, node, tmp_path, uninterrupted, kill_block):
     # No duplicates, no gaps — stated directly, not only via sequence equality.
     seen = [(alert.block_number, alert.tx_hash) for alert in combined]
     assert len(seen) == len(set(seen))
-    assert Checkpoint(tmp_path / "cursor.json").load().next_block == N_CONFIRMED
+    assert Checkpoint(tmp_path / "cursor.json").load().cursor.next_block == N_CONFIRMED
 
 
 @pytest.mark.parametrize("kill_block", [0, 1, 4, 5, 11, 17, N_CONFIRMED - 1, N_CONFIRMED])
@@ -122,3 +147,129 @@ def test_resume_does_not_rescore_checkpointed_blocks(detector, node, tmp_path):
     assert stats.service.requests == sum(
         len(node.get_block(number).transactions) for number in range(10, N_CONFIRMED)
     )
+
+
+# ----------------------------------------------------------------------
+# drift telemetry across restarts
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_drift(detector, node, tmp_path_factory):
+    checkpoint = Checkpoint(tmp_path_factory.mktemp("drift-baseline") / "cursor.json")
+    _, windows, reference = _run_with_drift(detector, node, checkpoint)
+    assert len(windows) >= 3, "the chain must complete several drift windows"
+    return windows, reference
+
+
+@pytest.mark.parametrize("kill_block", [1, 3, 4, 5, 9, 13, 20, N_CONFIRMED - 1])
+def test_kill_and_resume_reproduces_drift_sequence(
+    detector, node, tmp_path, uninterrupted_drift, kill_block
+):
+    """The resumed DriftWindow sequence is bit-identical, reference included.
+
+    Kill points deliberately include mid-drift-window positions (the drift
+    window of 8 scores spans ~4 blocks at 2 deploys/block, offset from the
+    5-block poll window), so the checkpoint's partial score buffer — not
+    just the completed windows — carries the equality.
+    """
+    baseline_windows, baseline_reference = uninterrupted_drift
+    checkpoint = Checkpoint(tmp_path / "cursor.json")
+    _, before, _ = _run_with_drift(detector, node, checkpoint, max_blocks=kill_block)
+    _, after, resumed_reference = _run_with_drift(detector, node, checkpoint)
+    combined = before + after
+    # Dataclass equality covers index, block span, statistic, p-value and
+    # the drifted decision — floats round-trip JSON via repr, so the
+    # comparison is exact, not approximate.
+    assert combined == baseline_windows
+    assert np.array_equal(resumed_reference, baseline_reference)
+    # Indexes continue across the restart instead of restarting at 0.
+    assert [window.index for window in combined] == list(range(len(combined)))
+
+
+def test_resumed_tracker_does_not_rebaseline_reference(detector, node, tmp_path):
+    """The pre-kill reference survives: the resumed run must not adopt a new
+    reference window from post-restart scores (the v1-checkpoint bug)."""
+    checkpoint = Checkpoint(tmp_path / "cursor.json")
+    # 9 blocks ≳ one full drift window of 8 scores: the reference exists.
+    _, before, reference_before = _run_with_drift(detector, node, checkpoint, max_blocks=9)
+    assert reference_before is not None
+    _, _, reference_after = _run_with_drift(detector, node, checkpoint)
+    assert np.array_equal(reference_after, reference_before)
+
+
+def test_drift_window_count_cumulative_across_restarts(detector, node, tmp_path):
+    checkpoint = Checkpoint(tmp_path / "cursor.json")
+    _run_with_drift(detector, node, checkpoint, max_blocks=12)
+    with ScoringService(detector, node=node) as service:
+        pipeline = MonitorPipeline(
+            service, node, config=_monitor_config(), checkpoint=checkpoint
+        )
+        stats = pipeline.run()
+    baseline = Checkpoint(tmp_path / "cursor.json").load()
+    assert stats.drift_windows == baseline.drift["completed_windows"]
+    assert stats.drift_windows > len(pipeline.drift.windows)  # some pre-kill
+
+
+# ----------------------------------------------------------------------
+# per-chain checkpoint isolation under the supervisor
+# ----------------------------------------------------------------------
+
+
+def _three_chain_nodes():
+    nodes = []
+    for config in chain_stream_configs(3, BlockStreamConfig(seed=41, deploys_per_block=2.0)):
+        node = SimulatedEthereumNode(chain_id=config.chain_id)
+        node.mine(BlockStream(config), N_BLOCKS)
+        nodes.append(node)
+    return nodes
+
+
+def test_multichain_checkpoints_are_per_chain_files(detector, tmp_path):
+    nodes = _three_chain_nodes()
+    with ScoringService(detector, node=nodes[0]) as service:
+        monitor = MultiChainMonitor(
+            service,
+            nodes,
+            config=MultiChainConfig(monitor=_monitor_config()),
+            checkpoint_dir=tmp_path,
+        )
+        monitor.run()
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == ["chain-1.json", "chain-2.json", "chain-3.json"]
+    for chain_id in (1, 2, 3):
+        state = Checkpoint(tmp_path / f"chain-{chain_id}.json").load()
+        assert state.cursor.next_block == N_CONFIRMED
+        assert state.drift is not None
+
+
+def test_multichain_kill_resumes_only_killed_progress(detector, tmp_path):
+    """Chains resume independently: each picks up from its own cursor."""
+    nodes = _three_chain_nodes()
+    with ScoringService(detector, node=nodes[0]) as service:
+        MultiChainMonitor(
+            service,
+            nodes,
+            config=MultiChainConfig(monitor=_monitor_config()),
+            checkpoint_dir=tmp_path,
+        ).run(max_blocks=17)
+    cursors = {
+        chain_id: Checkpoint(tmp_path / f"chain-{chain_id}.json").load().cursor.next_block
+        for chain_id in (1, 2, 3)
+    }
+    # The budget stops the supervisor at the first window boundary past it
+    # (windows are never truncated), so 17 rounds up to a whole window.
+    assert 17 <= sum(cursors.values()) < 17 + 5
+    assert all(cursor % 5 == 0 or cursor == N_CONFIRMED for cursor in cursors.values())
+    with ScoringService(detector, node=nodes[0]) as service:
+        monitor = MultiChainMonitor(
+            service,
+            nodes,
+            config=MultiChainConfig(monitor=_monitor_config()),
+            checkpoint_dir=tmp_path,
+        )
+        assert monitor.resumed
+        stats = monitor.run()
+    assert stats.blocks_scanned == 3 * N_CONFIRMED
+    for chain_stats in stats.chains:
+        assert chain_stats.next_block == N_CONFIRMED
