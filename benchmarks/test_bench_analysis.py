@@ -1,0 +1,53 @@
+"""Bench: cached static analysis vs. cold per-contract re-analysis.
+
+Measures :meth:`repro.analysis.StaticAnalyzer.analyze_many` over the bench
+corpus on two paths — a cold loop constructing a fresh analyzer per contract
+(no report cache, no shared sequence cache) and the warm batch path where
+the report LRU plus the feature service's fastcount-cached OpcodeSequences
+are already populated — asserting identical reports and the pinned speedup.
+"""
+
+from conftest import best_time
+
+from repro.analysis import StaticAnalyzer
+from repro.features.batch import BatchFeatureService
+
+#: Minimum acceptable speedup of warm cached analysis over the cold path.
+MIN_SPEEDUP = 2.0
+
+
+def test_bench_analysis_cache(benchmark, dataset):
+    bytecodes = dataset.bytecodes
+
+    def cold():
+        reports = []
+        for code in bytecodes:
+            analyzer = StaticAnalyzer(features=BatchFeatureService(cache_size=0))
+            reports.append(analyzer.analyze(code))
+        return reports
+
+    cold_time, cold_reports = best_time(cold)
+
+    warm_analyzer = StaticAnalyzer(features=BatchFeatureService())
+    warm_analyzer.analyze_many(bytecodes)  # populate report + sequence caches
+    warm_reports = benchmark.pedantic(
+        warm_analyzer.analyze_many, args=(bytecodes,), rounds=3, iterations=1
+    )
+    warm_time, _ = best_time(lambda: warm_analyzer.analyze_many(bytecodes))
+
+    assert len(warm_reports) == len(cold_reports)
+    for cold_report, warm_report in zip(cold_reports, warm_reports):
+        assert cold_report.to_dict() == warm_report.to_dict()
+    assert warm_analyzer.stats().cache_hits > 0
+
+    speedup = cold_time / warm_time
+    contracts_per_second = len(bytecodes) / warm_time
+    print(
+        f"\n[analysis] {len(bytecodes)} contracts: cold {cold_time:.4f}s, "
+        f"warm {warm_time:.4f}s ({speedup:.1f}x, "
+        f"{contracts_per_second:,.0f} contracts/s, "
+        f"hit rate {warm_analyzer.stats().hit_rate:.0%})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"cached analysis only {speedup:.1f}x faster than cold (need >= {MIN_SPEEDUP}x)"
+    )

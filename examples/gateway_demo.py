@@ -24,6 +24,23 @@ a contract was flagged.  Malformed input demonstrates the structured
 error envelope, and the closing ``/stats`` snapshot shows the admission
 and cache telemetry capacity planning reads.
 
+Static analysis (``repro.analysis``)
+------------------------------------
+
+With a :class:`~repro.analysis.StaticAnalyzer` attached, ``"analyze":
+true`` adds structural evidence next to the statistical verdict: the
+bytecode's CFG is recovered (metadata trailer split, jumps resolved by
+abstract-stack constant propagation) and lint rules report reachable
+``SELFDESTRUCT``, balance sweeps, approval-drain call patterns and
+delegatecall forwarding as an ``"analysis"`` object on the verdict —
+findings, max severity, dispatcher selectors and CFG metrics::
+
+    curl -s -X POST http://127.0.0.1:$PORT/score/bytecode \
+         -d '{"bytecode": "0x6080…", "analyze": true}'
+
+The closing ``/stats`` body then carries an ``"analysis"`` section with
+the analyzer's report-cache and finding counters.
+
 Run with::
 
     python examples/gateway_demo.py
@@ -35,6 +52,7 @@ import http.client
 import json
 
 from repro import PhishingHook, Scale, ScoringService, ServingConfig, build_model
+from repro.analysis import AnalysisConfig, StaticAnalyzer
 from repro.chain.rpc import SimulatedEthereumNode
 from repro.serving import BackgroundGateway, ExplanationService, Gateway, GatewayConfig
 
@@ -65,8 +83,15 @@ def main() -> None:
     explainer = ExplanationService(
         detector, background=dataset.bytecodes[:16], n_permutations=4, seed=7
     )
+    analyzer = StaticAnalyzer(
+        config=AnalysisConfig.from_scale(scale),
+        code_resolver=node.get_code,
+    )
     gateway = Gateway(
-        service, config=GatewayConfig.from_scale(scale), explainer=explainer
+        service,
+        config=GatewayConfig.from_scale(scale),
+        explainer=explainer,
+        analyzer=analyzer,
     )
 
     phishing = next(r for r in corpus.records if r.is_phishing)
@@ -105,6 +130,25 @@ def main() -> None:
                 f"(count {reason['count']}, pushes {reason['direction']})"
             )
 
+        # Structural evidence: the same endpoint with "analyze": true runs
+        # the static-analysis plane (CFG recovery + risk lints) and attaches
+        # its findings to the verdict.
+        status, body = call(
+            port,
+            "POST",
+            "/score/bytecode",
+            {"bytecode": "0x" + phishing.bytecode.hex(), "analyze": True},
+        )
+        analysis = body["analysis"]
+        print(
+            f"POST /score/bytecode analyze=true -> {status}: "
+            f"{body['verdict']}, max severity {analysis['max_severity']}, "
+            f"{analysis['metrics']['resolved_jumps']}/{analysis['metrics']['jumps']} "
+            f"jumps resolved"
+        )
+        for finding in analysis["findings"][:3]:
+            print(f"    [{finding['severity']}] {finding['rule']}: {finding['message']}")
+
         batch = ["0x" + r.bytecode.hex() for r in corpus.records[:8]]
         status, body = call(port, "POST", "/score/batch", {"bytecodes": batch})
         flagged = sum(v["verdict"] == "phishing" for v in body["verdicts"])
@@ -130,6 +174,12 @@ def main() -> None:
             f"batches {sv['batches']}, p95 {sv['latency_ms_p95']:.1f} ms; "
             f"explainers built {ex['explainers_built']} "
             f"({ex['explanations']} explanations, {ex['memo_hits']} memo hits)"
+        )
+        an = body["analysis"]
+        print(
+            f"analysis: {an['analyses']} analyses, {an['findings']} findings "
+            f"({an['high_severity']} high severity), "
+            f"{an['cache_hits']} report-cache hits"
         )
 
     print("\ngateway drained cleanly")

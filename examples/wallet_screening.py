@@ -18,6 +18,24 @@ deployments as they land, with checkpointed resume and drift telemetry —
 is the :mod:`repro.monitor` pipeline; see ``examples/chain_monitor.py``
 and ``examples/drift_monitoring.py``.
 
+Static analysis (``repro.analysis``)
+------------------------------------
+
+A probability alone is a weak warning to show a user about to sign.  The
+:class:`~repro.analysis.StaticAnalyzer` complements the score with
+structural evidence from the bytecode itself — CFG recovery with resolved
+jump targets, then lint rules for reachable ``SELFDESTRUCT``, balance
+sweeps, approval-drain patterns and delegatecall forwarding (EIP-1167
+proxies resolved through ``eth_getCode``).  A wallet pairs the two::
+
+    analyzer = StaticAnalyzer(code_resolver=node.get_code)
+    report = analyzer.analyze(node.get_code(address))
+    # verdict.probability 0.93 + report: [high] balance-sweep @ pc 211
+
+See ``examples/static_analysis.py`` for the full walk-through, and
+``examples/gateway_demo.py`` for the same evidence over HTTP
+(``"analyze": true``).
+
 Run with::
 
     python examples/wallet_screening.py

@@ -16,6 +16,9 @@ The package is organised in layers:
   construction, MEM, PAM);
 * :mod:`repro.serving` — the request-facing scoring service (bytecode
   ingest, verdict cache, micro-batching, serving telemetry);
+* :mod:`repro.analysis` — the static-analysis plane (CFG lint rules over
+  :mod:`repro.evm.cfg` with EIP-1167 proxy resolution; findings ride in
+  gateway verdicts and monitor alerts);
 * :mod:`repro.monitor` — the deploy-time block-stream monitor (reorg-safe
   block follower, checkpointed resume, alert sinks, drift telemetry);
 * :mod:`repro.stats` / :mod:`repro.hpo` — post-hoc statistics and
@@ -30,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .analysis import AnalysisConfig, AnalysisReport, StaticAnalyzer
 from .chain.generator import ContractCorpusGenerator, CorpusConfig, GeneratedCorpus
 from .core.bem import BytecodeExtractionModule
 from .core.config import Scale
@@ -114,5 +118,8 @@ __all__ = [
     "ServingConfig",
     "MonitorConfig",
     "MonitorPipeline",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "StaticAnalyzer",
     "__version__",
 ]

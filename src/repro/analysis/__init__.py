@@ -1,0 +1,33 @@
+"""Static-analysis plane: CFG lint rules over EVM bytecode.
+
+Built on :mod:`repro.evm.cfg` (basic-block recovery + abstract-stack
+dataflow), this package evaluates a registry of structural risk lints —
+reachable ``SELFDESTRUCT``, balance sweeps, approval-drain call shapes,
+hidden storage redirects, proxy forwarding with EIP-1167 implementation
+resolution, owner/timestamp gates, dead regions — and emits structured
+:class:`AnalysisReport` objects that ride inside gateway verdicts and
+monitor alerts.  :class:`StaticAnalyzer` shares the feature plane's cached
+disassembly, so lints, histograms, and SHAP all read one kernel pass.
+"""
+
+from .analyzer import (
+    AnalysisConfig,
+    AnalysisStats,
+    CodeResolver,
+    StaticAnalyzer,
+)
+from .report import AnalysisReport, Finding, Severity
+from .rules import DEFAULT_RULES, RULES, rule
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "AnalysisStats",
+    "CodeResolver",
+    "DEFAULT_RULES",
+    "Finding",
+    "RULES",
+    "Severity",
+    "StaticAnalyzer",
+    "rule",
+]

@@ -1,0 +1,98 @@
+"""Structured results of one static-analysis pass.
+
+A :class:`Finding` is one lint hit (rule id, severity, program counter,
+human-readable message); an :class:`AnalysisReport` bundles the findings of
+one contract with its :class:`~repro.evm.cfg.CfgMetrics` and resolution
+summary.  Both are frozen and JSON-friendly (``to_dict``), so reports can
+ride inside gateway verdict payloads and monitor alerts unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Dict, Optional, Tuple
+
+from ..evm.cfg import CfgMetrics
+
+
+class Severity(IntEnum):
+    """Ordered finding severity (comparisons follow the int order)."""
+
+    INFO = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint rule hit at one program counter.
+
+    ``address`` carries provenance when the finding was lifted from a
+    resolved proxy implementation rather than the scanned bytecode itself.
+    """
+
+    rule: str
+    severity: Severity
+    pc: int
+    message: str
+    address: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "pc": self.pc,
+            "message": self.message,
+        }
+        if self.address is not None:
+            payload["address"] = self.address
+        return payload
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one static-analysis pass concluded about one bytecode."""
+
+    findings: Tuple[Finding, ...]
+    metrics: CfgMetrics
+    selectors: Tuple[int, ...] = ()
+    resolved_implementations: Tuple[str, ...] = ()
+
+    def max_severity(self) -> Severity:
+        """Highest severity across findings (``INFO`` when there are none)."""
+        if not self.findings:
+            return Severity.INFO
+        return max(finding.severity for finding in self.findings)
+
+    def has(self, rule: str) -> bool:
+        """Whether any finding carries ``rule``."""
+        return any(finding.rule == rule for finding in self.findings)
+
+    def by_rule(self, rule: str) -> Tuple[Finding, ...]:
+        """All findings of one rule, in pc order."""
+        return tuple(f for f in self.findings if f.rule == rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped view used by the gateway and alert sinks."""
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "max_severity": self.max_severity().name.lower(),
+            "selectors": [f"0x{selector:08x}" for selector in self.selectors],
+            "resolved_implementations": list(self.resolved_implementations),
+            "metrics": {
+                "blocks": self.metrics.blocks,
+                "edges": self.metrics.edges,
+                "jumps": self.metrics.jumps,
+                "resolved_jumps": self.metrics.resolved_jumps,
+                "unresolved_jumps": self.metrics.unresolved_jumps,
+                "selectors": self.metrics.selectors,
+                "dead_ratio": round(self.metrics.dead_ratio, 4),
+                "code_bytes": self.metrics.code_bytes,
+                "trailer_bytes": self.metrics.trailer_bytes,
+            },
+        }

@@ -76,6 +76,16 @@ class Scale:
     ``monitor_chains``, the number of simulated chains it fans in, and
     ``monitor_shards``, the shard count of its consistent-hash cache
     router.
+
+    The ``analysis_*`` knobs parameterise the static-analysis plane
+    (:class:`~repro.analysis.StaticAnalyzer`;
+    :meth:`~repro.analysis.AnalysisConfig.from_scale` reads them):
+    ``analysis_report_cache`` sizes the content-hash report LRU,
+    ``analysis_proxy_depth`` bounds transitive ``DELEGATECALL``
+    implementation resolution (0 disables ``eth_getCode`` lookups),
+    ``analysis_dead_ratio`` is the unreachable-instruction fraction above
+    which the ``dead-code`` lint fires, and ``analysis_max_findings``
+    truncates pathological reports.
     """
 
     name: str = "ci"
@@ -108,6 +118,10 @@ class Scale:
     monitor_known_contracts: int = 512
     monitor_chains: int = 3
     monitor_shards: int = 4
+    analysis_report_cache: int = 4096
+    analysis_proxy_depth: int = 1
+    analysis_dead_ratio: float = 0.4
+    analysis_max_findings: int = 64
 
     @classmethod
     def smoke(cls) -> "Scale":

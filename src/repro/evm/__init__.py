@@ -14,9 +14,26 @@ Public surface:
   synthetic contract generator.
 * :class:`EVMInterpreter` — a miniature stack machine used to validate
   synthetic contracts.
+* :func:`analyze_cfg` / :func:`split_metadata` — control-flow recovery and
+  abstract-stack dataflow (basic blocks, resolved jump targets, dispatcher
+  selectors, reachability) feeding the :mod:`repro.analysis` lint plane.
 """
 
 from .assembler import assemble, assemble_hex, program, push
+from .cfg import (
+    CFG_METRIC_NAMES,
+    METADATA_MARKERS,
+    AbsVal,
+    BasicBlock,
+    CfgAnalysis,
+    CfgMetrics,
+    StackEvent,
+    analyze_cfg,
+    basic_blocks,
+    cfg_metrics_vector,
+    metadata_offset,
+    split_metadata,
+)
 from .disassembler import (
     Disassembler,
     disassemble,
@@ -73,6 +90,18 @@ __all__ = [
     "assemble_hex",
     "program",
     "push",
+    "CFG_METRIC_NAMES",
+    "METADATA_MARKERS",
+    "AbsVal",
+    "BasicBlock",
+    "CfgAnalysis",
+    "CfgMetrics",
+    "StackEvent",
+    "analyze_cfg",
+    "basic_blocks",
+    "cfg_metrics_vector",
+    "metadata_offset",
+    "split_metadata",
     "Disassembler",
     "disassemble",
     "disassemble_mnemonics",

@@ -1,0 +1,723 @@
+"""Control-flow recovery and abstract-stack dataflow over EVM bytecode.
+
+The feature plane (:mod:`repro.evm.fastcount`) treats bytecode as a flat
+opcode stream; this module recovers its *structure*.  Three stages, all
+deterministic and allocation-light:
+
+1. **Metadata split** (:func:`split_metadata`) — deployed runtime code ends
+   with a CBOR metadata blob (Solidity's ``ipfs``/``bzzr`` trailer) that is
+   not meant to execute.  Its hash bytes can contain ``JUMP``/``JUMPI``
+   values, so leaving it attached would manufacture unresolvable jumps; the
+   split finds the earliest CBOR marker that falls on an *instruction start*
+   (raw marker bytes inside a PUSH immediate never split) and falls back to
+   the solc trailing-length encoding.
+2. **Basic blocks** (:func:`basic_blocks`) — leaders are the entry point,
+   every ``JUMPDEST``, and the instruction after a ``JUMP``/``JUMPI`` or a
+   terminator (``STOP``/``RETURN``/``REVERT``/``INVALID``/``SELFDESTRUCT``).
+   Blocks are index ranges over the cached
+   :class:`~repro.evm.fastcount.OpcodeSequence`, so the CFG builder shares
+   the kernels' disassembly (and their truncated-PUSH semantics) instead of
+   re-deriving its own.
+3. **Abstract-stack dataflow** (:func:`analyze_cfg`) — a worklist
+   constant-propagation pass over the blocks.  Stack slots hold abstract
+   values (:class:`AbsVal`): concrete constants from the PUSH family plus
+   provenance tags (``calldata``, the dispatcher ``selector``, ``balance``,
+   ``caller``, ``timestamp``, ``sha3``, …).  Entry stacks merge elementwise
+   at join points (conflicts degrade to ``unknown``), which is enough to
+   resolve every push-driven ``JUMP``/``JUMPI`` target, extract the 4-byte
+   function selectors compared in the calldata dispatcher, and emit a
+   stream of :class:`StackEvent` records (calls with their abstract
+   argument stacks, storage writes, discarded calldata loads, guarded
+   branches) that the lint rules in :mod:`repro.analysis` consume.
+
+**Reachability** is conservative in the direction soundness requires:
+besides the entry point, every ``JUMPDEST``-led block is treated as
+enterable (a computed jump the dataflow cannot see may land on any valid
+destination), so "unreachable" is reserved for terminator-shadowed regions
+no jump can legally enter — the kind of orphaned code metadata-adjacent
+padding and honeypot traps leave behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .disassembler import BytecodeLike, normalize_bytecode
+from .fastcount import OpcodeSequence, opcode_sequence
+from .opcodes import SHANGHAI_OPCODES
+
+#: CBOR map prefixes Solidity emits in front of its metadata payloads:
+#: ``a2 64 69 70 66 73`` is ``{"ipfs": …`` and ``a1 65 62 7a 7a 72`` is
+#: ``{"bzzr…": …`` (swarm).  Both start with an undefined opcode byte, so a
+#: marker aligned to an instruction start can never be live code.
+METADATA_MARKERS: Tuple[bytes, ...] = (
+    b"\xa2\x64\x69\x70\x66\x73",
+    b"\xa1\x65\x62\x7a\x7a\x72",
+)
+
+_JUMPDEST = 0x5B
+_JUMP = 0x56
+_JUMPI = 0x57
+_PUSH_FIRST, _PUSH_LAST = 0x60, 0x7F
+_DUP_FIRST, _DUP_LAST = 0x80, 0x8F
+_SWAP_FIRST, _SWAP_LAST = 0x90, 0x9F
+_TERMINATORS = (0x00, 0xF3, 0xFD, 0xFE, 0xFF)  # STOP RETURN REVERT INVALID SELFDESTRUCT
+_WORD = 1 << 256
+_MAX_STACK = 1024
+
+
+# ---------------------------------------------------------------------------
+# Metadata trailer split
+# ---------------------------------------------------------------------------
+
+
+def metadata_offset(
+    code: bytes, sequence: Optional[OpcodeSequence] = None
+) -> Optional[int]:
+    """Byte offset where the CBOR metadata trailer of ``code`` starts.
+
+    Returns ``None`` when no trailer is recognised.  A marker only counts
+    when its first byte is an instruction start of the linear sweep — raw
+    marker bytes inside a PUSH immediate are data, not a trailer.  When no
+    marker matches, the solc trailing-length form (last two bytes encode the
+    CBOR blob length) is tried under the same alignment rule.
+    """
+    if not code:
+        return None
+    if sequence is None:
+        sequence = opcode_sequence(code)
+    starts = sequence.starts()
+    candidates: List[int] = []
+    for marker in METADATA_MARKERS:
+        position = code.find(marker)
+        while position != -1:
+            index = int(np.searchsorted(starts, position))
+            if index < starts.shape[0] and int(starts[index]) == position:
+                candidates.append(position)
+                break
+            position = code.find(marker, position + 1)
+    if candidates:
+        return min(candidates)
+    if len(code) >= 4:
+        declared = int.from_bytes(code[-2:], "big")
+        position = len(code) - 2 - declared
+        if 0 < position < len(code) - 2 and code[position] in (0xA1, 0xA2):
+            index = int(np.searchsorted(starts, position))
+            if index < starts.shape[0] and int(starts[index]) == position:
+                return position
+    return None
+
+
+def split_metadata(
+    bytecode: BytecodeLike, sequence: Optional[OpcodeSequence] = None
+) -> Tuple[bytes, bytes]:
+    """Split ``bytecode`` into ``(executable code, metadata trailer)``.
+
+    The trailer is empty when none is recognised; concatenating the two
+    parts always reproduces the input bytes.
+    """
+    code = normalize_bytecode(bytecode)
+    offset = metadata_offset(code, sequence)
+    if offset is None:
+        return code, b""
+    return code[:offset], code[offset:]
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One abstract stack slot: a constant or a provenance tag.
+
+    ``kind`` is ``"const"`` (with the concrete ``value``), ``"calldata"``
+    (a ``CALLDATALOAD`` of constant offset ``value``), ``"selector"`` (the
+    dispatcher's ``SHR(0xE0, CALLDATALOAD(0))``), ``"eq_selector"`` (the
+    dispatcher comparison against the 4-byte constant ``value``),
+    ``"cmp_owner"`` / ``"cmp_timestamp"`` (comparisons rooted in
+    ``CALLER``-vs-``SLOAD`` / ``TIMESTAMP``), an environment tag
+    (``"caller"``, ``"balance"``, ``"sha3"``, ``"sload"``, …), or
+    ``"unknown"``.
+    """
+
+    kind: str
+    value: int = 0
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+
+UNKNOWN = AbsVal("unknown")
+
+_ENV_TAGS: Dict[int, AbsVal] = {
+    0x30: AbsVal("address"),
+    0x32: AbsVal("origin"),
+    0x33: AbsVal("caller"),
+    0x34: AbsVal("callvalue"),
+    0x36: AbsVal("calldatasize"),
+    0x3D: AbsVal("returndatasize"),
+    0x42: AbsVal("timestamp"),
+    0x47: AbsVal("balance"),  # SELFBALANCE
+    0x5A: AbsVal("gas"),
+}
+
+#: kinds that survive an ISZERO without losing their provenance (a negated
+#: guard is still the same guard).
+_NEGATABLE = ("cmp_owner", "cmp_timestamp")
+
+
+# ---------------------------------------------------------------------------
+# Basic blocks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One maximal straight-line instruction range of the sequence.
+
+    ``first``/``last`` are instruction indices into the owning
+    :class:`OpcodeSequence` (``last`` exclusive); ``offset``/``end_offset``
+    the corresponding byte range.
+    """
+
+    index: int
+    first: int
+    last: int
+    offset: int
+    end_offset: int
+
+    def __len__(self) -> int:
+        return self.last - self.first
+
+
+def basic_blocks(sequence: OpcodeSequence, code_length: int) -> List[BasicBlock]:
+    """Partition ``sequence`` into basic blocks.
+
+    Leaders: instruction 0, every ``JUMPDEST``, and every instruction
+    following a ``JUMP``/``JUMPI`` or a terminator.
+    """
+    n = len(sequence)
+    if n == 0:
+        return []
+    opcodes = sequence.opcodes
+    leaders = np.zeros(n, dtype=bool)
+    leaders[0] = True
+    leaders[opcodes == _JUMPDEST] = True
+    breaks = np.flatnonzero(
+        (opcodes == _JUMP) | (opcodes == _JUMPI) | np.isin(opcodes, _TERMINATORS)
+    )
+    follow = breaks + 1
+    leaders[follow[follow < n]] = True
+    starts = sequence.starts()
+    leader_indices = np.flatnonzero(leaders)
+    bounds = np.append(leader_indices, n)
+    blocks: List[BasicBlock] = []
+    for index in range(leader_indices.shape[0]):
+        first, last = int(bounds[index]), int(bounds[index + 1])
+        end = int(starts[last]) if last < n else code_length
+        blocks.append(
+            BasicBlock(
+                index=index,
+                first=first,
+                last=last,
+                offset=int(starts[first]),
+                end_offset=end,
+            )
+        )
+    return blocks
+
+
+# ---------------------------------------------------------------------------
+# Dataflow events + results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StackEvent:
+    """One interesting instruction with its abstract popped operands.
+
+    ``kind`` ∈ {``call``, ``callcode``, ``delegatecall``, ``staticcall``,
+    ``selfdestruct``, ``mstore``, ``sstore``, ``pop``, ``jumpi``}.
+    ``operands`` are the popped stack slots, top first (for ``call``:
+    gas, address, value, …; for ``jumpi``: target, condition).
+    ``reachable`` follows the conservative notion documented in the module
+    docstring.
+    """
+
+    kind: str
+    pc: int
+    block: int
+    reachable: bool
+    operands: Tuple[AbsVal, ...]
+
+
+@dataclass(frozen=True)
+class CfgMetrics:
+    """Fixed-shape per-contract summary of one :class:`CfgAnalysis`."""
+
+    instructions: int
+    blocks: int
+    edges: int
+    jumps: int
+    resolved_jumps: int
+    unresolved_jumps: int
+    jumpdests: int
+    selectors: int
+    calls: int
+    delegatecalls: int
+    selfdestructs: int
+    reachable_instructions: int
+    dead_instructions: int
+    dead_ratio: float
+    code_bytes: int
+    trailer_bytes: int
+
+    def to_vector(self) -> np.ndarray:
+        """The metrics as a float64 vector in :data:`CFG_METRIC_NAMES` order."""
+        return np.array(
+            [float(getattr(self, name)) for name in CFG_METRIC_NAMES],
+            dtype=np.float64,
+        )
+
+
+#: Field order of :meth:`CfgMetrics.to_vector` — the analysis feature block
+#: :class:`~repro.features.batch.BatchFeatureService` caches and persists.
+CFG_METRIC_NAMES: Tuple[str, ...] = tuple(CfgMetrics.__dataclass_fields__)
+
+
+@dataclass
+class CfgAnalysis:
+    """The resolved CFG of one bytecode plus everything the lints consume."""
+
+    code: bytes
+    trailer: bytes
+    sequence: OpcodeSequence
+    blocks: List[BasicBlock]
+    successors: List[Tuple[int, ...]]
+    events: List[StackEvent]
+    selectors: Dict[int, int]
+    reachable: frozenset
+    resolved_targets: Dict[int, int]
+    unresolved_pcs: List[int]
+    metrics: CfgMetrics
+
+    def jumpdest_offsets(self) -> List[int]:
+        """Byte offsets of every ``JUMPDEST`` instruction (sorted)."""
+        starts = self.sequence.starts()
+        return [int(value) for value in starts[self.sequence.opcodes == _JUMPDEST]]
+
+
+# ---------------------------------------------------------------------------
+# Abstract interpretation
+# ---------------------------------------------------------------------------
+
+
+class _BlockRun:
+    """Result of symbolically executing one block from one entry stack."""
+
+    __slots__ = ("stack", "jump_target", "events")
+
+    def __init__(self, stack, jump_target, events):
+        self.stack = stack
+        self.jump_target = jump_target  # AbsVal of the JUMP/JUMPI target, or None
+        self.events = events
+
+
+def _join_stacks(a: List[AbsVal], b: List[AbsVal]) -> List[AbsVal]:
+    """Elementwise top-aligned join; depth truncates to the shallower stack."""
+    n = min(len(a), len(b))
+    out: List[AbsVal] = []
+    for i in range(1, n + 1):
+        va, vb = a[-i], b[-i]
+        out.append(va if va == vb else UNKNOWN)
+    out.reverse()
+    return out
+
+
+def _binary_const(op: int, a: AbsVal, b: AbsVal) -> Optional[int]:
+    """Constant-fold a binary op over popped operands ``a`` (top) and ``b``."""
+    x, y = a.value, b.value
+    if op == 0x01:
+        return (x + y) % _WORD
+    if op == 0x02:
+        return (x * y) % _WORD
+    if op == 0x03:
+        return (x - y) % _WORD
+    if op == 0x04:
+        return x // y if y else 0
+    if op == 0x10:
+        return int(x < y)
+    if op == 0x11:
+        return int(x > y)
+    if op == 0x14:
+        return int(x == y)
+    if op == 0x16:
+        return x & y
+    if op == 0x17:
+        return x | y
+    if op == 0x18:
+        return x ^ y
+    if op == 0x1B:  # SHL(shift=a, value=b)
+        return (y << x) % _WORD if x < 256 else 0
+    if op == 0x1C:  # SHR
+        return y >> x if x < 256 else 0
+    return None
+
+
+def _execute_block(
+    block: BasicBlock,
+    entry: List[AbsVal],
+    sequence: OpcodeSequence,
+    code: bytes,
+    starts: np.ndarray,
+    collect: bool,
+) -> _BlockRun:
+    """Symbolically execute one block; the entry stack is bottomless-unknown."""
+    stack: List[AbsVal] = list(entry)
+    events: List[Tuple[str, int, Tuple[AbsVal, ...]]] = []
+    jump_target: Optional[AbsVal] = None
+
+    def pop() -> AbsVal:
+        return stack.pop() if stack else UNKNOWN
+
+    opcodes = sequence.opcodes
+    widths = sequence.widths
+    for index in range(block.first, block.last):
+        op = int(opcodes[index])
+        pc = int(starts[index])
+        if _PUSH_FIRST <= op <= _PUSH_LAST:
+            width = int(widths[index])
+            operand = int.from_bytes(code[pc + 1 : pc + 1 + width], "big")
+            stack.append(AbsVal("const", operand))
+        elif op == 0x5F:  # PUSH0
+            stack.append(AbsVal("const", 0))
+        elif _DUP_FIRST <= op <= _DUP_LAST:
+            depth = op - _DUP_FIRST + 1
+            stack.append(stack[-depth] if len(stack) >= depth else UNKNOWN)
+        elif _SWAP_FIRST <= op <= _SWAP_LAST:
+            depth = op - _SWAP_FIRST + 1
+            while len(stack) < depth + 1:
+                stack.insert(0, UNKNOWN)
+            stack[-1], stack[-depth - 1] = stack[-depth - 1], stack[-1]
+        elif op == 0x50:  # POP
+            value = pop()
+            if collect:
+                events.append(("pop", pc, (value,)))
+        elif op in _ENV_TAGS:
+            stack.append(_ENV_TAGS[op])
+        elif op == 0x31:  # BALANCE
+            pop()
+            stack.append(AbsVal("balance"))
+        elif op == 0x35:  # CALLDATALOAD
+            offset = pop()
+            stack.append(
+                AbsVal("calldata", offset.value)
+                if offset.is_const
+                else AbsVal("calldata_dyn")
+            )
+        elif op == 0x54:  # SLOAD
+            pop()
+            stack.append(AbsVal("sload"))
+        elif op == 0x20:  # SHA3
+            pop()
+            pop()
+            stack.append(AbsVal("sha3"))
+        elif op == 0x15:  # ISZERO
+            value = pop()
+            if value.is_const:
+                stack.append(AbsVal("const", int(value.value == 0)))
+            elif value.kind in _NEGATABLE:
+                stack.append(value)
+            else:
+                stack.append(UNKNOWN)
+        elif op == 0x14:  # EQ
+            a, b = pop(), pop()
+            if a.is_const and b.is_const:
+                stack.append(AbsVal("const", int(a.value == b.value)))
+            elif {a.kind, b.kind} == {"selector", "const"}:
+                constant = a if a.is_const else b
+                stack.append(AbsVal("eq_selector", constant.value & 0xFFFFFFFF))
+            elif {a.kind, b.kind} & {"caller", "origin"} and "sload" in (
+                a.kind,
+                b.kind,
+            ):
+                stack.append(AbsVal("cmp_owner"))
+            else:
+                stack.append(UNKNOWN)
+        elif op in (0x10, 0x11, 0x12, 0x13):  # LT GT SLT SGT
+            a, b = pop(), pop()
+            folded = (
+                _binary_const(op, a, b) if a.is_const and b.is_const else None
+            )
+            if folded is not None:
+                stack.append(AbsVal("const", folded))
+            elif "timestamp" in (a.kind, b.kind):
+                stack.append(AbsVal("cmp_timestamp"))
+            else:
+                stack.append(UNKNOWN)
+        elif op in (0x01, 0x02, 0x03, 0x04, 0x16, 0x17, 0x18, 0x1B, 0x1C):
+            a, b = pop(), pop()
+            folded = _binary_const(op, a, b) if a.is_const and b.is_const else None
+            if folded is not None:
+                stack.append(AbsVal("const", folded))
+            elif op == 0x1C and a.is_const and a.value == 0xE0 and b == AbsVal(
+                "calldata", 0
+            ):
+                stack.append(AbsVal("selector"))
+            elif op == 0x16 and "selector" in (a.kind, b.kind):
+                stack.append(AbsVal("selector"))
+            else:
+                stack.append(UNKNOWN)
+        elif op == _JUMP:
+            jump_target = pop()
+        elif op == _JUMPI:
+            target, condition = pop(), pop()
+            jump_target = target
+            if collect:
+                events.append(("jumpi", pc, (target, condition)))
+        elif op == 0x52:  # MSTORE
+            offset, value = pop(), pop()
+            if collect:
+                events.append(("mstore", pc, (offset, value)))
+        elif op == 0x55:  # SSTORE
+            key, value = pop(), pop()
+            if collect:
+                events.append(("sstore", pc, (key, value)))
+        elif op in (0xF1, 0xF2):  # CALL CALLCODE
+            args = tuple(pop() for _ in range(7))
+            if collect:
+                kind = "call" if op == 0xF1 else "callcode"
+                events.append((kind, pc, args))
+            stack.append(UNKNOWN)
+        elif op in (0xF4, 0xFA):  # DELEGATECALL STATICCALL
+            args = tuple(pop() for _ in range(6))
+            if collect:
+                kind = "delegatecall" if op == 0xF4 else "staticcall"
+                events.append((kind, pc, args))
+            stack.append(UNKNOWN)
+        elif op == 0xFF:  # SELFDESTRUCT
+            beneficiary = pop()
+            if collect:
+                events.append(("selfdestruct", pc, (beneficiary,)))
+        else:
+            info = SHANGHAI_OPCODES.get(op)
+            if info is not None:
+                for _ in range(info.pops):
+                    pop()
+                stack.extend([UNKNOWN] * info.pushes)
+        if len(stack) > _MAX_STACK:
+            del stack[: len(stack) - _MAX_STACK]
+    return _BlockRun(stack, jump_target, events)
+
+
+def _successors_of(
+    block: BasicBlock,
+    run: _BlockRun,
+    sequence: OpcodeSequence,
+    jumpdest_blocks: Dict[int, int],
+    n_blocks: int,
+) -> Tuple[Tuple[int, ...], Optional[int], bool]:
+    """``(successor blocks, resolved byte target, unresolved?)`` of a block."""
+    last_op = int(sequence.opcodes[block.last - 1]) if len(block) else None
+    succ: List[int] = []
+    resolved: Optional[int] = None
+    unresolved = False
+    if last_op in (_JUMP, _JUMPI):
+        target = run.jump_target
+        if target is not None and target.is_const:
+            resolved = target.value
+            dest = jumpdest_blocks.get(target.value)
+            if dest is not None:
+                succ.append(dest)
+            # A constant target that is no JUMPDEST faults at runtime:
+            # resolved, but no edge.
+        else:
+            unresolved = True
+        if last_op == _JUMPI and block.index + 1 < n_blocks:
+            succ.append(block.index + 1)
+    elif last_op in _TERMINATORS:
+        pass
+    elif block.index + 1 < n_blocks:
+        succ.append(block.index + 1)
+    return tuple(dict.fromkeys(succ)), resolved, unresolved
+
+
+def analyze_cfg(
+    bytecode: BytecodeLike,
+    sequence: Optional[OpcodeSequence] = None,
+    strip_metadata: bool = True,
+    max_rounds: Optional[int] = None,
+) -> CfgAnalysis:
+    """Recover and resolve the CFG of ``bytecode``.
+
+    Args:
+        bytecode: Hex string or bytes of one deployed runtime bytecode.
+        sequence: Optional pre-computed :class:`OpcodeSequence` of the *full*
+            bytecode (e.g. the cached view of a
+            :class:`~repro.features.batch.BatchFeatureService`) — reused for
+            the metadata split and sliced to the executable region, so the
+            analysis shares the feature plane's single disassembly pass.
+        strip_metadata: Split off the CBOR trailer before building blocks
+            (recommended; see module docstring).
+        max_rounds: Worklist iteration bound (defaults to a generous
+            function of the block count; the merge lattice guarantees
+            convergence far earlier).
+
+    Returns:
+        A fully populated :class:`CfgAnalysis`.
+    """
+    full_code = normalize_bytecode(bytecode)
+    if sequence is None:
+        sequence = opcode_sequence(full_code)
+    if strip_metadata:
+        offset = metadata_offset(full_code, sequence)
+    else:
+        offset = None
+    if offset is None:
+        code, trailer = full_code, b""
+        seq = sequence
+    else:
+        code, trailer = full_code[:offset], full_code[offset:]
+        cut = int(np.searchsorted(sequence.starts(), offset))
+        seq = OpcodeSequence(
+            opcodes=sequence.opcodes[:cut], widths=sequence.widths[:cut]
+        )
+
+    blocks = basic_blocks(seq, len(code))
+    starts = seq.starts()
+    jumpdest_blocks: Dict[int, int] = {
+        block.offset: block.index
+        for block in blocks
+        if len(block) and int(seq.opcodes[block.first]) == _JUMPDEST
+    }
+
+    # -- worklist fixpoint over entry stacks --------------------------------
+    entries: Dict[int, List[AbsVal]] = {0: []} if blocks else {}
+    pending: List[int] = [0] if blocks else []
+    rounds = 0
+    bound = max_rounds if max_rounds is not None else 16 * len(blocks) + 64
+    while pending and rounds < bound:
+        rounds += 1
+        index = pending.pop()
+        block = blocks[index]
+        run = _execute_block(block, entries[index], seq, code, starts, collect=False)
+        succ, _, _ = _successors_of(block, run, seq, jumpdest_blocks, len(blocks))
+        for nxt in succ:
+            current = entries.get(nxt)
+            merged = run.stack if current is None else _join_stacks(current, run.stack)
+            if current is None or merged != current:
+                entries[nxt] = merged
+                if nxt not in pending:
+                    pending.append(nxt)
+
+    # -- final deterministic pass: edges, events, jump resolution -----------
+    successors: List[Tuple[int, ...]] = []
+    raw_events: List[Tuple[str, int, int, Tuple[AbsVal, ...]]] = []
+    resolved_targets: Dict[int, int] = {}
+    unresolved_pcs: List[int] = []
+    jumps = 0
+    for block in blocks:
+        run = _execute_block(
+            block, entries.get(block.index, []), seq, code, starts, collect=True
+        )
+        succ, resolved, unresolved = _successors_of(
+            block, run, seq, jumpdest_blocks, len(blocks)
+        )
+        successors.append(succ)
+        last_op = int(seq.opcodes[block.last - 1]) if len(block) else None
+        if last_op in (_JUMP, _JUMPI):
+            jumps += 1
+            pc = int(starts[block.last - 1])
+            if unresolved:
+                unresolved_pcs.append(pc)
+            elif resolved is not None:
+                resolved_targets[pc] = resolved
+        for kind, pc, operands in run.events:
+            raw_events.append((kind, pc, block.index, operands))
+
+    # -- conservative reachability ------------------------------------------
+    seeds = {0} if blocks else set()
+    seeds.update(jumpdest_blocks.values())
+    reachable_set = set()
+    frontier = list(seeds)
+    while frontier:
+        index = frontier.pop()
+        if index in reachable_set:
+            continue
+        reachable_set.add(index)
+        frontier.extend(successors[index])
+    reachable = frozenset(reachable_set)
+
+    events = [
+        StackEvent(
+            kind=kind,
+            pc=pc,
+            block=index,
+            reachable=index in reachable,
+            operands=operands,
+        )
+        for kind, pc, index, operands in raw_events
+    ]
+
+    # -- dispatcher selectors -----------------------------------------------
+    selectors: Dict[int, int] = {}
+    for event in events:
+        if event.kind == "jumpi" and len(event.operands) == 2:
+            target, condition = event.operands
+            if condition.kind == "eq_selector" and target.is_const:
+                selectors.setdefault(condition.value, target.value)
+
+    # -- metrics --------------------------------------------------------------
+    reachable_instructions = sum(
+        len(blocks[index]) for index in reachable_set
+    )
+    total_instructions = len(seq)
+    dead = total_instructions - reachable_instructions
+    metrics = CfgMetrics(
+        instructions=total_instructions,
+        blocks=len(blocks),
+        edges=sum(len(succ) for succ in successors),
+        jumps=jumps,
+        resolved_jumps=jumps - len(unresolved_pcs),
+        unresolved_jumps=len(unresolved_pcs),
+        jumpdests=len(jumpdest_blocks),
+        selectors=len(selectors),
+        calls=sum(1 for e in events if e.kind in ("call", "callcode")),
+        delegatecalls=sum(1 for e in events if e.kind == "delegatecall"),
+        selfdestructs=sum(1 for e in events if e.kind == "selfdestruct"),
+        reachable_instructions=reachable_instructions,
+        dead_instructions=dead,
+        dead_ratio=dead / total_instructions if total_instructions else 0.0,
+        code_bytes=len(code),
+        trailer_bytes=len(trailer),
+    )
+    return CfgAnalysis(
+        code=code,
+        trailer=trailer,
+        sequence=seq,
+        blocks=blocks,
+        successors=successors,
+        events=events,
+        selectors=selectors,
+        reachable=reachable,
+        resolved_targets=resolved_targets,
+        unresolved_pcs=unresolved_pcs,
+        metrics=metrics,
+    )
+
+
+def cfg_metrics_vector(
+    bytecode: BytecodeLike, sequence: Optional[OpcodeSequence] = None
+) -> np.ndarray:
+    """The :data:`CFG_METRIC_NAMES` vector of one bytecode.
+
+    The shape the :class:`~repro.features.batch.BatchFeatureService`
+    analysis view caches and persists.
+    """
+    return analyze_cfg(bytecode, sequence=sequence).metrics.to_vector()

@@ -8,17 +8,19 @@ and re-extracted many times (cross-validation folds, data splits, model
 families).  :class:`BatchFeatureService` exploits all of it:
 
 * **content-hash LRU caching** — every unique bytecode owns one cache entry
-  keyed by a digest of its normalised bytes.  The entry holds up to five
+  keyed by a digest of its normalised bytes.  The entry holds up to six
   views: the 256-bin **count** vector, the **sequence**
   (:class:`~repro.evm.fastcount.OpcodeSequence` of opcode values + immediate
   widths), **n-gram codes** (integer codes of non-overlapping byte
-  groups), and the two raw-byte views — the **byte-count** histogram
+  groups), the two raw-byte views — the **byte-count** histogram
   (ESCORT's embedding input) and **R2D2 images** (per image size; both
-  memory-only, recomputed rather than persisted).  Counts are derived from
-  a cached sequence for free, so one
-  disassembly pass per unique bytecode feeds the histogram, tokenizer and
-  frequency-image extractors; the n-gram view never needs a disassembly at
-  all.  :attr:`BatchFeatureService.kernel_passes` counts the kernel results
+  memory-only, recomputed rather than persisted) — and the **analysis**
+  vector (the :data:`~repro.evm.cfg.CFG_METRIC_NAMES` static-analysis
+  metrics, derived from the cached sequence and persisted).  Counts are
+  derived from a cached sequence for free, so one
+  disassembly pass per unique bytecode feeds the histogram, tokenizer,
+  frequency-image and static-analysis extractors; the n-gram view never
+  needs a disassembly at all.  :attr:`BatchFeatureService.kernel_passes` counts the kernel results
   installed into the cache (every kernel run when caching is disabled) —
   the cost signal the one-disassembly-per-unique-bytecode property is
   asserted on.
@@ -68,6 +70,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..persist import open_validated_npz, write_npz
+from ..evm.cfg import CFG_METRIC_NAMES, cfg_metrics_vector
 from ..evm.disassembler import BytecodeLike, normalize_bytecode
 from ..evm.fastcount import (
     UNDEFINED_VALUES,
@@ -185,6 +188,7 @@ class _CacheEntry:
     ngrams: Dict[int, np.ndarray] = field(default_factory=dict)
     byte_counts: Optional[np.ndarray] = None
     images: Dict[int, np.ndarray] = field(default_factory=dict)
+    analysis: Optional[np.ndarray] = None
 
 
 def _freeze_sequence(sequence: OpcodeSequence) -> OpcodeSequence:
@@ -251,6 +255,7 @@ class BatchFeatureService:
         self.ngram_stats = CacheStats()
         self.byte_stats = CacheStats()
         self.image_stats = CacheStats()
+        self.analysis_stats = CacheStats()
         self.kernel_passes = 0
         self._cache: "OrderedDict[bytes, _CacheEntry]" = OrderedDict()
         self._lock = Lock()
@@ -295,6 +300,8 @@ class BatchFeatureService:
             self.byte_stats.evictions += 1
         if entry.images:
             self.image_stats.evictions += 1
+        if entry.analysis is not None:
+            self.analysis_stats.evictions += 1
 
     def _entry_for(self, key: bytes) -> _CacheEntry:
         """Get-or-create the entry of ``key`` (caller holds the lock)."""
@@ -412,6 +419,7 @@ class BatchFeatureService:
             self.ngram_stats = CacheStats()
             self.byte_stats = CacheStats()
             self.image_stats = CacheStats()
+            self.analysis_stats = CacheStats()
             self.kernel_passes = 0
 
     def __len__(self) -> int:
@@ -716,6 +724,45 @@ class BatchFeatureService:
             [self.r2d2_image(bytecode, image_size) for bytecode in bytecodes]
         )
 
+    # ------------------------------------------------------------------
+    # Static-analysis extraction (CFG metrics view)
+    # ------------------------------------------------------------------
+
+    def analysis_vector(self, bytecode: BytecodeLike) -> np.ndarray:
+        """CFG-metrics feature vector of one bytecode (read-only when cached).
+
+        The :data:`~repro.evm.cfg.CFG_METRIC_NAMES` block — block/edge/jump
+        counts, resolved-jump and dead-code ratios, selector and call-family
+        tallies — computed by :func:`~repro.evm.cfg.analyze_cfg` over the
+        *cached* :class:`~repro.evm.fastcount.OpcodeSequence` view, so the
+        structural features ride the same single disassembly pass as the
+        histogram/token/image views.  Persisted by :meth:`save` alongside
+        counts and sequences.
+        """
+        code = normalize_bytecode(bytecode)
+        key = self._key(code)
+        vector = self._raw_view_get(key, self.analysis_stats, lambda e: e.analysis)
+        if vector is None:
+            vector = cfg_metrics_vector(code, sequence=self.sequence(code))
+            if self.cache_size > 0:
+                vector.setflags(write=False)
+                with self._lock:
+                    self._entry_for(key).analysis = vector
+        return vector
+
+    def analysis_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
+        """``(n, len(CFG_METRIC_NAMES))`` CFG-metrics matrix for a batch.
+
+        Missing sequence views are computed first in one deduplicated,
+        chunked batch (:meth:`sequences`), so a cold corpus pays one
+        vectorized disassembly sweep rather than n scalar ones.
+        """
+        self.sequences(bytecodes)
+        matrix = np.zeros((len(bytecodes), len(CFG_METRIC_NAMES)), dtype=np.float64)
+        for row, bytecode in enumerate(bytecodes):
+            matrix[row] = self.analysis_vector(bytecode)
+        return matrix
+
     def aggregate_stats(self) -> CacheStats:
         """Hit/miss/eviction totals across every feature view.
 
@@ -731,6 +778,7 @@ class BatchFeatureService:
                 self.ngram_stats,
                 self.byte_stats,
                 self.image_stats,
+                self.analysis_stats,
             ):
                 total.hits += stats.hits
                 total.misses += stats.misses
@@ -762,7 +810,7 @@ class BatchFeatureService:
         # dict can change concurrently.
         with self._lock:
             items = [
-                (key, entry.counts, entry.sequence, dict(entry.ngrams))
+                (key, entry.counts, entry.sequence, dict(entry.ngrams), entry.analysis)
                 for key, entry in self._cache.items()
             ]
             stats = np.array(
@@ -776,7 +824,7 @@ class BatchFeatureService:
                 ],
                 dtype=np.int64,
             )
-        keys = [key for key, _, _, _ in items]
+        keys = [key for key, _, _, _, _ in items]
         arrays: Dict[str, np.ndarray] = {
             "stats": stats,
             "keys": (
@@ -785,14 +833,14 @@ class BatchFeatureService:
                 else np.zeros((0, 16), dtype=np.uint8)
             ),
         }
-        count_rows = [i for i, (_, counts, _, _) in enumerate(items) if counts is not None]
+        count_rows = [i for i, (_, counts, _, _, _) in enumerate(items) if counts is not None]
         arrays["count_rows"] = np.array(count_rows, dtype=np.int64)
         arrays["count_data"] = (
             np.stack([items[i][1] for i in count_rows])
             if count_rows
             else np.zeros((0, 256), dtype=np.int64)
         )
-        seq_rows = [i for i, (_, _, sequence, _) in enumerate(items) if sequence is not None]
+        seq_rows = [i for i, (_, _, sequence, _, _) in enumerate(items) if sequence is not None]
         seq_list = [items[i][2] for i in seq_rows]
         arrays["seq_rows"] = np.array(seq_rows, dtype=np.int64)
         arrays["seq_lengths"] = np.array([len(s) for s in seq_list], dtype=np.int64)
@@ -813,7 +861,7 @@ class BatchFeatureService:
         ngram_sizes: List[int] = []
         ngram_lengths: List[int] = []
         ngram_chunks: List[np.ndarray] = []
-        for i, (_, _, _, ngrams) in enumerate(items):
+        for i, (_, _, _, ngrams, _) in enumerate(items):
             for bytes_per_gram in sorted(ngrams):
                 codes = ngrams[bytes_per_gram]
                 ngram_rows.append(i)
@@ -825,6 +873,17 @@ class BatchFeatureService:
         arrays["ngram_lengths"] = np.array(ngram_lengths, dtype=np.int64)
         arrays["ngram_data"] = (
             np.concatenate(ngram_chunks) if ngram_chunks else np.zeros(0, dtype=np.int64)
+        )
+        # Optional arrays (absent in files written before the analysis view
+        # existed); the format version is unchanged, so old files still load.
+        analysis_rows = [
+            i for i, (_, _, _, _, analysis) in enumerate(items) if analysis is not None
+        ]
+        arrays["analysis_rows"] = np.array(analysis_rows, dtype=np.int64)
+        arrays["analysis_data"] = (
+            np.stack([items[i][4] for i in analysis_rows])
+            if analysis_rows
+            else np.zeros((0, len(CFG_METRIC_NAMES)), dtype=np.float64)
         )
         write_npz(
             path,
@@ -966,6 +1025,24 @@ class BatchFeatureService:
                 codes.setflags(write=False)
                 entries[row][1].ngrams[size] = codes
                 offset += length
+            # Optional analysis view: absent from files written before the
+            # CFG-metrics block existed (same format version; see save()).
+            if "analysis_rows" in data.files and "analysis_data" in data.files:
+                analysis_rows = data["analysis_rows"]
+                analysis_data = data["analysis_data"]
+                if (
+                    analysis_data.shape
+                    != (analysis_rows.shape[0], len(CFG_METRIC_NAMES))
+                    or not valid_rows(analysis_rows)
+                    or (analysis_data.size and not np.isfinite(analysis_data).all())
+                ):
+                    raise CacheLoadError(
+                        f"cache file {path} has malformed analysis metrics"
+                    )
+                for row, vector in zip(analysis_rows.tolist(), analysis_data):
+                    vector = np.array(vector, dtype=np.float64)
+                    vector.setflags(write=False)
+                    entries[row][1].analysis = vector
             return entries, stats
 
 

@@ -114,7 +114,8 @@ class OpcodeHistogramExtractor:
         if self.vocabulary_ is None:
             raise RuntimeError("extractor must be fitted before transform")
         if self.use_fast_path:
-            assert self._projection is not None
+            if self._projection is None:
+                raise RuntimeError("vocabulary projection missing after fit")
             return self.service.transform(
                 bytecodes, self._projection, normalize=self.normalize
             )

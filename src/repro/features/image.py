@@ -283,7 +283,8 @@ class FrequencyImageEncoder:
 
     def _encode_sequence(self, sequence: OpcodeSequence, code: bytes) -> np.ndarray:
         self._ensure_luts()
-        assert self._mnemonic_lut is not None and self._gas_lut is not None
+        if self._mnemonic_lut is None or self._gas_lut is None:
+            raise RuntimeError("encoder lookup tables failed to initialise")
         capacity = self.image_size * self.image_size
         image = np.zeros((capacity, 3), dtype=np.float64)
         count = min(len(sequence), capacity)

@@ -151,7 +151,8 @@ class HexNgramEncoder:
 
     def _encode_codes(self, codes: np.ndarray) -> np.ndarray:
         """Map gram codes to vocabulary ids (vectorized binary search)."""
-        assert self._sorted_codes is not None and self._sorted_ids is not None
+        if self._sorted_codes is None or self._sorted_ids is None:
+            raise RuntimeError("encoder must be fitted before encoding")
         ids = np.full(min(codes.shape[0], self.max_length), UNKNOWN_ID, dtype=np.int64)
         codes = codes[: self.max_length]
         if self._sorted_codes.shape[0] and codes.shape[0]:

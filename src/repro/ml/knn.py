@@ -34,7 +34,8 @@ class KNeighborsClassifier(ClassifierMixin):
         return self
 
     def _distances(self, X: np.ndarray) -> np.ndarray:
-        assert self._X is not None
+        if self._X is None:
+            raise RuntimeError("classifier must be fitted before predicting")
         if self.metric == "euclidean":
             squared = (
                 np.sum(X**2, axis=1)[:, None]

@@ -131,6 +131,10 @@ class Alert:
     ``chain_id`` attributes the alert to its source chain (``0`` when the
     block source does not expose one), so multi-chain deployments can merge
     N pipelines into one stream without losing provenance.
+    ``static_findings`` carries the structural evidence of an attached
+    :class:`~repro.analysis.StaticAnalyzer` (empty when the pipeline runs
+    without one) — :class:`~repro.analysis.Finding` tuples serialize
+    through ``asdict`` into the JSONL sink unchanged.
     """
 
     block_number: int
@@ -139,6 +143,7 @@ class Alert:
     probability: float
     threshold: float
     chain_id: int = 0
+    static_findings: tuple = ()
 
 
 class AlertSink(Protocol):
@@ -240,6 +245,11 @@ class MonitorPipeline:
             ``impersonation_prefix`` / ``impersonation_suffix`` knobs; a
             pre-built detector is used as given; ``None`` (default)
             disables bytecode-free address screening.
+        analyzer: Optional :class:`~repro.analysis.StaticAnalyzer`; when
+            set, every emitted :class:`Alert` carries the flagged
+            bytecode's lint findings in ``static_findings`` — the
+            analyzer shares the scoring service's cached disassembly, so
+            the evidence costs no extra kernel pass per alert.
     """
 
     def __init__(
@@ -251,6 +261,7 @@ class MonitorPipeline:
         checkpoint: Optional[Checkpoint] = None,
         drift: Optional[DriftTracker] = None,
         impersonation: Union[None, bool, ImpersonationDetector] = None,
+        analyzer=None,
     ):
         self.service = service
         self.node = node
@@ -269,6 +280,7 @@ class MonitorPipeline:
                 chain_id=self.chain_id,
             )
         self.impersonation: Optional[ImpersonationDetector] = impersonation or None
+        self.analyzer = analyzer
         state = checkpoint.load() if checkpoint is not None else None
         self.resumed = state is not None
         if state is not None:
@@ -331,6 +343,9 @@ class MonitorPipeline:
                 probabilities.append(verdict.probability)
                 flags.append(verdict.is_phishing)
                 if verdict.is_phishing:
+                    findings: tuple = ()
+                    if self.analyzer is not None:
+                        findings = self.analyzer.analyze(tx.bytecode).findings
                     alert = Alert(
                         block_number=block.number,
                         contract_address=tx.contract_address,
@@ -338,6 +353,7 @@ class MonitorPipeline:
                         probability=verdict.probability,
                         threshold=verdict.threshold,
                         chain_id=self.chain_id,
+                        static_findings=findings,
                     )
                     self.sink.emit(alert)
                     alerts.append(alert)

@@ -9,17 +9,44 @@ never executes arbitrary code.  This module owns that protocol in one place
 — writers go through :func:`write_npz`, readers through
 :func:`open_validated_npz`, which rejects unreadable, corrupt, mistagged,
 stale-version and incomplete files by raising the caller's domain error.
+
+Zip member CRCs only cover compressed payload bytes — several local-header
+fields are never consulted by ``zipfile``, so a flipped byte there would
+load silently.  The writer therefore stamps a whole-file blake2b digest
+into the archive comment, and the reader re-derives it over every byte of
+the file except the digest's own characters, so any single-byte damage
+anywhere in the file is rejected.  Files written before the digest existed
+carry no comment and skip the check.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import os
 import tempfile
+import zipfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Set, Type, Union
 
 import numpy as np
+
+#: Length of the hex integrity digest stamped into the zip comment.
+_DIGEST_BYTES = 32
+
+
+def _integrity_digest(blob: bytes) -> bytes:
+    """Whole-file digest over everything but the trailing comment bytes.
+
+    The comment-length field of the end-of-central-directory record IS
+    covered (its value is the fixed ``_DIGEST_BYTES`` before the digest is
+    computed), so only the digest's own bytes are outside the hash — and
+    damage to those fails the comparison directly.
+    """
+    return hashlib.blake2b(
+        blob[:-_DIGEST_BYTES], digest_size=16
+    ).hexdigest().encode("ascii")
 
 
 def write_npz(
@@ -64,6 +91,18 @@ def write_npz(
                 version=np.array([version], dtype=np.int64),
                 **arrays,
             )
+        # Stamp the whole-file integrity digest: reserve the comment slot
+        # (this rewrites the end-of-central-directory record), hash the
+        # final byte layout, then patch the digest in place so the bytes
+        # being hashed never include the digest itself.
+        with zipfile.ZipFile(staging, "a") as archive:
+            archive.comment = b"0" * _DIGEST_BYTES
+        with open(staging, "rb") as handle:
+            blob = handle.read()
+        digest = _integrity_digest(blob)
+        with open(staging, "r+b") as handle:
+            handle.seek(-_DIGEST_BYTES, os.SEEK_END)
+            handle.write(digest)
         os.replace(staging, path)
     except BaseException as exc:
         try:
@@ -93,7 +132,17 @@ def open_validated_npz(
     ``error`` instances pass through unchanged.
     """
     try:
-        data = np.load(str(path), allow_pickle=False)
+        blob = Path(path).read_bytes()
+        with zipfile.ZipFile(io.BytesIO(blob)) as archive:
+            comment = archive.comment
+    except Exception as exc:
+        raise error(f"unreadable cache file {path}: {exc}") from exc
+    if comment and (
+        len(comment) != _DIGEST_BYTES or _integrity_digest(blob) != comment
+    ):
+        raise error(f"corrupt cache file {path}: integrity digest mismatch")
+    try:
+        data = np.load(io.BytesIO(blob), allow_pickle=False)
     except Exception as exc:
         raise error(f"unreadable cache file {path}: {exc}") from exc
     try:

@@ -12,11 +12,14 @@ Endpoints
 ---------
 
 ========================  ======================================================
-``POST /score/address``   ``{"address": "0x…", "explain": false}`` → verdict
-``POST /score/bytecode``  ``{"bytecode": "0x…", "explain": false}`` → verdict
+``POST /score/address``   ``{"address": "0x…", "explain": false, "analyze":
+                          false}`` → verdict
+``POST /score/bytecode``  ``{"bytecode": "0x…", "explain": false, "analyze":
+                          false}`` → verdict
 ``POST /score/batch``     ``{"bytecodes": ["0x…", …]}`` → ``{"verdicts": […]}``
 ``GET /healthz``          liveness (``503`` while draining)
-``GET /stats``            gateway + service (+ monitor, + multichain, + explain)
+``GET /stats``            gateway + service (+ monitor, + multichain,
+                          + explain, + analysis)
 ========================  ======================================================
 
 Verdicts follow the scanner-backend shape (probability, 0–100 ``score``,
@@ -29,6 +32,15 @@ opcodes through the per-model :mod:`~repro.serving.explain` cache::
      "threshold": 0.5, "cached": false, "latency_ms": 1.8,
      "reasons": [{"opcode": "CALLER", "shap": 0.21, "count": 4,
                   "direction": "phishing"}, …]}
+
+``"analyze": true`` attaches the structural static-analysis report of the
+:mod:`repro.analysis` plane — lint findings (reachable ``SELFDESTRUCT``,
+balance sweeps, hidden redirects, proxy forwarding with resolved
+implementations, …) plus per-contract CFG metrics — under ``"analysis"``,
+so one verdict carries both the model's SHAP reasons and the
+rule-engine's evidence.  The analyzer shares the scoring service's cached
+disassembly, so the extra report costs no second kernel pass on warm
+content.
 
 Errors are structured JSON, mirroring the simulated node's JSON-RPC error
 envelope: every non-2xx body is ``{"error": {"code": "<slug>", "message":
@@ -331,6 +343,9 @@ class Gateway:
         explainer: Optional :class:`~repro.serving.explain
             .ExplanationService`; without one, ``"explain": true`` requests
             are rejected with ``400 explain_unavailable``.
+        analyzer: Optional :class:`~repro.analysis.StaticAnalyzer`; without
+            one, ``"analyze": true`` requests are rejected with
+            ``400 analysis_unavailable``.
         pipeline: Optional :class:`~repro.monitor.MonitorPipeline` whose
             :class:`~repro.monitor.MonitorStats` should appear under
             ``"monitor"`` in ``GET /stats``.
@@ -351,6 +366,7 @@ class Gateway:
         service: ScoringService,
         config: Optional[GatewayConfig] = None,
         explainer: Optional[ExplanationService] = None,
+        analyzer=None,
         pipeline=None,
         monitor=None,
         clock: Callable[[], float] = time.monotonic,
@@ -358,6 +374,7 @@ class Gateway:
         self.service = service
         self.config = config or GatewayConfig()
         self.explainer = explainer
+        self.analyzer = analyzer
         self.pipeline = pipeline
         self.monitor = monitor
         self._bucket = TokenBucket(
@@ -709,6 +726,13 @@ class Gateway:
         return explain
 
     @staticmethod
+    def _analyze_flag(payload: dict) -> bool:
+        analyze = payload.get("analyze", False)
+        if not isinstance(analyze, bool):
+            raise _HttpError(400, "invalid_request", "'analyze' must be a boolean")
+        return analyze
+
+    @staticmethod
     def _bytecode_field(payload: dict, key: str = "bytecode") -> bytes:
         value = payload.get(key)
         if not isinstance(value, str):
@@ -737,21 +761,25 @@ class Gateway:
         }
 
     async def _score_one(
-        self, code: bytes, address: Optional[str], explain: bool
+        self, code: bytes, address: Optional[str], explain: bool, analyze: bool = False
     ) -> dict:
-        """Score (and optionally explain) one bytecode off the event loop.
+        """Score (and optionally explain/analyze) one bytecode off the loop.
 
         The model pass happens on the micro-batcher thread behind the
-        submitted future; the SHAP estimation runs in the default executor
-        — the loop stays free to shed the next wave of requests either way.
+        submitted future; the SHAP estimation and the static-analysis pass
+        run in the default executor — the loop stays free to shed the next
+        wave of requests either way.
         """
         verdict = await asyncio.wrap_future(self.service.submit(code))
         payload = self._verdict_payload(verdict, address)
+        loop = asyncio.get_running_loop()
         if explain:
-            loop = asyncio.get_running_loop()
             payload["reasons"] = await loop.run_in_executor(
                 None, self.explainer.explain, code, self.config.explain_top_k
             )
+        if analyze:
+            report = await loop.run_in_executor(None, self.analyzer.analyze, code)
+            payload["analysis"] = report.to_dict()
         return payload
 
     def _require_explainer(self) -> None:
@@ -760,6 +788,14 @@ class Gateway:
                 400,
                 "explain_unavailable",
                 "this gateway serves no explanations (no ExplanationService configured)",
+            )
+
+    def _require_analyzer(self) -> None:
+        if self.analyzer is None:
+            raise _HttpError(
+                400,
+                "analysis_unavailable",
+                "this gateway serves no static analysis (no StaticAnalyzer configured)",
             )
 
     # ------------------------------------------------------------------
@@ -776,6 +812,9 @@ class Gateway:
         explain = self._explain_flag(payload)
         if explain:
             self._require_explainer()
+        analyze = self._analyze_flag(payload)
+        if analyze:
+            self._require_analyzer()
         if self.service.node is None:
             raise _HttpError(
                 503, "no_node", "gateway's scoring service has no RPC node attached"
@@ -786,7 +825,7 @@ class Gateway:
                 404, "unknown_address", f"no contract code deployed at {address}"
             )
         body = await self._scored(
-            request, lambda: self._score_one(code, address, explain)
+            request, lambda: self._score_one(code, address, explain, analyze)
         )
         return _Response(200, body)
 
@@ -796,8 +835,11 @@ class Gateway:
         explain = self._explain_flag(payload)
         if explain:
             self._require_explainer()
+        analyze = self._analyze_flag(payload)
+        if analyze:
+            self._require_analyzer()
         body = await self._scored(
-            request, lambda: self._score_one(code, None, explain)
+            request, lambda: self._score_one(code, None, explain, analyze)
         )
         return _Response(200, body)
 
@@ -861,6 +903,8 @@ class Gateway:
             body["multichain"] = asdict(self.monitor.stats())
         if self.explainer is not None:
             body["explain"] = asdict(self.explainer.stats())
+        if self.analyzer is not None:
+            body["analysis"] = asdict(self.analyzer.stats())
         return _Response(200, body)
 
     # ------------------------------------------------------------------

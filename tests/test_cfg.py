@@ -1,0 +1,235 @@
+"""Tests for ``repro.evm.cfg``: metadata split, blocks, dataflow, metrics.
+
+Includes the shared truncated-``PUSH`` golden vectors pinning that the
+:class:`~repro.evm.Disassembler`, the :mod:`~repro.evm.fastcount` kernels
+and the CFG builder agree on the final partial instruction, and the
+``PUSH2 0x5b5b`` regression pinning that ``jump_destinations`` (and the
+CFG's JUMPDEST accounting) never count ``0x5b`` bytes inside PUSH operand
+data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain import templates
+from repro.evm import (
+    CFG_METRIC_NAMES,
+    Disassembler,
+    analyze_cfg,
+    assemble,
+    basic_blocks,
+    cfg_metrics_vector,
+    metadata_offset,
+    opcode_sequence,
+    push,
+    split_metadata,
+)
+from repro.evm.cfg import AbsVal, UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# shared truncated-PUSH golden vectors
+# ---------------------------------------------------------------------------
+
+#: (bytecode, expected (opcode value, operand width) pairs).  The final
+#: instruction of each vector is a PUSH whose declared operand extends past
+#: the end of the code: all three consumers must treat the remaining bytes
+#: as one truncated instruction (no zero-padding, no phantom instructions).
+TRUNCATED_PUSH_VECTORS = [
+    (bytes([0x60]), [(0x60, 0)]),
+    (bytes([0x60, 0x01, 0x63, 0x5B, 0x5B]), [(0x60, 1), (0x63, 2)]),
+    (bytes([0x00, 0x7F]) + b"\xAA" * 10, [(0x00, 0), (0x7F, 10)]),
+    (bytes([0x5B, 0x61, 0x00]), [(0x5B, 0), (0x61, 1)]),
+]
+
+
+@pytest.mark.parametrize("code,expected", TRUNCATED_PUSH_VECTORS)
+def test_truncated_push_golden_vector_disassembler(code, expected):
+    instructions = list(Disassembler().iter_instructions(code))
+    assert [
+        (i.opcode.value, len(i.operand or b"")) for i in instructions
+    ] == expected
+
+
+@pytest.mark.parametrize("code,expected", TRUNCATED_PUSH_VECTORS)
+def test_truncated_push_golden_vector_fastcount(code, expected):
+    sequence = opcode_sequence(code)
+    assert list(zip(sequence.opcodes.tolist(), sequence.widths.tolist())) == expected
+
+
+@pytest.mark.parametrize("code,expected", TRUNCATED_PUSH_VECTORS)
+def test_truncated_push_golden_vector_cfg(code, expected):
+    analysis = analyze_cfg(code, strip_metadata=False)
+    sequence = analysis.sequence
+    assert list(zip(sequence.opcodes.tolist(), sequence.widths.tolist())) == expected
+    # The block partition covers exactly the truncated instruction stream.
+    assert sum(len(block) for block in analysis.blocks) == len(expected)
+    assert analysis.metrics.instructions == len(expected)
+
+
+def test_jump_destinations_ignores_0x5b_inside_push_operand():
+    # PUSH2 0x5b5b: both 0x5b bytes are immediate data, not JUMPDESTs.
+    code = bytes([0x61, 0x5B, 0x5B, 0x00])
+    assert Disassembler().jump_destinations(code) == []
+    analysis = analyze_cfg(code, strip_metadata=False)
+    assert analysis.jumpdest_offsets() == []
+    assert analysis.metrics.jumpdests == 0
+    # And a real JUMPDEST after the payload is still found at its offset.
+    code = bytes([0x61, 0x5B, 0x5B, 0x5B, 0x00])
+    assert Disassembler().jump_destinations(code) == [3]
+    assert analyze_cfg(code, strip_metadata=False).jumpdest_offsets() == [3]
+
+
+# ---------------------------------------------------------------------------
+# metadata split
+# ---------------------------------------------------------------------------
+
+
+def test_split_metadata_roundtrips_template_trailer():
+    rng = np.random.default_rng(3)
+    family = templates.BENIGN_FAMILIES[0]
+    full = templates.build_family_bytecode(family, rng)
+    code, trailer = split_metadata(full)
+    assert code + trailer == full
+    assert trailer, "template bytecodes carry a CBOR trailer"
+    assert trailer[:1] in (b"\xa2", b"\xa1")
+
+
+def test_split_metadata_ignores_marker_inside_push_immediate():
+    # PUSH7 whose immediate spells the ipfs marker byte-for-byte.
+    code = bytes([0x66]) + b"\xa2\x64\x69\x70\x66\x73\x00" + bytes([0x00])
+    assert metadata_offset(code) is None
+    stripped, trailer = split_metadata(code)
+    assert stripped == code and trailer == b""
+
+
+def test_split_metadata_finds_aligned_marker():
+    body = bytes([0x60, 0x01, 0x00])  # PUSH1 1; STOP
+    trailer = b"\xa2\x64\x69\x70\x66\x73" + bytes(10)
+    code, found = split_metadata(body + trailer)
+    assert code == body
+    assert found == trailer
+
+
+def test_minimal_proxy_has_no_trailer_and_resolves_fully():
+    proxy = templates.minimal_proxy_bytecode("0x" + "11" * 20)
+    analysis = analyze_cfg(proxy)
+    assert analysis.trailer == b""
+    assert analysis.metrics.unresolved_jumps == 0
+    assert analysis.metrics.delegatecalls == 1
+
+
+# ---------------------------------------------------------------------------
+# basic blocks + dataflow
+# ---------------------------------------------------------------------------
+
+
+def test_basic_blocks_partition_and_leaders():
+    # PUSH1 4; JUMP; STOP; JUMPDEST; PUSH1 0; STOP  (JUMPDEST at offset 4)
+    code = assemble([push(4, 1), "JUMP", "STOP", "JUMPDEST", push(0, 1), "STOP"])
+    sequence = opcode_sequence(code)
+    blocks = basic_blocks(sequence, len(code))
+    # Leaders: 0 (entry), STOP follows JUMP, JUMPDEST.
+    assert [block.first for block in blocks] == [0, 2, 3]
+    assert sum(len(block) for block in blocks) == len(sequence)
+    assert blocks[2].offset == 4
+
+
+def test_push_driven_jump_resolves_with_edge():
+    code = assemble([push(4, 1), "JUMP", "STOP", "JUMPDEST", push(0, 1), "STOP"])
+    analysis = analyze_cfg(code, strip_metadata=False)
+    assert analysis.metrics.jumps == 1
+    assert analysis.metrics.unresolved_jumps == 0
+    assert list(analysis.resolved_targets.values()) == [4]
+    # Block 0 jumps to the JUMPDEST block (index 2), not the shadowed STOP.
+    assert analysis.successors[0] == (2,)
+
+
+def test_unknown_jump_target_is_unresolved():
+    # CALLDATALOAD leaves an unknown on the stack; JUMP cannot resolve.
+    code = assemble([push(0, 1), "CALLDATALOAD", "JUMP", "JUMPDEST", "STOP"])
+    analysis = analyze_cfg(code, strip_metadata=False)
+    assert analysis.metrics.unresolved_jumps == 1
+    assert analysis.metrics.resolved_jumps == 0
+    assert analysis.unresolved_pcs == [3]
+
+
+def test_cross_block_constant_propagation_through_fallthrough():
+    # The constant is pushed in block 0; the JUMP sits in the fallthrough
+    # block after a JUMPDEST — resolution needs entry-stack propagation.
+    code = assemble(
+        [push(8, 1), "JUMPDEST", push(0, 1), "POP", "JUMP", "STOP", "STOP",
+         "JUMPDEST", "STOP"]
+    )
+    analysis = analyze_cfg(code, strip_metadata=False)
+    assert analysis.metrics.unresolved_jumps == 0
+    assert 8 in analysis.resolved_targets.values()
+
+
+def test_terminator_shadowed_code_is_dead_but_jumpdest_code_is_not():
+    # STOP; then straight-line code without a JUMPDEST: unreachable.
+    code = assemble(["STOP", push(1, 1), "POP", "STOP", "JUMPDEST", "STOP"])
+    analysis = analyze_cfg(code, strip_metadata=False)
+    assert analysis.metrics.dead_instructions == 3  # PUSH, POP, STOP
+    reachable_offsets = {
+        analysis.blocks[i].offset for i in analysis.reachable
+    }
+    assert 0 in reachable_offsets
+    assert analysis.blocks[2].offset in reachable_offsets  # JUMPDEST block
+
+
+def test_dispatcher_selectors_are_extracted():
+    rng = np.random.default_rng(11)
+    family = templates.BENIGN_FAMILIES[0]  # erc20_token
+    full = templates.build_family_bytecode(family, rng)
+    analysis = analyze_cfg(full)
+    assert analysis.metrics.selectors >= 2
+    expected = {
+        templates._selector(name)
+        for name in ("transfer(address,uint256)", "approve(address,uint256)")
+    }
+    assert expected & set(analysis.selectors)
+
+
+# ---------------------------------------------------------------------------
+# metrics + full-corpus resolution
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_vector_matches_names():
+    vector = cfg_metrics_vector(b"")
+    assert vector.shape == (len(CFG_METRIC_NAMES),)
+    assert vector.dtype == np.float64
+    code = assemble([push(0, 1), "STOP"])
+    analysis = analyze_cfg(code, strip_metadata=False)
+    vector = analysis.metrics.to_vector()
+    assert vector[CFG_METRIC_NAMES.index("instructions")] == 2.0
+    assert vector[CFG_METRIC_NAMES.index("code_bytes")] == 3.0
+
+
+def test_empty_bytecode_analysis_is_empty():
+    analysis = analyze_cfg(b"")
+    assert analysis.blocks == []
+    assert analysis.events == []
+    assert analysis.metrics.instructions == 0
+    assert analysis.metrics.dead_ratio == 0.0
+
+
+def test_full_corpus_all_jumps_resolved(corpus):
+    unique = {bytes(record.bytecode): None for record in corpus.records}
+    unresolved = 0
+    for code in unique:
+        unresolved += analyze_cfg(code).metrics.unresolved_jumps
+    assert unresolved == 0
+
+
+def test_abs_val_join_degrades_to_unknown():
+    from repro.evm.cfg import _join_stacks
+
+    a = [AbsVal("const", 1), AbsVal("const", 2)]
+    b = [AbsVal("const", 1), AbsVal("const", 3)]
+    assert _join_stacks(a, b) == [AbsVal("const", 1), UNKNOWN]
+    # Depth mismatch truncates to the shallower stack, top-aligned.
+    assert _join_stacks([AbsVal("const", 9)] + a, a) == a

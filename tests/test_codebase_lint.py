@@ -1,0 +1,97 @@
+"""Codebase hygiene lints over ``src/``.
+
+A small AST pass enforcing three rules across every production module:
+
+* no bare ``except:`` clauses (they swallow ``KeyboardInterrupt`` and mask
+  programming errors — catch a concrete exception type instead),
+* no mutable default arguments (``def f(x=[])`` shares one list across all
+  calls),
+* no ``assert`` statements outside tests (``python -O`` strips them, so
+  they must never guard runtime invariants — raise an exception instead),
+
+plus a ``compileall`` sweep pinning that every module byte-compiles.
+"""
+
+from __future__ import annotations
+
+import ast
+import compileall
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+MUTABLE_DEFAULT_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _python_sources():
+    return sorted(SRC.rglob("*.py"))
+
+
+def _parse(path: Path) -> ast.AST:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def _location(path: Path, node: ast.AST) -> str:
+    return f"{path.relative_to(SRC)}:{node.lineno}"
+
+
+def test_source_tree_is_nonempty():
+    assert len(_python_sources()) > 30
+
+
+def test_no_bare_except_clauses():
+    offenders = []
+    for path in _python_sources():
+        for node in ast.walk(_parse(path)):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                offenders.append(_location(path, node))
+    assert offenders == [], f"bare except clauses found: {offenders}"
+
+
+def test_no_mutable_default_arguments():
+    offenders = []
+    for path in _python_sources():
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, MUTABLE_DEFAULT_NODES) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in {"list", "dict", "set", "bytearray"}
+                ):
+                    offenders.append(f"{_location(path, node)} ({node.name})")
+    assert offenders == [], f"mutable default arguments found: {offenders}"
+
+
+def test_no_assert_statements_in_production_code():
+    offenders = []
+    for path in _python_sources():
+        for node in ast.walk(_parse(path)):
+            if isinstance(node, ast.Assert):
+                offenders.append(_location(path, node))
+    assert offenders == [], f"assert statements found in src/: {offenders}"
+
+
+def test_all_modules_byte_compile(tmp_path):
+    ok = compileall.compile_dir(
+        str(SRC),
+        quiet=2,
+        force=True,
+        legacy=False,
+        workers=1,
+        invalidation_mode=__import__("py_compile").PycInvalidationMode.CHECKED_HASH,
+    )
+    assert ok, "compileall reported syntax errors under src/"
+
+
+def test_sources_import_cleanly():
+    # The package root must import without executing heavyweight side effects.
+    import repro
+
+    assert repro.__name__ == "repro"
+    assert "repro" in sys.modules

@@ -186,6 +186,24 @@ class TestSingleByteCorruption:
         assert not recovered.warm_start
         assert recovered.saved
 
+    def test_every_byte_offset_rejected(self, tmp_path):
+        # The whole-file integrity digest makes the guard position-free:
+        # a flip at ANY offset — member data, zip headers the reader never
+        # consults, the digest itself — must be rejected.
+        codes = make_codes(4, seed=21)
+        store = FeatureStore(tmp_path)
+        with store.session(codes) as session:
+            pass
+        pristine = session.path.read_bytes()
+        for offset in range(len(pristine)):
+            payload = bytearray(pristine)
+            payload[offset] ^= 0xFF
+            session.path.write_bytes(bytes(payload))
+            with pytest.raises(CacheLoadError):
+                BatchFeatureService().load(session.path)
+        session.path.write_bytes(pristine)
+        BatchFeatureService().load(session.path)  # pristine file still loads
+
 
 class TestDriverWarmStart:
     def test_fig3_second_run_is_warm_and_identical(self, dataset, smoke_scale, tmp_path):

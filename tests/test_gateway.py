@@ -30,6 +30,10 @@ import time
 
 import pytest
 
+import numpy as np
+
+from repro.analysis import StaticAnalyzer
+from repro.chain import templates
 from repro.chain.rpc import SimulatedEthereumNode
 from repro.core.config import Scale
 from repro.features.batch import BatchFeatureService
@@ -903,3 +907,93 @@ class TestExplain:
         assert len(cache) == 1  # "a" evicted
         assert cache.get("a", lambda: "explainer-a2") == "explainer-a2"
         assert cache.built == 3
+
+
+# ---------------------------------------------------------------------------
+# static analysis
+# ---------------------------------------------------------------------------
+
+
+def _backdoor_bytecode(seed=0):
+    family = {f.name: f for f in templates.PHISHING_FAMILIES}["sweeper_backdoor"]
+    return templates.build_family_bytecode(
+        family, np.random.default_rng(seed), mix_bias={"selfdestruct": 50.0}
+    )
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def analyzer(self):
+        return StaticAnalyzer(features=BatchFeatureService())
+
+    def test_analyzed_verdict_carries_findings(
+        self, service, start_gateway, analyzer
+    ):
+        gateway = start_gateway(service, analyzer=analyzer)
+        status, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": "0x" + _backdoor_bytecode().hex(), "analyze": True},
+        )
+        assert status == 200
+        analysis = body["analysis"]
+        assert analysis["max_severity"] == "high"
+        rules = {finding["rule"] for finding in analysis["findings"]}
+        assert "reachable-selfdestruct" in rules
+        for finding in analysis["findings"]:
+            assert set(finding) >= {"rule", "severity", "pc", "message"}
+        assert analysis["metrics"]["unresolved_jumps"] == 0
+
+    def test_unanalyzed_verdict_has_no_analysis_key(
+        self, service, start_gateway, analyzer
+    ):
+        gateway = start_gateway(service, analyzer=analyzer)
+        status, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": "0x" + _backdoor_bytecode().hex()},
+        )
+        assert status == 200
+        assert "analysis" not in body
+
+    def test_analyze_address_resolves_chain_bytecode(
+        self, service, start_gateway, analyzer, corpus
+    ):
+        gateway = start_gateway(service, analyzer=analyzer)
+        record = corpus.records[0]
+        status, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/address",
+            body={"address": record.address, "analyze": True},
+        )
+        assert status == 200
+        assert body["analysis"]["metrics"]["code_bytes"] > 0
+
+    def test_analysis_unavailable_400(self, gateway):
+        result = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": "0x" + _backdoor_bytecode().hex(), "analyze": True},
+        )
+        assert_error(result, 400, "analysis_unavailable")
+
+    def test_stats_include_analysis_section(self, service, start_gateway, analyzer):
+        gateway = start_gateway(service, analyzer=analyzer)
+        payload = {"bytecode": "0x" + _backdoor_bytecode().hex(), "analyze": True}
+        request(gateway.port, "POST", "/score/bytecode", body=payload)
+        request(gateway.port, "POST", "/score/bytecode", body=payload)
+        status, _, body = request(gateway.port, "GET", "/stats")
+        assert status == 200
+        stats = body["analysis"]
+        assert stats["analyses"] == 1
+        assert stats["cache_hits"] == 1
+        assert stats["high_severity"] >= 1
+
+    def test_stats_without_analyzer_omit_section(self, gateway):
+        status, _, body = request(gateway.port, "GET", "/stats")
+        assert status == 200
+        assert "analysis" not in body

@@ -509,7 +509,7 @@ class TestMonitorPipeline:
         first = json.loads(lines[0])
         assert set(first) == {
             "block_number", "contract_address", "tx_hash", "probability",
-            "threshold", "chain_id",
+            "threshold", "chain_id", "static_findings",
         }
 
     def test_negative_max_blocks_rejected(self, service, node, monitor_config):
