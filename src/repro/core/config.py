@@ -40,6 +40,15 @@ class Scale:
     ``feature_workers`` pick the extraction backend (``"thread"`` or
     ``"process"``) and pool width of the services those sessions — and
     ``fresh_service`` timing cells — extract through.
+    ``corpus_blob_dir`` turns on the zero-copy corpus plane
+    (:class:`~repro.features.corpus.CorpusBlob`): each store session builds
+    (once) or opens the memmap-backed ``corpus-<fingerprint>.blob`` under
+    that directory and attaches it to the session service, so process
+    workers extract from ``(blob_path, span)`` lists instead of pickled
+    byte blobs and a corpus larger than RAM streams through the OS page
+    cache.  It composes with ``feature_cache_dir`` (which also enables
+    spill-on-evict under ``<feature_cache_dir>/spill``) but works without
+    it.
 
     The ``serving_*`` knobs parameterise the request-facing
     :class:`~repro.serving.ScoringService`
@@ -101,6 +110,7 @@ class Scale:
     feature_cache_dir: Optional[str] = None
     feature_executor: str = "thread"
     feature_workers: Optional[int] = None
+    corpus_blob_dir: Optional[str] = None
     serving_max_batch: int = 32
     serving_max_wait_ms: float = 2.0
     serving_verdict_cache: int = 4096

@@ -329,6 +329,202 @@ def sequence_many(bytecodes: Iterable[BytecodeLike]) -> List[OpcodeSequence]:
     return sequence_batch([normalize_bytecode(bytecode) for bytecode in bytecodes])
 
 
+# ----------------------------------------------------------------------------
+# Buffer kernels (the zero-copy corpus-blob span path)
+# ----------------------------------------------------------------------------
+#
+# The batch kernels above take a list of ``bytes`` objects and concatenate
+# them; the buffer kernels below take the concatenation *directly* — a uint8
+# array (typically a read-only ``numpy.memmap`` slice of a
+# :class:`~repro.features.corpus.CorpusBlob`) plus per-code lengths — so a
+# worker extracting blob spans never materialises one ``bytes`` copy.  They
+# also resolve instruction starts over PUSH *candidates* instead of all
+# bytes (:func:`_instruction_starts_sparse`), and return *packed* results
+# (:class:`PackedSequences`) with no per-code Python loop, which is what
+# makes span extraction faster than the pickled-chunk path even on one core.
+
+
+def _instruction_starts_sparse(
+    buffer: np.ndarray, lengths: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Sorted global offsets of every instruction start in ``buffer``.
+
+    Equivalent to ``np.flatnonzero(_instruction_starts(...))`` but resolved
+    over the PUSH-valued byte positions only: a byte is *not* an instruction
+    start iff it sits inside the immediate of a reachable PUSH, so it
+    suffices to decide reachability for the PUSH *candidates* (every
+    push-valued byte, real or immediate garbage) and subtract their covered
+    immediate ranges.  Candidate chains are resolved by pointer doubling
+    over the candidate array — typically 4-8x smaller than the byte buffer —
+    with the round count driven by the largest per-code candidate count.
+    """
+    n_bytes = buffer.shape[0]
+    code_starts = ends - lengths
+    candidates = np.flatnonzero((buffer >= _FIRST_PUSH) & (buffer <= _LAST_PUSH))
+    m = candidates.shape[0]
+    if m == 0:
+        return np.arange(n_bytes, dtype=np.int64)
+    owner = np.searchsorted(ends, candidates, side="right")
+    boundary = ends[owner]
+    widths = buffer[candidates].astype(np.int64) - 0x5F
+    # Byte position following each candidate's immediate, clamped to the
+    # owning code's end (a truncated PUSH simply exhausts the chain).
+    after = np.minimum(candidates + 1 + widths, boundary)
+    # Each candidate's successor candidate: the first candidate at or past
+    # ``after`` that still belongs to the same code; sentinel ``m`` otherwise.
+    successor = np.searchsorted(candidates, after, side="left")
+    clipped = np.minimum(successor, m - 1)
+    jump = np.append(
+        np.where((successor < m) & (candidates[clipped] < boundary), successor, m), m
+    )
+    # Seed: every byte from a code's start to its first candidate is a
+    # single-byte instruction, so the first in-code candidate is reachable.
+    reachable = np.zeros(m + 1, dtype=bool)
+    first = np.searchsorted(candidates, code_starts, side="left")
+    in_array = first < m
+    first_in = first[in_array]
+    in_code = candidates[first_in] < ends[in_array]
+    reachable[first_in[in_code]] = True
+    per_code = np.bincount(owner, minlength=lengths.shape[0])
+    longest = int(per_code.max()) if per_code.size else 1
+    rounds = max(1, int(np.ceil(np.log2(max(longest, 2)))) + 1)
+    for _ in range(rounds):
+        reachable[jump[np.flatnonzero(reachable)]] = True
+        jump = jump[jump]
+    reachable = reachable[:-1]
+    # Immediate ranges of reachable candidates cover the non-start bytes:
+    # position i is covered iff some reachable PUSH at p < i reaches past i.
+    # Reachable immediates are disjoint, so a running maximum of their end
+    # offsets (recorded at p + 1, the first covered byte) decides coverage.
+    covered_until = np.zeros(n_bytes + 1, dtype=np.int64)
+    covered_until[candidates[reachable] + 1] = after[reachable]
+    covered = np.maximum.accumulate(covered_until)[:n_bytes] > np.arange(
+        n_bytes, dtype=np.int64
+    )
+    return np.flatnonzero(~covered)
+
+
+@dataclass(frozen=True)
+class PackedSequences:
+    """The :class:`OpcodeSequence` views of a batch, as three flat arrays.
+
+    ``opcodes`` and ``widths`` are the concatenated per-instruction arrays
+    of every code in order, and ``lengths[i]`` is the instruction count of
+    code *i* — the split points.  This is the wire format of the span-passing
+    process workers: one pickle of three contiguous buffers replaces one
+    pickle per :class:`OpcodeSequence` (two tiny arrays each), and
+    :meth:`split` rebuilds the exact per-code sequences on the parent side.
+    """
+
+    opcodes: np.ndarray
+    widths: np.ndarray
+    lengths: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.lengths.shape[0])
+
+    def split(self) -> List[OpcodeSequence]:
+        """Per-code :class:`OpcodeSequence` list (slices, no copies)."""
+        bounds = np.cumsum(self.lengths)
+        sequences: List[OpcodeSequence] = []
+        start = 0
+        for stop in bounds.tolist():
+            if stop == start:
+                sequences.append(_EMPTY_SEQUENCE)
+            else:
+                sequences.append(
+                    OpcodeSequence(
+                        opcodes=self.opcodes[start:stop],
+                        widths=self.widths[start:stop],
+                    )
+                )
+            start = stop
+        return sequences
+
+    def counts(self) -> np.ndarray:
+        """``(n, 256)`` per-code opcode counts (equals per-code ``counts()``)."""
+        n = self.lengths.shape[0]
+        if self.opcodes.shape[0] == 0:
+            return np.zeros((n, 256), dtype=np.int64)
+        owners = np.repeat(np.arange(n, dtype=np.int64), self.lengths)
+        flat = np.bincount(
+            owners * 256 + self.opcodes.astype(np.int64), minlength=n * 256
+        )
+        return flat.reshape(n, 256).astype(np.int64, copy=False)
+
+
+def _checked_lengths(buffer: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Validate that ``lengths`` exactly tiles ``buffer`` (buffer kernels)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size and (lengths < 0).any():
+        raise ValueError("buffer kernel lengths must be non-negative")
+    total = int(lengths.sum()) if lengths.size else 0
+    if total != buffer.shape[0]:
+        raise ValueError(
+            f"buffer kernel lengths sum to {total}, buffer holds "
+            f"{buffer.shape[0]} bytes"
+        )
+    return lengths
+
+
+def sequence_buffer(buffer: np.ndarray, lengths: np.ndarray) -> PackedSequences:
+    """Packed sequence kernel over an already-concatenated uint8 buffer.
+
+    ``buffer`` holds the codes back to back (``lengths`` are their byte
+    sizes, summing to ``buffer.shape[0]``); a read-only ``numpy.memmap``
+    slice works as-is, so blob-span workers never copy the corpus bytes.
+    Per-code results are bit-identical to :func:`sequence_batch` on the
+    equivalent ``bytes`` list (pinned by the equivalence tests).
+    """
+    lengths = _checked_lengths(buffer, lengths)
+    n = lengths.shape[0]
+    if n == 0 or buffer.shape[0] == 0:
+        return PackedSequences(
+            opcodes=np.zeros(0, dtype=np.uint8),
+            widths=np.zeros(0, dtype=np.uint8),
+            lengths=np.zeros(n, dtype=np.int64),
+        )
+    buffer = np.ascontiguousarray(buffer).view(np.uint8)
+    ends = np.cumsum(lengths)
+    starts = _instruction_starts_sparse(buffer, lengths, ends)
+    opcodes = _FOLD[buffer[starts]].astype(np.uint8)
+    widths = np.diff(np.append(starts, buffer.shape[0])) - 1
+    per_code = np.diff(np.concatenate([[0], np.searchsorted(starts, ends, side="left")]))
+    # The plain diff pairs each code's final instruction with the *next
+    # code's* first start; its true width runs to its own code's end.
+    last = np.cumsum(per_code) - 1
+    nonempty = per_code > 0
+    last_in = last[nonempty]
+    widths[last_in] = ends[nonempty] - starts[last_in] - 1
+    return PackedSequences(
+        opcodes=opcodes, widths=widths.astype(np.uint8), lengths=per_code
+    )
+
+
+def count_buffer(buffer: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``(n, 256)`` count kernel over an already-concatenated uint8 buffer.
+
+    The buffer-level analogue of :func:`count_batch`; bit-identical on the
+    equivalent ``bytes`` list.
+    """
+    lengths = _checked_lengths(buffer, lengths)
+    n = lengths.shape[0]
+    if n == 0 or buffer.shape[0] == 0:
+        return np.zeros((n, 256), dtype=np.int64)
+    buffer = np.ascontiguousarray(buffer).view(np.uint8)
+    ends = np.cumsum(lengths)
+    starts = _instruction_starts_sparse(buffer, lengths, ends)
+    owners = np.searchsorted(ends, starts, side="right")
+    flat = np.bincount(
+        owners * 256 + buffer[starts].astype(np.int64), minlength=n * 256
+    )
+    counts = flat.reshape(n, 256).astype(np.int64, copy=False)
+    extra = counts[:, UNDEFINED_VALUES].sum(axis=1)
+    counts[:, UNDEFINED_VALUES] = 0
+    counts[:, INVALID_BIN] += extra
+    return counts
+
+
 def mnemonic_sequence(bytecode: BytecodeLike) -> List[str]:
     """The mnemonic stream of ``bytecode``.
 

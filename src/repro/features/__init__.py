@@ -11,6 +11,7 @@ from .batch import (
     set_default_service,
     use_service,
 )
+from .corpus import CorpusBlob, CorpusBlobError, extract_blob_spans
 from .store import (
     FeatureStore,
     StoreSession,
@@ -45,6 +46,9 @@ __all__ = [
     "CacheLoadError",
     "CacheStats",
     "CacheWriteError",
+    "CorpusBlob",
+    "CorpusBlobError",
+    "extract_blob_spans",
     "FeatureStore",
     "StoreSession",
     "corpus_fingerprint",

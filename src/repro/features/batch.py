@@ -34,6 +34,19 @@ families).  :class:`BatchFeatureService` exploits all of it:
   arrays back into the parent cache — sidestepping the GIL-bound
   per-chunk Python overhead on multi-GB corpora.  Both backends produce
   bit-identical results (pinned by the equivalence tests);
+* **zero-copy corpus spans** — with a
+  :class:`~repro.features.corpus.CorpusBlob` attached, misses the blob
+  indexes skip the byte blobs entirely: workers receive
+  ``(blob_path, [(start, stop), ...])`` span lists, open the blob once per
+  process as a read-only ``numpy.memmap``, and return *packed* results
+  (one :class:`~repro.evm.fastcount.PackedSequences` or count matrix per
+  task), so corpus bytes never cross the pipe in either direction and a
+  corpus that dwarfs RAM streams through the OS page cache;
+* **spill-on-evict caching** — with a spill directory configured, the LRU
+  writes an evicted entry's persistable views to a content-addressed
+  spill file instead of dropping them, and every view getter falls back
+  to a spill read before declaring a miss (``CacheStats.spills`` /
+  ``spill_hits``) — eviction stops meaning recompute;
 * **array-based vocabulary projection** — a precomputed 256 → column index
   map replaces the per-mnemonic dict loop of the legacy extractor;
 * **on-disk persistence** — :meth:`BatchFeatureService.save` /
@@ -63,9 +76,19 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from itertools import repeat
 from pathlib import Path
 from threading import Lock
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -82,6 +105,9 @@ from ..evm.fastcount import (
 )
 from .rawbytes import byte_count_vector, r2d2_image_from_bytes
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .corpus import CorpusBlob
+
 #: Opcode byte values a folded sequence may legally contain (undefined
 #: values are collapsed into INVALID by the kernel, so a persisted sequence
 #: carrying one is tampered or corrupt).
@@ -92,6 +118,11 @@ _DEFINED_OPCODES[UNDEFINED_VALUES] = False
 CACHE_FILE_MAGIC = "phishinghook-feature-cache"
 #: Bump when the on-disk layout changes; older files are rejected as stale.
 CACHE_FILE_VERSION = 1
+
+#: Format tag of per-entry spill files written on LRU eviction.
+SPILL_FILE_MAGIC = "phishinghook-feature-spill"
+#: Bump when the spill layout changes; stale files read as misses.
+SPILL_FILE_VERSION = 1
 
 #: Largest byte group the integer n-gram view supports (256**7 < 2**63).
 MAX_NGRAM_BYTES = 7
@@ -126,21 +157,29 @@ class CacheStats:
     A lookup served from the cache counts as a hit even when it required a
     cheap derivation (a count vector binned out of a cached sequence); a miss
     means the bytecode had to go through a bytes-level kernel for this view.
+    When a spill directory is configured, ``spills`` counts entries whose
+    views were written to disk on eviction instead of dropped, and
+    ``spill_hits`` counts lookups served by reloading a spilled entry —
+    no kernel ran, so they count toward the hit rate, but they are kept
+    distinct from in-memory ``hits`` because they paid a disk read.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    spills: int = 0
+    spill_hits: int = 0
 
     @property
     def lookups(self) -> int:
         """Total number of cache lookups."""
-        return self.hits + self.misses
+        return self.hits + self.spill_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when never queried)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of lookups served without a kernel (0.0 when never queried)."""
+        served = self.hits + self.spill_hits
+        return served / self.lookups if self.lookups else 0.0
 
 
 @dataclass(frozen=True)
@@ -180,7 +219,10 @@ class _CacheEntry:
     and R2D2 pixel tensors); like the n-gram view they involve no
     disassembly, and unlike the other views they are memory-only — they are
     cheap to recompute, so :meth:`BatchFeatureService.save` does not persist
-    them.
+    them and eviction spilling skips them.  ``spilled`` records that the
+    entry's persistable views already live in an up-to-date spill file, so
+    re-evicting it after a spill reload writes nothing; installing a new
+    persistable view clears the flag.
     """
 
     counts: Optional[np.ndarray] = None
@@ -189,6 +231,7 @@ class _CacheEntry:
     byte_counts: Optional[np.ndarray] = None
     images: Dict[int, np.ndarray] = field(default_factory=dict)
     analysis: Optional[np.ndarray] = None
+    spilled: bool = False
 
 
 def _freeze_sequence(sequence: OpcodeSequence) -> OpcodeSequence:
@@ -231,6 +274,21 @@ class BatchFeatureService:
             ``ProcessPoolExecutor`` worker and merges the returned arrays
             into the parent cache, escaping the GIL for per-chunk Python
             overhead on very large corpora.  Both backends are bit-identical.
+        corpus_blob: Optional :class:`~repro.features.corpus.CorpusBlob`.
+            Misses whose content key the blob indexes are extracted through
+            the zero-copy span path: the process backend sends workers
+            ``(blob_path, [(start, stop), ...])`` instead of pickled byte
+            blobs, the thread/inline paths slice the parent's own memmap.
+            Bit-identical to the in-memory path.
+        spill_dir: Optional directory for eviction spill files.  When set,
+            evicting an entry writes its persistable views (counts,
+            sequence, n-grams, analysis) to a content-addressed
+            ``spill-<hash>.npz`` instead of dropping them, and view getters
+            fall back to a spill read before declaring a miss — eviction
+            stops meaning recompute.
+        span_chunk_size: Number of spans per worker task on the blob path.
+            Span tasks are a few bytes each regardless of corpus size, so
+            this defaults much larger than ``chunk_size``.
     """
 
     def __init__(
@@ -239,17 +297,25 @@ class BatchFeatureService:
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
         executor: str = "thread",
+        corpus_blob: Optional["CorpusBlob"] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        span_chunk_size: int = 512,
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if span_chunk_size < 1:
+            raise ValueError("span_chunk_size must be >= 1")
         if executor not in EXECUTOR_BACKENDS:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
             )
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self.span_chunk_size = span_chunk_size
         self.executor = executor
         self._pool = None
+        self._blob = corpus_blob
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.stats = CacheStats()
         self.sequence_stats = CacheStats()
         self.ngram_stats = CacheStats()
@@ -260,6 +326,21 @@ class BatchFeatureService:
         self._cache: "OrderedDict[bytes, _CacheEntry]" = OrderedDict()
         self._lock = Lock()
         self.cache_size = cache_size
+
+    @property
+    def corpus_blob(self) -> Optional["CorpusBlob"]:
+        """The attached corpus blob (``None`` → pickled-chunk dispatch)."""
+        return self._blob
+
+    def attach_blob(self, blob: Optional["CorpusBlob"]) -> None:
+        """Attach (or detach, with ``None``) the span-path corpus blob."""
+        with self._lock:
+            self._blob = blob
+
+    @property
+    def spill_dir(self) -> Optional[Path]:
+        """Directory receiving eviction spill files (``None`` → disabled)."""
+        return self._spill_dir
 
     @property
     def cache_size(self) -> int:
@@ -288,9 +369,12 @@ class BatchFeatureService:
         """Evict the least recently used entry (caller holds the lock).
 
         ``stats.evictions`` counts evicted *entries*; the per-view counters
-        record how many evicted entries actually held that view.
+        record how many evicted entries actually held that view.  With a
+        spill directory configured, the entry's persistable views are
+        written to disk before the entry is dropped (skipped when an
+        up-to-date spill file already exists from a prior spill reload).
         """
-        _, entry = self._cache.popitem(last=False)
+        key, entry = self._cache.popitem(last=False)
         self.stats.evictions += 1
         if entry.sequence is not None:
             self.sequence_stats.evictions += 1
@@ -302,6 +386,202 @@ class BatchFeatureService:
             self.image_stats.evictions += 1
         if entry.analysis is not None:
             self.analysis_stats.evictions += 1
+        if (
+            self._spill_dir is not None
+            and not entry.spilled
+            and (
+                entry.counts is not None
+                or entry.sequence is not None
+                or entry.ngrams
+                or entry.analysis is not None
+            )
+        ):
+            self._spill_entry(key, entry)
+
+    # ------------------------------------------------------------------
+    # Eviction spilling
+    # ------------------------------------------------------------------
+
+    def _spill_path(self, key: bytes) -> Path:
+        # Content-addressed: one file per unique bytecode, shareable across
+        # services and corpora pointing at the same directory.
+        return self._spill_dir / f"spill-{key.hex()}.npz"
+
+    def _spill_entry(self, key: bytes, entry: _CacheEntry) -> None:
+        """Write an evicted entry's persistable views (caller holds the lock).
+
+        Spilling is best-effort — an unwritable directory degrades to the
+        old drop-on-evict behavior rather than failing the batch call that
+        happened to trigger the eviction.
+        """
+        sizes = sorted(entry.ngrams)
+        arrays: Dict[str, np.ndarray] = {
+            "flags": np.array(
+                [
+                    entry.counts is not None,
+                    entry.sequence is not None,
+                    entry.analysis is not None,
+                ],
+                dtype=np.int64,
+            ),
+            "counts": (
+                entry.counts
+                if entry.counts is not None
+                else np.zeros(256, dtype=np.int64)
+            ),
+            "seq_opcodes": (
+                entry.sequence.opcodes
+                if entry.sequence is not None
+                else np.zeros(0, dtype=np.uint8)
+            ),
+            "seq_widths": (
+                entry.sequence.widths
+                if entry.sequence is not None
+                else np.zeros(0, dtype=np.uint8)
+            ),
+            "ngram_sizes": np.array(sizes, dtype=np.int64),
+            "ngram_lengths": np.array(
+                [entry.ngrams[size].shape[0] for size in sizes], dtype=np.int64
+            ),
+            "ngram_data": (
+                np.concatenate([entry.ngrams[size] for size in sizes])
+                if sizes
+                else np.zeros(0, dtype=np.int64)
+            ),
+            "analysis": (
+                entry.analysis
+                if entry.analysis is not None
+                else np.zeros(len(CFG_METRIC_NAMES), dtype=np.float64)
+            ),
+        }
+        try:
+            write_npz(
+                self._spill_path(key),
+                arrays,
+                magic=SPILL_FILE_MAGIC,
+                version=SPILL_FILE_VERSION,
+                error=CacheWriteError,
+            )
+        except CacheWriteError:
+            return
+        self.stats.spills += 1
+        if entry.sequence is not None:
+            self.sequence_stats.spills += 1
+        if entry.ngrams:
+            self.ngram_stats.spills += 1
+        if entry.analysis is not None:
+            self.analysis_stats.spills += 1
+
+    @staticmethod
+    def _read_spill_file(path: Path) -> _CacheEntry:
+        required = {
+            "flags", "counts", "seq_opcodes", "seq_widths",
+            "ngram_sizes", "ngram_lengths", "ngram_data", "analysis",
+        }
+        with open_validated_npz(
+            path,
+            magic=SPILL_FILE_MAGIC,
+            version=SPILL_FILE_VERSION,
+            required=required,
+            error=CacheLoadError,
+        ) as data:
+            entry = _CacheEntry(spilled=True)
+            flags = np.asarray(data["flags"], dtype=np.int64)
+            if flags.shape != (3,):
+                raise CacheLoadError(f"spill file {path} has malformed flags")
+            if flags[0]:
+                counts = data["counts"]
+                if counts.shape != (256,) or (counts < 0).any():
+                    raise CacheLoadError(f"spill file {path} has malformed counts")
+                vector = counts.astype(np.int64)
+                vector.setflags(write=False)
+                entry.counts = vector
+            if flags[1]:
+                opcodes = data["seq_opcodes"]
+                widths = data["seq_widths"]
+                if opcodes.shape != widths.shape or (
+                    opcodes.size
+                    and not (
+                        ((opcodes >= 0) & (opcodes <= 255)).all()
+                        and _DEFINED_OPCODES[opcodes].all()
+                        and ((widths >= 0) & (widths <= 32)).all()
+                    )
+                ):
+                    raise CacheLoadError(
+                        f"spill file {path} has malformed sequence arrays"
+                    )
+                entry.sequence = _freeze_sequence(
+                    OpcodeSequence(
+                        opcodes=opcodes.astype(np.uint8),
+                        widths=widths.astype(np.uint8),
+                    )
+                )
+            sizes = data["ngram_sizes"].tolist()
+            lengths = data["ngram_lengths"]
+            ngram_data = data["ngram_data"]
+            total = int(lengths.sum()) if lengths.size else 0
+            if (
+                lengths.shape[0] != len(sizes)
+                or ngram_data.shape[0] != total
+                or any(not 1 <= size <= MAX_NGRAM_BYTES for size in sizes)
+                or (lengths.size and (lengths < 0).any())
+                or (ngram_data.size and (ngram_data < 0).any())
+            ):
+                raise CacheLoadError(f"spill file {path} has malformed n-grams")
+            offset = 0
+            for size, length in zip(sizes, lengths.tolist()):
+                codes = ngram_data[offset : offset + length].astype(np.int64)
+                codes.setflags(write=False)
+                entry.ngrams[size] = codes
+                offset += length
+            if flags[2]:
+                analysis = data["analysis"]
+                if analysis.shape != (len(CFG_METRIC_NAMES),) or not np.isfinite(
+                    analysis
+                ).all():
+                    raise CacheLoadError(
+                        f"spill file {path} has malformed analysis metrics"
+                    )
+                vector = analysis.astype(np.float64)
+                vector.setflags(write=False)
+                entry.analysis = vector
+            return entry
+
+    def _spill_fill(
+        self, key: bytes, entry: Optional[_CacheEntry]
+    ) -> Optional[_CacheEntry]:
+        """Merge ``key``'s spill file into the cache (caller holds the lock).
+
+        Returns the (created or updated) entry when a readable spill file
+        exists, ``None`` otherwise — a corrupt spill file reads as a plain
+        miss and is deleted so it cannot shadow a future, healthy spill.
+        Loaded views never overwrite ones the live entry already holds.
+        """
+        if self._spill_dir is None or self.cache_size == 0:
+            return None
+        path = self._spill_path(key)
+        if not path.exists():
+            return None
+        try:
+            loaded = self._read_spill_file(path)
+        except CacheLoadError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if entry is None:
+            entry = self._entry_for(key)
+            entry.spilled = True
+        if entry.counts is None:
+            entry.counts = loaded.counts
+        if entry.sequence is None:
+            entry.sequence = loaded.sequence
+        for size, codes in loaded.ngrams.items():
+            entry.ngrams.setdefault(size, codes)
+        if entry.analysis is None:
+            entry.analysis = loaded.analysis
+        return entry
 
     def _entry_for(self, key: bytes) -> _CacheEntry:
         """Get-or-create the entry of ``key`` (caller holds the lock)."""
@@ -323,10 +603,15 @@ class BatchFeatureService:
             return None
         with self._lock:
             entry = self._cache.get(key)
-            if entry is None:
-                self.stats.misses += 1
-                return None
-            self._cache.move_to_end(key)
+            from_spill = False
+            if entry is not None:
+                self._cache.move_to_end(key)
+            if entry is None or (entry.counts is None and entry.sequence is None):
+                entry = self._spill_fill(key, entry)
+                from_spill = entry is not None
+                if entry is None:
+                    self.stats.misses += 1
+                    return None
             if entry.counts is None:
                 if entry.sequence is None:
                     self.stats.misses += 1
@@ -336,7 +621,10 @@ class BatchFeatureService:
                 vector = entry.sequence.counts()
                 vector.setflags(write=False)
                 entry.counts = vector
-            self.stats.hits += 1
+            if from_spill:
+                self.stats.spill_hits += 1
+            else:
+                self.stats.hits += 1
             return entry.counts
 
     def _counts_put(self, key: bytes, vector: np.ndarray) -> bool:
@@ -348,6 +636,8 @@ class BatchFeatureService:
             entry = self._entry_for(key)
             fresh = entry.counts is None
             entry.counts = vector
+            if fresh:
+                entry.spilled = False
             return fresh
 
     def _sequence_get(self, key: bytes) -> Optional[OpcodeSequence]:
@@ -358,8 +648,13 @@ class BatchFeatureService:
         with self._lock:
             entry = self._cache.get(key)
             if entry is None or entry.sequence is None:
-                self.sequence_stats.misses += 1
-                return None
+                entry = self._spill_fill(key, entry)
+                if entry is None or entry.sequence is None:
+                    self.sequence_stats.misses += 1
+                    return None
+                self._cache.move_to_end(key)
+                self.sequence_stats.spill_hits += 1
+                return entry.sequence
             self._cache.move_to_end(key)
             self.sequence_stats.hits += 1
             return entry.sequence
@@ -373,6 +668,8 @@ class BatchFeatureService:
             entry = self._entry_for(key)
             fresh = entry.sequence is None
             entry.sequence = sequence
+            if fresh:
+                entry.spilled = False
             return fresh
 
     def _ngrams_get(self, key: bytes, bytes_per_gram: int) -> Optional[np.ndarray]:
@@ -384,8 +681,16 @@ class BatchFeatureService:
             entry = self._cache.get(key)
             codes = entry.ngrams.get(bytes_per_gram) if entry is not None else None
             if codes is None:
-                self.ngram_stats.misses += 1
-                return None
+                entry = self._spill_fill(key, entry)
+                codes = (
+                    entry.ngrams.get(bytes_per_gram) if entry is not None else None
+                )
+                if codes is None:
+                    self.ngram_stats.misses += 1
+                    return None
+                self._cache.move_to_end(key)
+                self.ngram_stats.spill_hits += 1
+                return codes
             self._cache.move_to_end(key)
             self.ngram_stats.hits += 1
             return codes
@@ -395,7 +700,10 @@ class BatchFeatureService:
             return
         codes.setflags(write=False)
         with self._lock:
-            self._entry_for(key).ngrams[bytes_per_gram] = codes
+            entry = self._entry_for(key)
+            if bytes_per_gram not in entry.ngrams:
+                entry.spilled = False
+            entry.ngrams[bytes_per_gram] = codes
 
     def _record_pass(self, counted: bool) -> None:
         """Account one kernel pass when ``counted``.
@@ -410,10 +718,28 @@ class BatchFeatureService:
             with self._lock:
                 self.kernel_passes += 1
 
+    def _install_sequence(self, key: bytes, sequence: OpcodeSequence) -> None:
+        """Install one freshly *computed* sequence and account its kernel pass.
+
+        The single accounting rule for every sequence-producing path (scalar,
+        batch, blob span): a pass counts when the result was newly installed,
+        or on every kernel run when caching is disabled (nothing can be
+        installed, but the work was done).  Keeping all call sites on this
+        helper is what makes ``kernel_passes`` comparable across
+        ``sequence()``, ``sequences()`` and the no-cache batch path.
+        """
+        self._record_pass(self._sequence_put(key, sequence) or self.cache_size == 0)
+
     def cache_clear(self) -> None:
-        """Drop every cached entry and reset all statistics."""
+        """Drop every cached entry, reset all statistics, delete spill files."""
         with self._lock:
             self._cache.clear()
+            if self._spill_dir is not None and self._spill_dir.is_dir():
+                for path in self._spill_dir.glob("spill-*.npz"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
             self.stats = CacheStats()
             self.sequence_stats = CacheStats()
             self.ngram_stats = CacheStats()
@@ -444,7 +770,7 @@ class BatchFeatureService:
             if self.cache_size > 0:
                 sequence = sequence_batch([code])[0]
                 vector = sequence.counts()
-                self._record_pass(self._sequence_put(key, sequence))
+                self._install_sequence(key, sequence)
                 self._counts_put(key, vector)
             else:
                 vector = count_opcodes(code)
@@ -474,17 +800,17 @@ class BatchFeatureService:
                 matrix[row] = vector
         if pending:
             keys = list(pending)
-            missing = [pending_codes[key] for key in keys]
             if self.cache_size > 0:
-                sequences = self._map_chunks(sequence_batch, missing)
                 vectors = []
-                for key, sequence in zip(keys, sequences):
-                    self._record_pass(self._sequence_put(key, sequence))
+                for key, sequence in zip(
+                    keys, self._sequences_for_missing(keys, pending_codes)
+                ):
+                    self._install_sequence(key, sequence)
                     vector = sequence.counts()
                     self._counts_put(key, vector)
                     vectors.append(vector)
             else:
-                vectors = self._compute(missing)
+                vectors = self._compute(keys, pending_codes)
             for key, vector in zip(keys, vectors):
                 for row in pending[key]:
                     matrix[row] = vector
@@ -496,12 +822,104 @@ class BatchFeatureService:
         # whole batch allocation in memory.
         return [np.array(row) for row in count_batch(chunk)]
 
-    def _compute(self, codes: Sequence[bytes]) -> List[np.ndarray]:
+    def _compute(
+        self, keys: Sequence[bytes], codes: Dict[bytes, bytes]
+    ) -> List[np.ndarray]:
         # Only reached with caching disabled, where no dedup is possible:
-        # every code is a real kernel pass.
+        # every code is a real kernel pass.  Blob-indexed keys still take the
+        # span path (pure count kernels over memmap views); the rest ship
+        # their byte blobs.
         with self._lock:
-            self.kernel_passes += len(codes)
-        return self._map_chunks(self._compute_chunk, codes)
+            self.kernel_passes += len(keys)
+        blob_keys, rest = self._partition_blob_keys(keys)
+        vectors: Dict[bytes, np.ndarray] = {}
+        if blob_keys:
+            matrices = self._map_span_chunks(
+                [self._blob.span(key) for key in blob_keys], "counts"
+            )
+            rows = (np.array(row) for matrix in matrices for row in matrix)
+            vectors.update(zip(blob_keys, rows))
+        if rest:
+            computed = self._map_chunks(
+                self._compute_chunk, [codes[key] for key in rest]
+            )
+            vectors.update(zip(rest, computed))
+        return [vectors[key] for key in keys]
+
+    def _partition_blob_keys(
+        self, keys: Sequence[bytes]
+    ) -> Tuple[List[bytes], List[bytes]]:
+        """Split ``keys`` into (blob-indexed, everything else)."""
+        blob = self._blob
+        if blob is None:
+            return [], list(keys)
+        blob_keys: List[bytes] = []
+        rest: List[bytes] = []
+        for key in keys:
+            (blob_keys if key in blob else rest).append(key)
+        return blob_keys, rest
+
+    def _sequences_for_missing(
+        self, keys: Sequence[bytes], codes: Dict[bytes, bytes]
+    ) -> List[OpcodeSequence]:
+        """Sequences of deduplicated cache misses, in ``keys`` order.
+
+        The one dispatch point of every batched sequence computation: keys
+        the attached corpus blob indexes go through the zero-copy span path
+        (workers receive ``(blob_path, spans)``, not the bytes), the rest
+        through the pickled-chunk path.  Both produce sequences bit-identical
+        to ``sequence_batch`` on the raw bytes.
+        """
+        blob_keys, rest = self._partition_blob_keys(keys)
+        results: Dict[bytes, OpcodeSequence] = {}
+        if blob_keys:
+            packed = self._map_span_chunks(
+                [self._blob.span(key) for key in blob_keys], "sequences"
+            )
+            sequences = (s for p in packed for s in p.split())
+            results.update(zip(blob_keys, sequences))
+        if rest:
+            computed = self._map_chunks(
+                sequence_batch, [codes[key] for key in rest]
+            )
+            results.update(zip(rest, computed))
+        return [results[key] for key in keys]
+
+    def _map_span_chunks(self, spans: Sequence[Tuple[int, int]], kind: str) -> list:
+        """Run one packed span-extraction task per ``span_chunk_size`` spans.
+
+        The process backend maps the module-level
+        :func:`~repro.features.corpus.extract_blob_spans` over
+        ``(blob_path, spans, kind)`` argument triples — corpus bytes never
+        cross the pipe in either direction (results come back as packed
+        arrays); thread and inline execution slice the parent's own memmap.
+        """
+        from .corpus import extract_blob_spans
+
+        chunks = [
+            list(spans[start : start + self.span_chunk_size])
+            for start in range(0, len(spans), self.span_chunk_size)
+        ]
+        pooled = (
+            self.max_workers is not None
+            and self.max_workers > 1
+            and len(chunks) > 1
+        )
+        if pooled and self.executor == "process":
+            return list(
+                self._get_pool().map(
+                    extract_blob_spans,
+                    repeat(str(self._blob.path)),
+                    chunks,
+                    repeat(kind),
+                )
+            )
+        if pooled:
+            blob = self._blob
+            return list(
+                self._get_pool().map(lambda chunk: blob.extract(chunk, kind), chunks)
+            )
+        return [self._blob.extract(chunk, kind) for chunk in chunks]
 
     def _map_chunks(self, compute_chunk, codes: Sequence[bytes]) -> list:
         # Always chunk — the batch kernels' working set is a multiple of the
@@ -593,10 +1011,8 @@ class BatchFeatureService:
         key = self._key(code)
         sequence = self._sequence_get(key)
         if sequence is None:
-            sequence = sequence_batch([code])[0]
-            self._record_pass(
-                self._sequence_put(key, sequence) or self.cache_size == 0
-            )
+            sequence = self._sequences_for_missing([key], {key: code})[0]
+            self._install_sequence(key, sequence)
         return sequence
 
     def sequences(self, bytecodes: Sequence[BytecodeLike]) -> List[OpcodeSequence]:
@@ -615,13 +1031,9 @@ class BatchFeatureService:
                 results[row] = sequence
         if pending:
             keys = list(pending)
-            sequences = self._map_chunks(
-                sequence_batch, [pending_codes[key] for key in keys]
-            )
+            sequences = self._sequences_for_missing(keys, pending_codes)
             for key, sequence in zip(keys, sequences):
-                self._record_pass(
-                    self._sequence_put(key, sequence) or self.cache_size == 0
-                )
+                self._install_sequence(key, sequence)
                 for row in pending[key]:
                     results[row] = sequence
         return results  # type: ignore[return-value]
@@ -658,9 +1070,14 @@ class BatchFeatureService:
     # ------------------------------------------------------------------
 
     def _raw_view_get(
-        self, key: bytes, stats: CacheStats, read
+        self, key: bytes, stats: CacheStats, read, spillable: bool = False
     ) -> Optional[np.ndarray]:
-        """Shared lookup of a memory-only raw-byte view (``read(entry)``)."""
+        """Shared lookup of a per-entry view via ``read(entry)``.
+
+        ``spillable`` enables the spill-file fallback — used by the analysis
+        view, which is persisted and spilled; the raw-byte views
+        (byte counts, images) are memory-only and never consult spill files.
+        """
         if self.cache_size == 0:
             with self._lock:
                 stats.misses += 1
@@ -668,6 +1085,13 @@ class BatchFeatureService:
         with self._lock:
             entry = self._cache.get(key)
             value = read(entry) if entry is not None else None
+            if value is None and spillable:
+                entry = self._spill_fill(key, entry)
+                value = read(entry) if entry is not None else None
+                if value is not None:
+                    self._cache.move_to_end(key)
+                    stats.spill_hits += 1
+                    return value
             if value is None:
                 stats.misses += 1
                 return None
@@ -741,13 +1165,18 @@ class BatchFeatureService:
         """
         code = normalize_bytecode(bytecode)
         key = self._key(code)
-        vector = self._raw_view_get(key, self.analysis_stats, lambda e: e.analysis)
+        vector = self._raw_view_get(
+            key, self.analysis_stats, lambda e: e.analysis, spillable=True
+        )
         if vector is None:
             vector = cfg_metrics_vector(code, sequence=self.sequence(code))
             if self.cache_size > 0:
                 vector.setflags(write=False)
                 with self._lock:
-                    self._entry_for(key).analysis = vector
+                    entry = self._entry_for(key)
+                    if entry.analysis is None:
+                        entry.spilled = False
+                    entry.analysis = vector
         return vector
 
     def analysis_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
@@ -755,9 +1184,13 @@ class BatchFeatureService:
 
         Missing sequence views are computed first in one deduplicated,
         chunked batch (:meth:`sequences`), so a cold corpus pays one
-        vectorized disassembly sweep rather than n scalar ones.
+        vectorized disassembly sweep rather than n scalar ones.  With
+        caching disabled the pre-sweep is skipped — its results could not
+        be installed, so it would only inflate ``kernel_passes`` with work
+        each :meth:`analysis_vector` call must redo anyway.
         """
-        self.sequences(bytecodes)
+        if self.cache_size > 0:
+            self.sequences(bytecodes)
         matrix = np.zeros((len(bytecodes), len(CFG_METRIC_NAMES)), dtype=np.float64)
         for row, bytecode in enumerate(bytecodes):
             matrix[row] = self.analysis_vector(bytecode)
@@ -783,6 +1216,8 @@ class BatchFeatureService:
                 total.hits += stats.hits
                 total.misses += stats.misses
                 total.evictions += stats.evictions
+                total.spills += stats.spills
+                total.spill_hits += stats.spill_hits
         return total
 
     # ------------------------------------------------------------------

@@ -40,11 +40,25 @@ The executor backend of the underlying service (``"thread"`` or
 ``"process"``) and its worker count are store construction knobs, threaded
 from ``Scale.feature_executor`` / ``Scale.feature_workers`` by
 :func:`feature_session` — the helper every experiment driver calls.
+
+Two disk planes compose with the ``.npz`` warm starts:
+
+* **Corpus blobs** (``Scale.corpus_blob_dir`` → ``blob_dir``): sessions
+  build-or-open the memmap-backed ``corpus-<fingerprint>.blob``
+  (:class:`~repro.features.corpus.CorpusBlob`) and attach it to the
+  service, so extraction goes through zero-copy spans instead of pickled
+  byte blobs — fig2/fig3/table2/scalability build the blob once and every
+  later run extracts from it.
+* **Eviction spill** (automatic under ``<cache_dir>/spill``): session
+  services write evicted entries' persistable views to content-addressed
+  spill files and read them back on demand, so LRU pressure degrades to a
+  disk read instead of a recompute.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,6 +72,9 @@ from .batch import (
     content_key,
     use_service,
 )
+from .corpus import CorpusBlob, CorpusBlobError
+
+logger = logging.getLogger(__name__)
 
 #: File-name prefix of every store file (``features-<fingerprint>.npz``).
 STORE_FILE_PREFIX = "features-"
@@ -101,19 +118,23 @@ class StoreSession:
     ends.
     """
 
-    path: Path
+    path: Optional[Path]
     fingerprint: str
     service: Optional[BatchFeatureService]
     store: "FeatureStore"
     warm_start: bool
     entries_loaded: int
     saved: bool = False
+    #: The session's corpus blob (``None`` unless ``blob_dir`` is set).
+    blob: Optional[CorpusBlob] = None
     _passes_start: int = 0
     _hits_start: int = 0
     _lookups_start: int = 0
     _ngram_misses_start: int = 0
-    #: (kernel_passes, ngram_misses, hits, lookups) frozen at close.
-    _final: Optional[Tuple[int, int, int, int]] = None
+    _analysis_misses_start: int = 0
+    #: (kernel_passes, ngram_misses, analysis_misses, hits, lookups)
+    #: frozen at close.
+    _final: Optional[Tuple[int, int, int, int, int]] = None
 
     def _hits(self) -> int:
         service = self.service
@@ -133,7 +154,8 @@ class StoreSession:
         """Freeze the counters and release the live service reference."""
         if self._final is None:
             self._final = (
-                self.kernel_passes, self.ngram_misses, self.hits, self.lookups
+                self.kernel_passes, self.ngram_misses, self.analysis_misses,
+                self.hits, self.lookups,
             )
             self.service = None
 
@@ -158,22 +180,40 @@ class StoreSession:
         return self.service.ngram_stats.misses - self._ngram_misses_start
 
     @property
+    def analysis_misses(self) -> int:
+        """Analysis vectors computed during this session.
+
+        Like n-grams, a CFG-metrics vector derived from an already-cached
+        sequence runs no bytecode kernel, yet it is new persistable work:
+        without tracking it, a warm session that only computed analysis
+        views would skip its save and recompute them forever.
+        """
+        if self._final is not None:
+            return self._final[2]
+        return self.service.analysis_stats.misses - self._analysis_misses_start
+
+    @property
     def dirty(self) -> bool:
         """True when the session produced views the store file lacks."""
-        return self.kernel_passes > 0 or self.ngram_misses > 0 or not self.warm_start
+        return (
+            self.kernel_passes > 0
+            or self.ngram_misses > 0
+            or self.analysis_misses > 0
+            or not self.warm_start
+        )
 
     @property
     def hits(self) -> int:
         """Cache hits (all views) during this session."""
         if self._final is not None:
-            return self._final[2]
+            return self._final[3]
         return self._hits() - self._hits_start
 
     @property
     def lookups(self) -> int:
         """Cache lookups (all views) during this session."""
         if self._final is not None:
-            return self._final[3]
+            return self._final[4]
         return self._lookups() - self._lookups_start
 
     @property
@@ -202,13 +242,22 @@ class FeatureStore:
 
     Args:
         cache_dir: Directory holding the ``features-*.npz`` files (created
-            on first save).
+            on first save).  ``None`` disables file persistence — useful for
+            blob-only stores (``blob_dir`` set) where the corpus plane is
+            wanted without ``.npz`` warm starts.
         cache_size: Minimum entry capacity of session services; each session
             grows it to the corpus size so warming can never self-evict.
         max_workers: Worker-pool width of session services.
         chunk_size: Chunk size of session services.
         executor: Executor backend of session services (``"thread"`` or
             ``"process"``, see :class:`BatchFeatureService`).
+        blob_dir: Optional directory of memmap corpus blobs.  When set, each
+            session builds-or-opens ``corpus-<fingerprint>.blob`` there and
+            attaches it to the service, turning on the zero-copy span path.
+
+    When ``cache_dir`` is set, session services also spill evicted entries
+    to ``<cache_dir>/spill`` (content-addressed, shared across corpora), so
+    LRU eviction degrades to a disk read instead of a recompute.
 
     ``file_hits`` / ``file_misses`` count sessions that started warm/cold —
     the store-level analogue of the service's per-entry hit rate.
@@ -216,23 +265,37 @@ class FeatureStore:
 
     def __init__(
         self,
-        cache_dir: Union[str, Path],
+        cache_dir: Optional[Union[str, Path]],
         cache_size: int = 4096,
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
         executor: str = "thread",
+        blob_dir: Optional[Union[str, Path]] = None,
     ):
-        self.cache_dir = Path(cache_dir)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.cache_size = cache_size
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.executor = executor
+        self.blob_dir = Path(blob_dir) if blob_dir is not None else None
         self.file_hits = 0
         self.file_misses = 0
 
-    def path_for(self, fingerprint: str) -> Path:
-        """The store file a corpus with ``fingerprint`` persists under."""
+    def path_for(self, fingerprint: str) -> Optional[Path]:
+        """The store file a corpus with ``fingerprint`` persists under.
+
+        ``None`` when the store is blob-only (no ``cache_dir``).
+        """
+        if self.cache_dir is None:
+            return None
         return self.cache_dir / f"{STORE_FILE_PREFIX}{fingerprint}.npz"
+
+    @property
+    def spill_dir(self) -> Optional[Path]:
+        """Directory session services spill evicted entries to."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "spill"
 
     def _service_for(self, n_codes: int) -> BatchFeatureService:
         return BatchFeatureService(
@@ -240,7 +303,25 @@ class FeatureStore:
             max_workers=self.max_workers,
             chunk_size=self.chunk_size,
             executor=self.executor,
+            spill_dir=self.spill_dir,
         )
+
+    def _blob_for(
+        self, codes: Sequence[bytes], fingerprint: str
+    ) -> Optional[CorpusBlob]:
+        """Build-or-open the corpus blob of one session (best-effort).
+
+        A blob that cannot be created (unwritable directory, corrupt beyond
+        the rebuild :meth:`CorpusBlob.for_corpus` already performs) degrades
+        to the pickled-chunk path rather than failing the experiment.
+        """
+        if self.blob_dir is None:
+            return None
+        try:
+            return CorpusBlob.for_corpus(self.blob_dir, codes, fingerprint)
+        except CorpusBlobError as exc:
+            logger.warning("corpus blob unavailable, falling back: %s", exc)
+            return None
 
     @contextmanager
     def session(
@@ -268,9 +349,12 @@ class FeatureStore:
         fingerprint = _fingerprint_normalized(codes)
         path = self.path_for(fingerprint)
         service = self._service_for(len(codes))
+        blob = self._blob_for(codes, fingerprint)
+        if blob is not None:
+            service.attach_blob(blob)
         warm_start = False
         entries_loaded = 0
-        if path.exists():
+        if path is not None and path.exists():
             try:
                 entries_loaded = service.load(path)
                 warm_start = True
@@ -287,8 +371,10 @@ class FeatureStore:
             store=self,
             warm_start=warm_start,
             entries_loaded=entries_loaded,
+            blob=blob,
             _passes_start=service.kernel_passes,
             _ngram_misses_start=service.ngram_stats.misses,
+            _analysis_misses_start=service.analysis_stats.misses,
         )
         session._hits_start = session._hits()
         session._lookups_start = session._lookups()
@@ -305,9 +391,22 @@ class FeatureStore:
             raise
         finally:
             try:
-                if session.dirty:
+                if path is not None and session.dirty:
+                    size_before = path.stat().st_size if path.exists() else 0
                     service.save(path)
                     session.saved = True
+                    size_after = path.stat().st_size
+                    logger.info(
+                        "feature store save %s: %d -> %d bytes (%+d; "
+                        "%d kernel passes, %d ngram misses, %d analysis misses)",
+                        path.name, size_before, size_after,
+                        size_after - size_before, session.kernel_passes,
+                        session.ngram_misses, session.analysis_misses,
+                    )
+                elif path is not None:
+                    logger.debug(
+                        "feature store save skipped (nothing new): %s", path.name
+                    )
             except Exception:
                 # The body's own outcome wins over a failed best-effort
                 # save of partial progress.
@@ -328,11 +427,13 @@ def feature_session(
 ) -> Iterator[Optional[StoreSession]]:
     """The experiment drivers' store hook; a no-op unless configured.
 
-    Yields ``None`` (and touches nothing) when ``scale`` is ``None``, has no
-    ``feature_cache_dir`` set, or the driver has no bytecodes to cache
-    (Table I is registry-only).  Otherwise opens a
+    Yields ``None`` (and touches nothing) when ``scale`` is ``None``, sets
+    neither ``feature_cache_dir`` nor ``corpus_blob_dir``, or the driver has
+    no bytecodes to cache (Table I is registry-only).  Otherwise opens a
     :meth:`FeatureStore.session` built from the scale's feature knobs, so
-    the driver's whole body runs against the persistent warm service.
+    the driver's whole body runs against the persistent warm service —
+    with ``corpus_blob_dir`` set, the session builds the corpus blob once
+    and every extraction thereafter goes through the zero-copy span path.
 
     ``scale.fresh_service`` suppresses the session's pre-warm sweep: the
     MEM timing cells it exists for extract through their own cold per-cell
@@ -340,13 +441,15 @@ def feature_session(
     whatever those drivers do route through the session still persists.
     """
     cache_dir = getattr(scale, "feature_cache_dir", None) if scale else None
-    if cache_dir is None or bytecodes is None:
+    blob_dir = getattr(scale, "corpus_blob_dir", None) if scale else None
+    if (cache_dir is None and blob_dir is None) or bytecodes is None:
         yield None
         return
     store = FeatureStore(
         cache_dir,
         max_workers=getattr(scale, "feature_workers", None),
         executor=getattr(scale, "feature_executor", "thread"),
+        blob_dir=blob_dir,
     )
     warm = not getattr(scale, "fresh_service", False)
     with store.session(bytecodes, warm=warm) as session:

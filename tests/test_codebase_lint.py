@@ -8,6 +8,9 @@ A small AST pass enforcing three rules across every production module:
   calls),
 * no ``assert`` statements outside tests (``python -O`` strips them, so
   they must never guard runtime invariants — raise an exception instead),
+* no explicit ``pickle`` use in ``repro.features`` (corpus bytes must move
+  as memmap spans through the zero-copy blob path, never as hand-pickled
+  blobs — see :mod:`repro.features.corpus`),
 
 plus a ``compileall`` sweep pinning that every module byte-compiles.
 """
@@ -75,6 +78,39 @@ def test_no_assert_statements_in_production_code():
             if isinstance(node, ast.Assert):
                 offenders.append(_location(path, node))
     assert offenders == [], f"assert statements found in src/: {offenders}"
+
+
+def test_no_pickling_of_corpus_bytes_in_features():
+    """The span path is mandatory for corpus payloads in ``repro.features``.
+
+    ``BatchFeatureService``'s process backend used to ship pickled chunk
+    byte blobs; the corpus-blob plane replaced that with ``(path, span)``
+    lists over a shared memmap.  Any explicit ``pickle.dumps``/``loads``
+    (or a ``pickle`` import at all) in the features package would
+    reintroduce a serialization path for raw corpus bytes, so it is banned
+    outright — the implicit executor-level pickling of *small* task
+    arguments and packed result arrays is the only serialization allowed.
+    """
+    features = SRC / "repro" / "features"
+    offenders = []
+    for path in sorted(features.rglob("*.py")):
+        for node in ast.walk(_parse(path)):
+            if isinstance(node, ast.Import) and any(
+                alias.name == "pickle" or alias.name.startswith("pickle.")
+                for alias in node.names
+            ):
+                offenders.append(_location(path, node))
+            elif isinstance(node, ast.ImportFrom) and node.module == "pickle":
+                offenders.append(_location(path, node))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"dumps", "loads", "dump", "load"}
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "pickle"
+            ):
+                offenders.append(_location(path, node))
+    assert offenders == [], f"pickle use found in repro.features: {offenders}"
 
 
 def test_all_modules_byte_compile(tmp_path):

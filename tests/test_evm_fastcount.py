@@ -140,3 +140,91 @@ class TestHelpers:
     def test_observed_mnemonics_sorted_union(self):
         matrix = count_many([bytes([0x60, 0x01, 0x00]), bytes([0x01, 0x02])])
         assert observed_mnemonics(matrix) == ["ADD", "MUL", "PUSH1", "STOP"]
+
+
+class TestBufferKernels:
+    """The packed span-path kernels vs. the per-code batch kernels.
+
+    ``sequence_buffer``/``count_buffer`` are what blob-span workers run over
+    memmap views; they must be bit-identical to ``sequence_batch``/
+    ``count_batch`` on the equivalent bytes list, or the zero-copy corpus
+    plane would silently change features.
+    """
+
+    @staticmethod
+    def _pack(codes):
+        from repro.evm.fastcount import sequence_buffer
+
+        buffer = np.frombuffer(b"".join(codes), dtype=np.uint8)
+        lengths = np.array([len(code) for code in codes], dtype=np.int64)
+        return sequence_buffer(buffer, lengths)
+
+    def test_sequence_buffer_matches_sequence_batch(self):
+        from repro.evm.fastcount import sequence_batch
+
+        codes = random_bytecodes(120, seed=11)
+        expected = sequence_batch(codes)
+        split = self._pack(codes).split()
+        assert len(split) == len(expected)
+        for got, want in zip(split, expected):
+            assert np.array_equal(got.opcodes, want.opcodes)
+            assert np.array_equal(got.widths, want.widths)
+            assert got.opcodes.dtype == want.opcodes.dtype
+            assert got.widths.dtype == want.widths.dtype
+
+    def test_count_buffer_matches_count_batch(self):
+        from repro.evm.fastcount import count_buffer
+
+        codes = random_bytecodes(120, seed=12)
+        buffer = np.frombuffer(b"".join(codes), dtype=np.uint8)
+        lengths = np.array([len(code) for code in codes], dtype=np.int64)
+        assert np.array_equal(count_buffer(buffer, lengths), count_batch(codes))
+
+    def test_packed_counts_match_per_sequence_counts(self):
+        codes = random_bytecodes(60, seed=13)
+        packed = self._pack(codes)
+        matrix = packed.counts()
+        for row, sequence in zip(matrix, packed.split()):
+            assert np.array_equal(row, sequence.counts())
+
+    def test_edge_cases(self):
+        from repro.evm.fastcount import sequence_batch
+
+        cases = [
+            [],
+            [b""],
+            [b"", b"", b""],
+            [bytes([0x7F])],                      # truncated PUSH32, no data
+            [bytes([0x60])],                      # truncated PUSH1
+            [bytes(range(256))],
+            [b"", bytes([0x60, 0x61]), b"", bytes([0x00])],
+        ]
+        for codes in cases:
+            expected = sequence_batch(codes)
+            split = self._pack(codes).split()
+            for got, want in zip(split, expected):
+                assert np.array_equal(got.opcodes, want.opcodes), codes
+                assert np.array_equal(got.widths, want.widths), codes
+
+    def test_memmap_views_accepted(self, tmp_path):
+        from repro.evm.fastcount import count_buffer, sequence_batch, sequence_buffer
+
+        codes = random_bytecodes(30, seed=14)
+        blob = tmp_path / "codes.bin"
+        blob.write_bytes(b"".join(codes))
+        mapped = np.memmap(blob, dtype=np.uint8, mode="r")
+        lengths = np.array([len(code) for code in codes], dtype=np.int64)
+        expected = sequence_batch(codes)
+        for got, want in zip(sequence_buffer(mapped, lengths).split(), expected):
+            assert np.array_equal(got.opcodes, want.opcodes)
+        assert np.array_equal(count_buffer(mapped, lengths), count_batch(codes))
+
+    def test_length_mismatch_rejected(self):
+        from repro.evm.fastcount import count_buffer, sequence_buffer
+
+        buffer = np.zeros(10, dtype=np.uint8)
+        lengths = np.array([4, 4], dtype=np.int64)
+        with pytest.raises(ValueError):
+            sequence_buffer(buffer, lengths)
+        with pytest.raises(ValueError):
+            count_buffer(buffer, lengths)

@@ -166,6 +166,88 @@ class TestStoreSession:
         with feature_session(None, [b"\x00"]) as session:
             assert session is None
 
+    def test_noop_save_leaves_file_untouched(self, tmp_path):
+        # Regression: a pure-warm session used to rewrite the cache file
+        # byte-for-byte on every exit, churning mtimes and rsync state.
+        codes = make_codes(6, seed=15)
+        store = FeatureStore(tmp_path)
+        with store.session(codes) as cold:
+            cold.service.count_matrix(codes)
+        raw = cold.path.read_bytes()
+        mtime = cold.path.stat().st_mtime_ns
+        with store.session(codes) as warm:
+            warm.service.count_matrix(codes)
+            warm.service.sequences(codes)
+        assert warm.warm_start and not warm.dirty
+        assert not warm.saved
+        assert warm.path.stat().st_mtime_ns == mtime
+        assert warm.path.read_bytes() == raw
+
+    def test_analysis_views_dirty_the_session(self, tmp_path):
+        # Analysis vectors derive from already-cached sequences (zero kernel
+        # passes on a warm run) yet are persistable — computing them must
+        # still mark the session dirty or they would never reach disk.
+        codes = make_codes(4, seed=16)
+        store = FeatureStore(tmp_path)
+        with store.session(codes):
+            pass
+        with store.session(codes) as analysis_run:
+            analysis_run.service.analysis_matrix(codes)
+        assert analysis_run.kernel_passes == 0
+        assert analysis_run.analysis_misses == len(set(codes))
+        assert analysis_run.saved
+        with store.session(codes) as warm:
+            warm.service.analysis_matrix(codes)
+        assert warm.analysis_misses == 0
+        assert not warm.saved
+
+
+class TestBlobSessions:
+    """FeatureStore wiring for the corpus-blob plane."""
+
+    def test_session_builds_and_attaches_blob(self, tmp_path):
+        codes = make_codes(6, seed=17)
+        store = FeatureStore(tmp_path / "cache", blob_dir=tmp_path / "blobs")
+        with store.session(codes) as session:
+            assert session.blob is not None
+            assert session.service.corpus_blob is session.blob
+            assert len(session.blob) == len(set(codes))
+            matrix = session.service.count_matrix(codes)
+        reference = BatchFeatureService().count_matrix(codes)
+        assert np.array_equal(matrix, reference)
+        assert session.blob.path.parent == tmp_path / "blobs"
+
+    def test_blob_only_store_has_no_cache_file(self, tmp_path):
+        codes = make_codes(5, seed=18)
+        store = FeatureStore(None, blob_dir=tmp_path)
+        with store.session(codes) as session:
+            assert session.path is None
+            assert session.blob is not None
+            session.service.count_matrix(codes)
+        assert not session.saved
+        assert list(tmp_path.glob("corpus-*.blob"))
+
+    def test_sessions_share_spill_dir_under_cache_dir(self, tmp_path):
+        store = FeatureStore(tmp_path)
+        assert store.spill_dir == tmp_path / "spill"
+        codes = make_codes(4, seed=19)
+        with store.session(codes) as session:
+            assert session.service.spill_dir == store.spill_dir
+
+    def test_scale_knob_threads_blob_through_feature_session(
+        self, smoke_scale, tmp_path
+    ):
+        codes = make_codes(5, seed=20)
+        scale = dataclasses.replace(
+            smoke_scale, corpus_blob_dir=str(tmp_path / "blobs")
+        )
+        with feature_session(scale, codes) as session:
+            assert session is not None
+            assert session.blob is not None
+            matrix = session.service.count_matrix(codes)
+        assert np.array_equal(matrix, BatchFeatureService().count_matrix(codes))
+        assert list((tmp_path / "blobs").glob("corpus-*.blob"))
+
 
 class TestSingleByteCorruption:
     """Tier-1 guard: the persistence format must reject byte-level damage."""

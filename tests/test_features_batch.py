@@ -126,6 +126,68 @@ class TestCacheBehaviour:
         assert service.stats.evictions == 4
 
 
+class TestKernelPassAccountingWithoutCache:
+    """``kernel_passes`` must count real disassembly work when caching is off.
+
+    With ``cache_size=0`` every put is a no-op, so the old
+    ``_record_pass(self._sequence_put(...))`` pattern silently under-counted
+    on some paths and over-counted on none — the entry points disagreed.
+    The rule now lives in one place (``_install_sequence``): a fresh kernel
+    run counts exactly once whether or not its result could be cached.
+    """
+
+    def test_count_vector_counts_each_call(self):
+        service = BatchFeatureService(cache_size=0)
+        code = make_codes(1, seed=20)[0]
+        service.count_vector(code)
+        assert service.kernel_passes == 1
+        for _ in range(2):
+            service.count_vector(code)
+        assert service.kernel_passes == 3
+
+    def test_count_matrix_counts_unique_codes(self):
+        service = BatchFeatureService(cache_size=0)
+        a, b = make_codes(2, seed=21)
+        service.count_matrix([a, b, a])
+        assert service.kernel_passes == 2
+
+    def test_sequences_counts_unique_codes(self):
+        service = BatchFeatureService(cache_size=0)
+        a, b = make_codes(2, seed=22)
+        service.sequences([a, b, a])
+        assert service.kernel_passes == 2
+
+    def test_single_sequence_counts_each_call(self):
+        service = BatchFeatureService(cache_size=0)
+        code = make_codes(1, seed=23)[0]
+        for _ in range(3):
+            service.sequence(code)
+        assert service.kernel_passes == 3
+
+    def test_mixed_batch_entry_points_accumulate(self):
+        service = BatchFeatureService(cache_size=0)
+        a, b = make_codes(2, seed=24)
+        service.count_matrix([a, b, a])
+        service.sequences([a, b])
+        assert service.kernel_passes == 4
+
+    def test_analysis_matrix_counts_sequence_passes_only(self):
+        # Analysis vectors run the CFG pass, not the sequence kernel; only
+        # the sequence decode behind each unique code counts — and with the
+        # cache off, the per-row pre-sweep must not double-charge it.
+        service = BatchFeatureService(cache_size=0)
+        a, b = make_codes(2, seed=25)
+        service.analysis_matrix([a, b, a])
+        assert service.kernel_passes == 3
+
+    def test_cached_reference_counts_once_per_unique(self):
+        service = BatchFeatureService(cache_size=8)
+        a, b = make_codes(2, seed=24)
+        service.count_matrix([a, b, a])
+        service.sequences([a, b])
+        assert service.kernel_passes == 2
+
+
 class TestResultsInvariance:
     def test_identical_with_caching_on_and_off(self):
         codes = make_codes(30, seed=3)
