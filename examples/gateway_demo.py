@@ -41,6 +41,28 @@ findings, max severity, dispatcher selectors and CFG metrics::
 The closing ``/stats`` body then carries an ``"analysis"`` section with
 the analyzer's report-cache and finding counters.
 
+Observability (``repro.obs``)
+-----------------------------
+
+The gateway also speaks the observability plane.  ``GET /metrics`` is a
+Prometheus text scrape covering the whole system — every counter ``/stats``
+reaches (gateway admission, verdict/feature caches per view, explainer and
+analyzer telemetry) plus live request-latency and batch-size histograms::
+
+    curl -s http://127.0.0.1:$PORT/metrics | grep repro_serving
+
+Any scoring request accepts ``"trace": true`` and returns a per-request
+span breakdown — where the milliseconds went across ``gateway``, the
+micro-``batch`` queue, shared ``features``/``kernel`` resolution and the
+vectorized ``model`` pass (plus ``explain``/``analysis`` when requested)::
+
+    curl -s -X POST http://127.0.0.1:$PORT/score/bytecode \
+         -d '{"bytecode": "0x6080…", "trace": true}'
+
+Requests slower than ``GatewayConfig.slow_request_ms`` land in a bounded
+ring buffer at ``GET /debug/slow`` with their trace id, route, status and
+span breakdown, so the worst requests stay inspectable after the fact.
+
 Run with::
 
     python examples/gateway_demo.py
@@ -69,6 +91,16 @@ def call(port: int, method: str, path: str, body=None):
         conn.close()
 
 
+def scrape(port: int, path: str = "/metrics") -> str:
+    """One plain-text request (what a Prometheus poller would send)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        return conn.getresponse().read().decode("utf-8")
+    finally:
+        conn.close()
+
+
 def main() -> None:
     scale = Scale.smoke()
     hook = PhishingHook(scale=scale)
@@ -89,7 +121,9 @@ def main() -> None:
     )
     gateway = Gateway(
         service,
-        config=GatewayConfig.from_scale(scale),
+        # slow_request_ms=0 records every scoring request into /debug/slow
+        # so the demo has entries to show; production keeps the default.
+        config=GatewayConfig.from_scale(scale, slow_request_ms=0.0),
         explainer=explainer,
         analyzer=analyzer,
     )
@@ -160,6 +194,53 @@ def main() -> None:
         # Malformed input gets a structured error envelope, not a stack trace.
         status, body = call(port, "POST", "/score/address", {"address": "0x1234"})
         print(f"POST /score/address (bad address) -> {status}: {body['error']}")
+
+        # Observability: "trace": true returns the request's span breakdown
+        # (the micro-batcher's shared model pass shows up in every rider).
+        # A not-yet-seen contract, so the full pipeline runs — a cached
+        # verdict would trace as a single gateway span.
+        fresh = corpus.records[-1]
+        status, body = call(
+            port,
+            "POST",
+            "/score/bytecode",
+            {"bytecode": "0x" + fresh.bytecode.hex(), "trace": True},
+        )
+        trace = body["trace"]
+        print(f"\nPOST /score/bytecode trace=true -> trace {trace['trace_id']}:")
+        for span in trace["spans"]:
+            print(
+                f"    {span['name']:<10s} +{span['start_ms']:7.2f} ms  "
+                f"({span['duration_ms']:.2f} ms)"
+            )
+
+        # GET /metrics: the Prometheus scrape covering the whole system.
+        exposition = scrape(port)
+        families = sorted(
+            line.split(" ")[2]
+            for line in exposition.splitlines()
+            if line.startswith("# TYPE ")
+        )
+        print(
+            f"\nGET /metrics -> {len(families)} metric families, e.g. "
+            + ", ".join(families[:3])
+        )
+        for line in exposition.splitlines():
+            if line.startswith(("repro_gateway_requests_total", "repro_serving_verdict_cache_total")):
+                print(f"    {line}")
+
+        # GET /debug/slow: the slow-request ring buffer (threshold 0 here).
+        status, slow = call(port, "GET", "/debug/slow")
+        print(
+            f"GET /debug/slow -> {slow['recorded']}/{slow['seen']} requests "
+            f"recorded over threshold {slow['threshold_ms']:.0f} ms; newest:"
+        )
+        for entry in slow["entries"][-2:]:
+            stages = ",".join(span["name"] for span in entry["spans"])
+            print(
+                f"    {entry['trace_id']} {entry['route']} -> {entry['status']} "
+                f"in {entry['latency_ms']:.1f} ms [{stages}]"
+            )
 
         status, body = call(port, "GET", "/stats")
         gw, sv, ex = body["gateway"], body["service"], body["explain"]

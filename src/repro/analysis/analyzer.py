@@ -109,6 +109,7 @@ class StaticAnalyzer:
         self._proxy_resolutions = 0
         self._findings = 0
         self._high = 0
+        self._rule_hits: Dict[str, int] = {}
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -133,6 +134,10 @@ class StaticAnalyzer:
             self._high += sum(
                 1 for f in report.findings if f.severity >= Severity.HIGH
             )
+            for finding in report.findings:
+                self._rule_hits[finding.rule] = (
+                    self._rule_hits.get(finding.rule, 0) + 1
+                )
 
     def cache_clear(self) -> None:
         """Drop all memoized reports (telemetry counters are kept)."""
@@ -150,6 +155,13 @@ class StaticAnalyzer:
                 findings=self._findings,
                 high_severity=self._high,
             )
+
+    def rule_hits(self) -> Dict[str, int]:
+        """Cumulative finding counts by rule (kept out of the pinned
+        :class:`AnalysisStats` shape; the observability bridge labels its
+        ``repro_analysis_rule_hits_total`` series with these keys)."""
+        with self._lock:
+            return dict(self._rule_hits)
 
     # -- analysis ------------------------------------------------------------
 

@@ -71,6 +71,7 @@ cold service when end-to-end timings are needed (see
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -92,6 +93,7 @@ from typing import (
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from ..persist import open_validated_npz, write_npz
 from ..evm.cfg import CFG_METRIC_NAMES, cfg_metrics_vector
 from ..evm.disassembler import BytecodeLike, normalize_bytecode
@@ -148,6 +150,25 @@ class CacheWriteError(RuntimeError):
 
 #: Executor backends :meth:`BatchFeatureService._map_chunks` can dispatch to.
 EXECUTOR_BACKENDS = ("thread", "process")
+
+
+def _traced(name: str):
+    """Record the wrapped call as a span of the active trace, if any.
+
+    Untraced callers pay one ``ContextVar`` read (see
+    :func:`repro.obs.trace.span`), which is what keeps the feature getters
+    safe to instrument on the serving hot path.
+    """
+
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(*args, **kwargs):
+            with obs_trace.span(name):
+                return method(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 @dataclass
@@ -777,6 +798,7 @@ class BatchFeatureService:
                 self._record_pass(True)
         return vector
 
+    @_traced("features")
     def count_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
         """``(n, 256)`` opcode-count matrix for a batch of bytecodes.
 
@@ -885,6 +907,7 @@ class BatchFeatureService:
             results.update(zip(rest, computed))
         return [results[key] for key in keys]
 
+    @_traced("kernel")
     def _map_span_chunks(self, spans: Sequence[Tuple[int, int]], kind: str) -> list:
         """Run one packed span-extraction task per ``span_chunk_size`` spans.
 
@@ -921,6 +944,7 @@ class BatchFeatureService:
             )
         return [self._blob.extract(chunk, kind) for chunk in chunks]
 
+    @_traced("kernel")
     def _map_chunks(self, compute_chunk, codes: Sequence[bytes]) -> list:
         # Always chunk — the batch kernels' working set is a multiple of the
         # concatenated input, so one giant call would spike peak memory.
@@ -1015,6 +1039,7 @@ class BatchFeatureService:
             self._install_sequence(key, sequence)
         return sequence
 
+    @_traced("features")
     def sequences(self, bytecodes: Sequence[BytecodeLike]) -> List[OpcodeSequence]:
         """Sequences for a batch of bytecodes (misses deduplicated + chunked)."""
         codes = [normalize_bytecode(bytecode) for bytecode in bytecodes]
@@ -1059,6 +1084,7 @@ class BatchFeatureService:
             self._ngrams_put(key, bytes_per_gram, codes)
         return codes
 
+    @_traced("features")
     def ngram_codes_batch(
         self, bytecodes: Sequence[BytecodeLike], bytes_per_gram: int
     ) -> List[np.ndarray]:
@@ -1118,6 +1144,7 @@ class BatchFeatureService:
                     self._entry_for(key).byte_counts = vector
         return vector
 
+    @_traced("features")
     def byte_count_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
         """``(n, 256)`` raw byte-count matrix (duplicates served from cache)."""
         matrix = np.zeros((len(bytecodes), 256), dtype=np.int64)
@@ -1140,6 +1167,7 @@ class BatchFeatureService:
                     self._entry_for(key).images[image_size] = image
         return image
 
+    @_traced("features")
     def r2d2_images(
         self, bytecodes: Sequence[BytecodeLike], image_size: int
     ) -> np.ndarray:
@@ -1179,6 +1207,7 @@ class BatchFeatureService:
                     entry.analysis = vector
         return vector
 
+    @_traced("features")
     def analysis_matrix(self, bytecodes: Sequence[BytecodeLike]) -> np.ndarray:
         """``(n, len(CFG_METRIC_NAMES))`` CFG-metrics matrix for a batch.
 
@@ -1195,6 +1224,33 @@ class BatchFeatureService:
         for row, bytecode in enumerate(bytecodes):
             matrix[row] = self.analysis_vector(bytecode)
         return matrix
+
+    def view_stats(self) -> Dict[str, CacheStats]:
+        """Per-view counter snapshots, keyed by view name.
+
+        The observability bridge labels its ``repro_features_cache_*``
+        series with these names; values are copies, so a scrape never
+        holds a reference into the live counters.
+        """
+        with self._lock:
+            live = {
+                "counts": self.stats,
+                "sequences": self.sequence_stats,
+                "ngrams": self.ngram_stats,
+                "bytes": self.byte_stats,
+                "images": self.image_stats,
+                "analysis": self.analysis_stats,
+            }
+            return {
+                name: CacheStats(
+                    hits=stats.hits,
+                    misses=stats.misses,
+                    evictions=stats.evictions,
+                    spills=stats.spills,
+                    spill_hits=stats.spill_hits,
+                )
+                for name, stats in live.items()
+            }
 
     def aggregate_stats(self) -> CacheStats:
         """Hit/miss/eviction totals across every feature view.

@@ -58,7 +58,6 @@ Two disk planes compose with the ``.npz`` warm starts:
 from __future__ import annotations
 
 import hashlib
-import logging
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from pathlib import Path
@@ -72,9 +71,10 @@ from .batch import (
     content_key,
     use_service,
 )
+from ..obs.log import get_logger
 from .corpus import CorpusBlob, CorpusBlobError
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: File-name prefix of every store file (``features-<fingerprint>.npz``).
 STORE_FILE_PREFIX = "features-"

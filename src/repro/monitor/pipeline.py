@@ -55,6 +55,7 @@ from typing import IO, List, Optional, Protocol, Union
 import numpy as np
 
 from ..chain.blocks import Block
+from ..obs import trace as obs_trace
 from ..serving.service import ScoringService, ServiceStats
 from .checkpoint import Checkpoint, MonitorCursor
 from .drift import DriftTracker, DriftWindow
@@ -164,17 +165,35 @@ class ListSink:
 
 
 class JsonlSink:
-    """Append alerts as JSON lines to a file (one object per alert)."""
+    """Append alerts as JSON lines to a file (one object per alert).
 
-    def __init__(self, path: Union[str, Path]):
+    With ``structured=True`` each line becomes a *structured event*: the
+    alert's fields are wrapped in an envelope carrying ``event`` (the alert
+    class name — ``Alert`` or ``ImpersonationAlert``), ``chain_id``, and
+    the ``trace_id`` active when the alert was emitted (the pipeline
+    activates one trace per processed window), so gateway traces and
+    monitor alerts can be joined offline on trace id.  The default mode
+    keeps the original bare-``asdict`` line shape.
+    """
+
+    def __init__(self, path: Union[str, Path], structured: bool = False):
         self.path = Path(path)
+        self.structured = structured
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: Optional[IO[str]] = None
 
     def emit(self, alert: Alert) -> None:
         if self._handle is None:
             self._handle = self.path.open("a", encoding="utf-8")
-        self._handle.write(json.dumps(asdict(alert)) + "\n")
+        record = asdict(alert)
+        if self.structured:
+            record = {
+                "event": type(alert).__name__,
+                "trace_id": obs_trace.current_trace_id(),
+                "chain_id": getattr(alert, "chain_id", 0),
+                **record,
+            }
+        self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
 
     def close(self) -> None:
@@ -212,6 +231,7 @@ class MonitorStats:
     reorgs_detected: int
     block_latency_ms_p50: float
     block_latency_ms_p95: float
+    block_latency_ms_p99: float
     drift_windows: int
     drifted: bool
     service: ServiceStats
@@ -317,7 +337,17 @@ class MonitorPipeline:
         )
 
     def _process_window(self, blocks) -> List[Alert]:
-        """Score one confirmed block window and emit its alerts in order."""
+        """Score one confirmed block window and emit its alerts in order.
+
+        Each window runs under its own trace, so a structured sink
+        (``JsonlSink(structured=True)``) stamps every alert of the window
+        with one shared trace id — the offline join key against gateway
+        traces and span timings.
+        """
+        with obs_trace.activate(obs_trace.new_trace()):
+            return self._process_window_traced(blocks)
+
+    def _process_window_traced(self, blocks) -> List[Alert]:
         deployments = [(block, tx) for block in blocks for tx in block.transactions]
         start = time.perf_counter()
         verdicts = (
@@ -430,8 +460,10 @@ class MonitorPipeline:
     def stats(self) -> MonitorStats:
         """Snapshot of the monitoring telemetry (cumulative counters)."""
         latencies = np.array(self._latencies, dtype=np.float64)
-        p50, p95 = (
-            np.percentile(latencies, [50.0, 95.0]) if latencies.size else (0.0, 0.0)
+        p50, p95, p99 = (
+            np.percentile(latencies, [50.0, 95.0, 99.0])
+            if latencies.size
+            else (0.0, 0.0, 0.0)
         )
         return MonitorStats(
             blocks_scanned=self._blocks_scanned,
@@ -447,6 +479,7 @@ class MonitorPipeline:
             reorgs_detected=self.follower.reorgs_detected,
             block_latency_ms_p50=float(p50),
             block_latency_ms_p95=float(p95),
+            block_latency_ms_p99=float(p99),
             drift_windows=self.drift.completed_windows,
             drifted=self.drift.drifted,
             service=self.service.stats(),

@@ -7,10 +7,13 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..obs.log import get_logger
 from .losses import cross_entropy
 from .module import Module
 from .optim import Adam, clip_gradients
 from .tensor import Tensor
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -94,10 +97,13 @@ class Trainer:
                 correct += int(np.sum(np.argmax(logits.data, axis=1) == batch_labels))
             self.history.losses.append(epoch_loss / n_samples)
             self.history.accuracies.append(correct / n_samples)
-            if config.verbose:  # pragma: no cover - console output
-                print(
-                    f"epoch {epoch + 1}/{config.epochs} "
-                    f"loss={self.history.losses[-1]:.4f} acc={self.history.accuracies[-1]:.3f}"
+            if config.verbose:  # pragma: no cover - log output
+                logger.info(
+                    "epoch %d/%d loss=%.4f acc=%.3f",
+                    epoch + 1,
+                    config.epochs,
+                    self.history.losses[-1],
+                    self.history.accuracies[-1],
                 )
         self.model.train(False)
         return self.history

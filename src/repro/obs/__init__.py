@@ -1,0 +1,89 @@
+"""``repro.obs`` — the dependency-free observability plane.
+
+One package gives every layer of the stack a shared instrumentation
+substrate:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` families and
+  deterministic Prometheus text exposition (scraped at the gateway's
+  ``GET /metrics``).
+* :mod:`repro.obs.bridge` — scrape-time collectors that read the existing
+  ``*Stats`` snapshot dataclasses, so ``/metrics`` covers everything
+  ``/stats`` covers without touching the hot paths.
+* :mod:`repro.obs.trace` — contextvar-propagated request traces with span
+  timing that survives the micro-batcher's thread handoff, plus the
+  slow-request ring buffer behind ``GET /debug/slow``.
+* :mod:`repro.obs.log` — the sanctioned logging/event API (the codebase
+  lint bans bare ``print`` in ``src/``).
+
+Metric naming convention
+------------------------
+
+Every metric is named ``repro_<subsystem>_<name>_<unit>``:
+
+* ``repro_`` — fixed namespace prefix, so a shared Prometheus server can
+  tell this stack's series apart.
+* ``<subsystem>`` — one of ``gateway``, ``serving``, ``features``,
+  ``monitor``, ``analysis``, ``explain``, or ``obs`` for the registry's
+  own meta-metrics.
+* ``<name>`` — snake_case what-is-measured (``requests``,
+  ``cache_hits``, ``block_latency``).
+* ``<unit>`` — ``_total`` for counters, a unit suffix (``_seconds``,
+  ``_ms``) for measured quantities, a bare noun (``_entries``,
+  ``_requests``) for gauges of current state, and ``_ratio`` for
+  dimensionless 0–1 fractions.
+
+Dimensions go in labels, never in names: per-view cache counters carry
+``view="sequences"``, per-chain monitor counters ``chain_id="1337"``,
+quantile gauges ``quantile="p95"``, and HTTP status classes
+``code_class="4xx"``.
+"""
+
+from .log import event, get_logger
+from .metrics import (
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Sample,
+    get_default_registry,
+    set_default_registry,
+)
+from .trace import (
+    SlowRequestLog,
+    Span,
+    Trace,
+    activate,
+    current,
+    current_trace_id,
+    fan_out,
+    new_trace,
+    record_span,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Sample",
+    "SlowRequestLog",
+    "Span",
+    "Trace",
+    "activate",
+    "current",
+    "current_trace_id",
+    "event",
+    "fan_out",
+    "get_default_registry",
+    "get_logger",
+    "new_trace",
+    "record_span",
+    "set_default_registry",
+    "span",
+]

@@ -1,0 +1,505 @@
+"""Scrape-time collectors bridging the ``*Stats`` snapshots into metrics.
+
+The serving/monitoring/feature layers each already expose a telemetry
+snapshot dataclass (``ServiceStats``, ``CacheStats``, ``GatewayStats``,
+``MonitorStats``, ``MultiChainStats``, ``ExplainStats``,
+``AnalysisStats``) whose shapes are pinned by the ``/stats`` tests.
+Rather than dual-writing every counter on the hot path, each subsystem
+registers one *collector* here — a zero-argument callable invoked at
+:meth:`~repro.obs.metrics.MetricsRegistry.render` time that reads the
+live snapshot and emits :class:`~repro.obs.metrics.FamilySnapshot` rows.
+Hot paths stay untouched, ``/stats`` stays byte-compatible, and
+``GET /metrics`` still covers every counter ``/stats`` can reach.
+
+All collectors duck-type their subject (anything with the right
+``stats()``/attributes works, which is what the gateway tests' stub
+pipelines rely on) and are tolerant of a subject that disappears — a
+snapshot that raises is the caller's bug to surface, but optional
+sections simply emit nothing when their subject is ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .metrics import FamilySnapshot, Sample, sample
+
+__all__ = [
+    "analysis_collector",
+    "explain_collector",
+    "feature_collector",
+    "gateway_collector",
+    "multichain_collector",
+    "pipeline_collector",
+    "service_collector",
+    "store_collector",
+]
+
+Collector = Callable[[], Iterable[FamilySnapshot]]
+
+_RESPONSE_CLASSES = ("2xx", "4xx", "5xx")
+
+
+def _counter(name: str, help: str, *samples: Sample) -> FamilySnapshot:
+    return FamilySnapshot(name, "counter", help, tuple(samples))
+
+
+def _gauge(name: str, help: str, *samples: Sample) -> FamilySnapshot:
+    return FamilySnapshot(name, "gauge", help, tuple(samples))
+
+
+# ----------------------------------------------------------------------
+# gateway
+# ----------------------------------------------------------------------
+
+
+def gateway_collector(gateway) -> Collector:
+    """Bridge a :class:`~repro.serving.gateway.Gateway`'s ``GatewayStats``."""
+
+    def collect() -> List[FamilySnapshot]:
+        stats = gateway.stats()
+        return [
+            _counter(
+                "repro_gateway_connections_total",
+                "TCP connections accepted.",
+                sample(stats.connections),
+            ),
+            _counter(
+                "repro_gateway_rejected_connections_total",
+                "TCP connections refused at the connection bound.",
+                sample(stats.rejected_connections),
+            ),
+            _counter(
+                "repro_gateway_requests_total",
+                "HTTP requests parsed.",
+                sample(stats.requests),
+            ),
+            _counter(
+                "repro_gateway_responses_total",
+                "HTTP responses by status class.",
+                sample(stats.responses_ok, code_class="2xx"),
+                sample(stats.responses_client_error, code_class="4xx"),
+                sample(stats.responses_server_error, code_class="5xx"),
+            ),
+            _counter(
+                "repro_gateway_rate_limited_total",
+                "Requests rejected by the per-client token bucket (429).",
+                sample(stats.rate_limited),
+            ),
+            _counter(
+                "repro_gateway_shed_total",
+                "Requests shed at the inflight bound (429).",
+                sample(stats.shed),
+            ),
+            _counter(
+                "repro_gateway_timeouts_total",
+                "Requests that hit the request timeout (504).",
+                sample(stats.timeouts),
+            ),
+            _gauge(
+                "repro_gateway_inflight_requests",
+                "Scoring requests currently in flight.",
+                sample(stats.inflight),
+            ),
+            _gauge(
+                "repro_gateway_peak_inflight_requests",
+                "High-water mark of in-flight scoring requests.",
+                sample(stats.peak_inflight),
+            ),
+            _gauge(
+                "repro_gateway_draining",
+                "1 while the gateway is draining, else 0.",
+                sample(1.0 if stats.draining else 0.0),
+            ),
+        ]
+
+    return collect
+
+
+# ----------------------------------------------------------------------
+# scoring service
+# ----------------------------------------------------------------------
+
+
+def service_collector(service) -> Collector:
+    """Bridge a :class:`~repro.serving.service.ScoringService`'s stats."""
+
+    def collect() -> List[FamilySnapshot]:
+        stats = service.stats()
+        families = [
+            _counter(
+                "repro_serving_requests_total",
+                "Scoring requests accepted by the service.",
+                sample(stats.requests),
+            ),
+            _counter(
+                "repro_serving_verdict_cache_total",
+                "Verdict cache lookups by outcome.",
+                sample(stats.verdict_hits, outcome="hit"),
+                sample(stats.verdict_misses, outcome="miss"),
+            ),
+            _gauge(
+                "repro_serving_verdict_hit_ratio",
+                "Verdict cache hit rate since service creation.",
+                sample(stats.verdict_hit_rate),
+            ),
+            _gauge(
+                "repro_serving_verdict_cache_entries",
+                "Verdicts currently cached.",
+                sample(stats.verdict_entries),
+            ),
+            _counter(
+                "repro_serving_batches_total",
+                "Micro-batches flushed.",
+                sample(stats.batches),
+            ),
+            _gauge(
+                "repro_serving_mean_batch_size",
+                "Mean micro-batch size since service creation.",
+                sample(stats.mean_batch_size),
+            ),
+            _gauge(
+                "repro_serving_max_batch_size",
+                "Largest micro-batch flushed.",
+                sample(stats.max_batch_size),
+            ),
+            _gauge(
+                "repro_serving_feature_hit_ratio",
+                "Feature cache hit rate (serving-time deltas, all views).",
+                sample(stats.feature_hit_rate),
+            ),
+            _counter(
+                "repro_serving_feature_lookups_total",
+                "Feature cache lookups (serving-time deltas, all views).",
+                sample(stats.feature_lookups),
+            ),
+            _counter(
+                "repro_serving_kernel_passes_total",
+                "Bytes-level kernel passes (serving-time deltas).",
+                sample(stats.kernel_passes),
+            ),
+            _gauge(
+                "repro_serving_latency_ms",
+                "Recent request latency quantiles (milliseconds).",
+                sample(stats.latency_ms_p50, quantile="p50"),
+                sample(stats.latency_ms_p95, quantile="p95"),
+                sample(stats.latency_ms_p99, quantile="p99"),
+            ),
+        ]
+        if stats.store_file_hits is not None:
+            families.append(
+                _counter(
+                    "repro_serving_store_sessions_total",
+                    "Feature-store sessions by warm/cold start.",
+                    sample(stats.store_file_hits, start="warm"),
+                    sample(stats.store_file_misses or 0, start="cold"),
+                )
+            )
+        return families
+
+    return collect
+
+
+# ----------------------------------------------------------------------
+# feature cache (per-view) + store
+# ----------------------------------------------------------------------
+
+
+def feature_collector(get_feature_service) -> Collector:
+    """Bridge a :class:`~repro.features.batch.BatchFeatureService`.
+
+    Takes a zero-arg callable returning the live feature service (the
+    scoring service's feature backend is swappable) — or ``None`` to emit
+    nothing this scrape.
+    """
+
+    def collect() -> List[FamilySnapshot]:
+        features = get_feature_service()
+        if features is None:
+            return []
+        views = features.view_stats()
+        by_field = {
+            "repro_features_cache_hits_total": (
+                "hits", "In-memory feature cache hits by view."),
+            "repro_features_cache_misses_total": (
+                "misses", "Feature cache misses (kernel ran) by view."),
+            "repro_features_cache_evictions_total": (
+                "evictions", "LRU evictions by view."),
+            "repro_features_cache_spills_total": (
+                "spills", "Evictions spilled to disk by view."),
+            "repro_features_cache_spill_hits_total": (
+                "spill_hits", "Lookups served by reloading a spill, by view."),
+        }
+        families = [
+            _counter(
+                name,
+                help,
+                *(
+                    sample(getattr(stats, field), view=view)
+                    for view, stats in sorted(views.items())
+                ),
+            )
+            for name, (field, help) in by_field.items()
+        ]
+        families.append(
+            _gauge(
+                "repro_features_cache_hit_ratio",
+                "Per-view fraction of lookups served without a kernel.",
+                *(
+                    sample(stats.hit_rate, view=view)
+                    for view, stats in sorted(views.items())
+                ),
+            )
+        )
+        families.append(
+            _counter(
+                "repro_features_kernel_passes_total",
+                "Bytes-level kernel passes across all views.",
+                sample(features.kernel_passes),
+            )
+        )
+        return families
+
+    return collect
+
+
+def store_collector(store) -> Collector:
+    """Bridge a :class:`~repro.features.store.FeatureStore`'s session counts."""
+
+    def collect() -> List[FamilySnapshot]:
+        return [
+            _counter(
+                "repro_features_store_sessions_total",
+                "Feature-store sessions by warm/cold start.",
+                sample(store.file_hits, start="warm"),
+                sample(store.file_misses, start="cold"),
+            )
+        ]
+
+    return collect
+
+
+# ----------------------------------------------------------------------
+# monitor (single pipeline and multi-chain fan-in)
+# ----------------------------------------------------------------------
+
+
+def _pipeline_samples(stats, drift_latest) -> List[FamilySnapshot]:
+    chain = str(stats.chain_id)
+    families = [
+        _counter(
+            "repro_monitor_blocks_scanned_total",
+            "Blocks scanned (cumulative across restarts).",
+            sample(stats.blocks_scanned, chain_id=chain),
+        ),
+        _counter(
+            "repro_monitor_contracts_scanned_total",
+            "Contract deployments scored (cumulative).",
+            sample(stats.contracts_scanned, chain_id=chain),
+        ),
+        _counter(
+            "repro_monitor_alerts_total",
+            "Phishing alerts emitted (cumulative).",
+            sample(stats.alerts_emitted, chain_id=chain),
+        ),
+        _counter(
+            "repro_monitor_impersonation_alerts_total",
+            "Impersonation alerts emitted (cumulative).",
+            sample(stats.impersonation_alerts, chain_id=chain),
+        ),
+        _gauge(
+            "repro_monitor_alert_ratio",
+            "Alerts per scanned contract over the checkpointed lifetime.",
+            sample(stats.alert_rate, chain_id=chain),
+        ),
+        _counter(
+            "repro_monitor_windows_total",
+            "Block windows processed by this pipeline instance.",
+            sample(stats.windows, chain_id=chain),
+        ),
+        _gauge(
+            "repro_monitor_next_block",
+            "Next block number the follower will fetch.",
+            sample(stats.next_block, chain_id=chain),
+        ),
+        _counter(
+            "repro_monitor_reorgs_total",
+            "Chain reorganisations detected by this instance.",
+            sample(stats.reorgs_detected, chain_id=chain),
+        ),
+        _gauge(
+            "repro_monitor_block_latency_ms",
+            "Recent per-block scoring latency quantiles (milliseconds).",
+            sample(stats.block_latency_ms_p50, chain_id=chain, quantile="p50"),
+            sample(stats.block_latency_ms_p95, chain_id=chain, quantile="p95"),
+            sample(stats.block_latency_ms_p99, chain_id=chain, quantile="p99"),
+        ),
+        _counter(
+            "repro_monitor_drift_windows_total",
+            "Completed drift windows (cumulative).",
+            sample(stats.drift_windows, chain_id=chain),
+        ),
+        _gauge(
+            "repro_monitor_drifted",
+            "1 when the latest drift window drifted, else 0.",
+            sample(1.0 if stats.drifted else 0.0, chain_id=chain),
+        ),
+    ]
+    if drift_latest is not None:
+        families.append(
+            _gauge(
+                "repro_monitor_drift_p_value",
+                "Rank-test p-value of the latest completed drift window.",
+                sample(drift_latest.p_value, chain_id=chain),
+            )
+        )
+    return families
+
+
+def _merge_families(groups: List[List[FamilySnapshot]]) -> List[FamilySnapshot]:
+    merged: "dict[str, FamilySnapshot]" = {}
+    for group in groups:
+        for family in group:
+            existing = merged.get(family.name)
+            if existing is None:
+                merged[family.name] = family
+            else:
+                merged[family.name] = FamilySnapshot(
+                    family.name,
+                    family.kind,
+                    existing.help,
+                    existing.samples + family.samples,
+                )
+    return list(merged.values())
+
+
+def pipeline_collector(pipeline) -> Collector:
+    """Bridge one :class:`~repro.monitor.pipeline.MonitorPipeline`."""
+
+    def collect() -> List[FamilySnapshot]:
+        drift = getattr(pipeline, "drift", None)
+        latest = drift.latest if drift is not None else None
+        return _pipeline_samples(pipeline.stats(), latest)
+
+    return collect
+
+
+def multichain_collector(monitor) -> Collector:
+    """Bridge a :class:`~repro.monitor.multichain.MultiChainMonitor`.
+
+    Emits the same per-chain families as :func:`pipeline_collector`, one
+    labelled sample set per chain, plus a fan-in drifted-chains gauge.
+    """
+
+    def collect() -> List[FamilySnapshot]:
+        groups = []
+        for chain_id in sorted(monitor.pipelines):
+            pipeline = monitor.pipelines[chain_id]
+            drift = getattr(pipeline, "drift", None)
+            latest = drift.latest if drift is not None else None
+            groups.append(_pipeline_samples(pipeline.stats(), latest))
+        families = _merge_families(groups)
+        stats = monitor.stats()
+        families.append(
+            _gauge(
+                "repro_monitor_drifted_chains",
+                "Number of chains whose latest drift window drifted.",
+                sample(len(stats.drifted_chains)),
+            )
+        )
+        return families
+
+    return collect
+
+
+# ----------------------------------------------------------------------
+# explanation + static analysis
+# ----------------------------------------------------------------------
+
+
+def explain_collector(explainer) -> Collector:
+    """Bridge an :class:`~repro.serving.explain.ExplanationService`."""
+
+    def collect() -> List[FamilySnapshot]:
+        stats = explainer.stats()
+        return [
+            _counter(
+                "repro_explain_explainers_built_total",
+                "Explainer constructions (expensive background refits).",
+                sample(stats.explainers_built),
+            ),
+            _gauge(
+                "repro_explain_explainer_entries",
+                "Fitted explainers currently cached.",
+                sample(stats.explainer_entries),
+            ),
+            _counter(
+                "repro_explain_explanations_total",
+                "Explanations produced.",
+                sample(stats.explanations),
+            ),
+            _counter(
+                "repro_explain_memo_hits_total",
+                "Explanations served from the per-bytecode SHAP memo.",
+                sample(stats.memo_hits),
+            ),
+            _gauge(
+                "repro_explain_memo_entries",
+                "Memoised SHAP explanations currently cached.",
+                sample(stats.memo_entries),
+            ),
+        ]
+
+    return collect
+
+
+def analysis_collector(analyzer) -> Collector:
+    """Bridge a :class:`~repro.analysis.analyzer.StaticAnalyzer`."""
+
+    def collect() -> List[FamilySnapshot]:
+        stats = analyzer.stats()
+        families = [
+            _counter(
+                "repro_analysis_analyses_total",
+                "Static analyses performed (cache misses that ran rules).",
+                sample(stats.analyses),
+            ),
+            _counter(
+                "repro_analysis_cache_total",
+                "Analysis report cache lookups by outcome.",
+                sample(stats.cache_hits, outcome="hit"),
+                sample(stats.cache_misses, outcome="miss"),
+            ),
+            _counter(
+                "repro_analysis_proxy_resolutions_total",
+                "EIP-1167 proxy implementation resolutions.",
+                sample(stats.proxy_resolutions),
+            ),
+            _counter(
+                "repro_analysis_findings_total",
+                "Findings emitted across all analyses.",
+                sample(stats.findings),
+            ),
+            _counter(
+                "repro_analysis_high_severity_total",
+                "HIGH-severity findings emitted.",
+                sample(stats.high_severity),
+            ),
+        ]
+        rule_hits = getattr(analyzer, "rule_hits", None)
+        if callable(rule_hits):
+            hits = rule_hits()
+            if hits:
+                families.append(
+                    _counter(
+                        "repro_analysis_rule_hits_total",
+                        "Findings by lint rule.",
+                        *(
+                            sample(count, rule=rule)
+                            for rule, count in sorted(hits.items())
+                        ),
+                    )
+                )
+        return families
+
+    return collect

@@ -1,0 +1,44 @@
+"""Sanctioned logging/event API for ``src/``.
+
+The codebase lint bans bare ``print(`` in production modules — progress
+and diagnostic output goes through here instead, so it can be silenced,
+redirected, or captured uniformly.  This is a thin veneer over
+:mod:`logging` (namespaced under ``repro.``, ``NullHandler`` installed so
+library use never warns about missing handlers) plus a tiny structured
+``event`` helper that stamps the active trace id from
+:mod:`repro.obs.trace` into each record's ``extra``.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from .trace import current_trace_id
+
+__all__ = ["event", "get_logger"]
+
+_ROOT = logging.getLogger("repro")
+if not _ROOT.handlers:
+    _ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger namespaced under ``repro`` (pass a module ``__name__``)."""
+    if name is None:
+        return _ROOT
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def event(logger: logging.Logger, message: str, *args, **fields) -> None:
+    """Log an INFO event, stamping the active trace id when one exists.
+
+    Extra keyword ``fields`` ride along in ``record.__dict__`` for
+    structured handlers; plain formatters just see ``message % args``.
+    """
+    trace_id = current_trace_id()
+    if trace_id is not None:
+        fields.setdefault("trace_id", trace_id)
+    logger.info(message, *args, extra={"fields": fields} if fields else None)

@@ -1,0 +1,519 @@
+"""Thread-safe metrics registry with deterministic Prometheus exposition.
+
+Three instrument kinds cover every telemetry signal the stack emits:
+
+* :class:`Counter` — a monotonically increasing total (requests served,
+  cache misses, alerts emitted).
+* :class:`Gauge` — a point-in-time value that can go both ways (in-flight
+  requests, cache entries, a drift p-value).
+* :class:`Histogram` — a distribution bucketed over **fixed** boundaries
+  chosen at construction (request latencies, micro-batch sizes); rendered
+  as the cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet
+  Prometheus expects.
+
+All three support labels.  A family is created once per registry
+(:meth:`MetricsRegistry.counter` et al. are get-or-create — asking again
+with the same name and signature returns the existing family; asking with
+a *different* signature raises), and per-label-set children materialise on
+first touch.
+
+Two publication paths feed one scrape:
+
+* **direct instrumentation** — hot-path code holds a family reference and
+  calls ``inc``/``observe``/``set``; used where the signal only exists as
+  a stream of events (latencies, flush reasons).
+* **collectors** — a named callable registered with
+  :meth:`MetricsRegistry.register_collector` that is invoked at render
+  time and returns :class:`FamilySnapshot` rows; used to bridge the
+  existing ``*Stats`` snapshot dataclasses (service, cache views, monitor
+  chains, …) into the registry without touching their hot paths.  See
+  :mod:`repro.obs.bridge`.
+
+Rendering (:meth:`MetricsRegistry.render`) is deterministic: families are
+sorted by name, samples within a family by label tuple, label values are
+escaped per the Prometheus text rules, and the only clock-derived sample
+(``repro_obs_uptime_seconds``) reads the registry's **injectable** clock —
+under a frozen clock two scrapes are byte-identical except for the
+``repro_obs_scrapes_total`` counter, which the determinism test pins.
+
+A process-wide default registry (:func:`get_default_registry`) lets the
+serving, monitoring and feature layers share one scrape without explicit
+wiring; every instrumented class also accepts a ``registry=`` for
+per-instance injection, and :class:`NullRegistry` is the zero-overhead
+stand-in the overhead benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Sample",
+    "get_default_registry",
+    "set_default_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): 100 µs .. 10 s, roughly 1-2-5 spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default size buckets (counts): powers of two up to 256.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names: {names}")
+    return names
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def format_value(value: float) -> str:
+    """Prometheus-text rendering of one sample value."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One rendered sample: a label tuple and a value."""
+
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """One metric family as produced by a collector (or a live family).
+
+    ``kind`` is ``"counter"`` or ``"gauge"`` — collectors bridge snapshot
+    dataclasses, which can never carry enough state to render a histogram.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: Tuple[Sample, ...]
+
+
+def sample(value: float, **labels: str) -> Sample:
+    """Convenience builder used by the bridge collectors."""
+    return Sample(
+        labels=tuple(sorted((k, str(v)) for k, v in labels.items())),
+        value=float(value),
+    )
+
+
+class _Family:
+    """Shared plumbing of one live metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...], lock):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _label_values(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def signature(self) -> Tuple[str, Tuple[str, ...]]:
+        return (self.kind, self.labelnames)
+
+    def _sample_labels(self, values: Tuple[str, ...]) -> Tuple[Tuple[str, str], ...]:
+        return tuple(zip(self.labelnames, values))
+
+
+class Counter(_Family):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        values = self._label_values(labels)
+        with self._lock:
+            self._children[values] = self._children.get(values, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        values = self._label_values(labels)
+        with self._lock:
+            return float(self._children.get(values, 0.0))
+
+    def snapshot(self) -> FamilySnapshot:
+        with self._lock:
+            samples = tuple(
+                Sample(self._sample_labels(values), float(count))
+                for values, count in self._children.items()
+            )
+        return FamilySnapshot(self.name, self.kind, self.help, samples)
+
+
+class Gauge(_Family):
+    """A point-in-time value."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        values = self._label_values(labels)
+        with self._lock:
+            self._children[values] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        values = self._label_values(labels)
+        with self._lock:
+            self._children[values] = self._children.get(values, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        values = self._label_values(labels)
+        with self._lock:
+            return float(self._children.get(values, 0.0))
+
+    def snapshot(self) -> FamilySnapshot:
+        with self._lock:
+            samples = tuple(
+                Sample(self._sample_labels(values), float(value))
+                for values, value in self._children.items()
+            )
+        return FamilySnapshot(self.name, self.kind, self.help, samples)
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * n_buckets  # per-bucket (non-cumulative) counts
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Family):
+    """A distribution over fixed bucket boundaries."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, lock, buckets: Sequence[float]):
+        super().__init__(name, help, labelnames, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        if any(math.isinf(b) for b in bounds):
+            raise ValueError("+Inf is implicit; pass finite boundaries only")
+        self.buckets = bounds
+
+    def signature(self) -> Tuple[str, Tuple[str, ...], Tuple[float, ...]]:
+        return (self.kind, self.labelnames, self.buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        values = self._label_values(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._children[values] = _HistogramChild(len(self.buckets) + 1)
+            child.counts[index] += 1
+            child.total += value
+            child.count += 1
+
+    def render_lines(self, lines: List[str]) -> None:
+        """Append this family's exposition lines (deterministic order)."""
+        lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} histogram")
+        with self._lock:
+            children = {
+                values: (list(child.counts), child.total, child.count)
+                for values, child in self._children.items()
+            }
+        for values in sorted(children):
+            counts, total, count = children[values]
+            base = self._sample_labels(values)
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                labels = base + (("le", format_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{{{_render_labels(labels)}}} {cumulative}"
+                )
+            labels = base + (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{{{_render_labels(labels)}}} {count}")
+            suffix = f"{{{_render_labels(base)}}}" if base else ""
+            lines.append(f"{self.name}_sum{suffix} {format_value(total)}")
+            lines.append(f"{self.name}_count{suffix} {count}")
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    return ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+
+
+class MetricsRegistry:
+    """One scrape's worth of metric families plus render-time collectors.
+
+    Args:
+        clock: Monotonic clock (injectable, like the gateway's
+            :class:`~repro.serving.TokenBucket`); the registry's only
+            clock-derived sample is its own uptime gauge, so a frozen clock
+            makes scrapes deterministic.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: Dict[str, Callable[[], Iterable[FamilySnapshot]]] = {}
+        self._created = clock()
+        self._scrapes = 0
+
+    # ------------------------------------------------------------------
+    # family creation (get-or-create)
+    # ------------------------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                candidate = cls(name, help, tuple(labelnames), self._lock, **kwargs)
+                if existing.signature() != candidate.signature():
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"signature: {existing.signature()} != {candidate.signature()}"
+                    )
+                return existing
+            family = cls(name, help, tuple(labelnames), self._lock, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        """Get-or-create a counter family."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        """Get-or-create a gauge family."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create a histogram family over fixed ``buckets``."""
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # collectors
+    # ------------------------------------------------------------------
+
+    def register_collector(
+        self, name: str, collector: Callable[[], Iterable[FamilySnapshot]]
+    ) -> None:
+        """Register (or replace) the named render-time collector.
+
+        Replacement by name is deliberate: re-wiring a subsystem (a new
+        gateway over the same default registry) must supplant the retired
+        instance's bridge instead of double-reporting.
+        """
+        with self._lock:
+            self._collectors[name] = collector
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+
+    def _self_snapshots(self) -> List[FamilySnapshot]:
+        with self._lock:
+            self._scrapes += 1
+            scrapes = self._scrapes
+        uptime = max(0.0, self.clock() - self._created)
+        return [
+            FamilySnapshot(
+                "repro_obs_scrapes_total",
+                "counter",
+                "Scrapes rendered by this registry.",
+                (Sample((), float(scrapes)),),
+            ),
+            FamilySnapshot(
+                "repro_obs_uptime_seconds",
+                "gauge",
+                "Seconds since the registry was created (injectable clock).",
+                (Sample((), uptime),),
+            ),
+        ]
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every family and collector.
+
+        Deterministic: families sorted by name, samples sorted by label
+        tuple, duplicate family names across collectors merged when kinds
+        agree (and rejected loudly when they do not).
+        """
+        merged: Dict[str, Tuple[str, str, List[Sample]]] = {}
+
+        def absorb(snapshot: FamilySnapshot) -> None:
+            _check_name(snapshot.name)
+            entry = merged.get(snapshot.name)
+            if entry is None:
+                merged[snapshot.name] = (
+                    snapshot.kind,
+                    snapshot.help,
+                    list(snapshot.samples),
+                )
+            elif entry[0] != snapshot.kind:
+                raise ValueError(
+                    f"metric {snapshot.name!r} collected with conflicting kinds: "
+                    f"{entry[0]} != {snapshot.kind}"
+                )
+            else:
+                entry[2].extend(snapshot.samples)
+
+        with self._lock:
+            families = list(self._families.values())
+            collectors = list(self._collectors.values())
+        histograms: List[Histogram] = []
+        for family in families:
+            if isinstance(family, Histogram):
+                histograms.append(family)
+            else:
+                absorb(family.snapshot())
+        for snapshot in self._self_snapshots():
+            absorb(snapshot)
+        for collector in collectors:
+            for snapshot in collector():
+                absorb(snapshot)
+
+        lines: List[str] = []
+        rendered = {h.name: h for h in histograms}
+        for name in sorted(set(merged) | set(rendered)):
+            histogram = rendered.get(name)
+            if histogram is not None:
+                histogram.render_lines(lines)
+                continue
+            kind, help, samples = merged[name]
+            lines.append(f"# HELP {name} {_escape_help(help)}")
+            lines.append(f"# TYPE {name} {kind}")
+            for item in sorted(samples, key=lambda s: s.labels):
+                if item.labels:
+                    lines.append(
+                        f"{name}{{{_render_labels(item.labels)}}} "
+                        f"{format_value(item.value)}"
+                    )
+                else:
+                    lines.append(f"{name} {format_value(item.value)}")
+        return "\n".join(lines) + "\n"
+
+
+class _NullMetric:
+    """Shared no-op child every :class:`NullRegistry` family resolves to."""
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        return None
+
+    def set(self, value: float, **labels: str) -> None:
+        return None
+
+    def observe(self, value: float, **labels: str) -> None:
+        return None
+
+    def value(self, **labels: str) -> float:
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments are no-ops (the uninstrumented baseline).
+
+    Used by the overhead benchmark and by callers that want an instrumented
+    code path without any accounting cost.
+    """
+
+    def counter(self, name, help, labelnames=()):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name, help, labelnames=()):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(self, name, help, labelnames=(), buckets=DEFAULT_LATENCY_BUCKETS):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def register_collector(self, name, collector):  # type: ignore[override]
+        return None
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous, _default_registry = _default_registry, registry
+    return previous

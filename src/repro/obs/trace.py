@@ -1,0 +1,298 @@
+"""Request tracing: contextvar-propagated trace ids and span timing.
+
+A :class:`Trace` is one request's worth of named, timed :class:`Span`
+records (``gateway``, ``batch``, ``features``, ``kernel``, ``model``,
+``analysis``, ``explain`` …).  The *active* trace propagates through
+:data:`contextvars` — ``activate(trace)`` installs it for the current
+task/thread, :func:`span` and :func:`record_span` write into whatever is
+active, and code that is not under a trace pays only a single
+``ContextVar.get()`` check.
+
+Two handoffs make serving traces non-trivial, and both are first-class
+here:
+
+* **Thread handoff** — the gateway's event loop enqueues work that the
+  micro-batcher's daemon thread executes.  Contextvars do not follow that
+  hop, so the service captures :func:`current` at submit time into its
+  pending record and the flush thread re-activates it explicitly.
+* **Fan-out** — one micro-batch flush does shared work (one vectorized
+  model pass, one feature resolution) on behalf of many requests.
+  :func:`fan_out` builds a recorder that mirrors every span into each
+  live trace of the batch, so each request's breakdown shows the shared
+  stages it rode through.
+
+Span timestamps come from an injectable clock (``time.perf_counter`` by
+default), are stored as milliseconds relative to the trace's start, and
+are thread-safe to record.
+
+:class:`SlowRequestLog` is the bounded ring buffer behind the gateway's
+``GET /debug/slow``: requests whose total latency crosses a threshold are
+recorded (trace id, route, status, latency, span breakdown) and the
+newest ``capacity`` entries survive.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SlowRequestLog",
+    "Span",
+    "Trace",
+    "activate",
+    "current",
+    "current_trace_id",
+    "fan_out",
+    "new_trace",
+    "record_span",
+    "span",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named, timed stage of a request."""
+
+    name: str
+    start_ms: float
+    duration_ms: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+        }
+
+
+#: Cheap non-cryptographic trace-id source (ids need uniqueness, not
+#: unpredictability; ``uuid4`` costs an ``os.urandom`` call per request).
+_id_rng = random.Random()
+
+
+def _new_trace_id() -> str:
+    return f"{_id_rng.getrandbits(64):016x}"
+
+
+class Trace:
+    """One request's trace: an id plus a thread-safe list of spans.
+
+    Span appends are GIL-atomic ``list.append`` calls and reads snapshot
+    via ``tuple(...)``, so recording from the micro-batcher thread while
+    the gateway coroutine reads needs no lock — this sits on the
+    per-request hot path.
+    """
+
+    __slots__ = ("_trace_id", "clock", "_start", "_spans")
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._trace_id = trace_id
+        self.clock = clock
+        self._start = clock()
+        self._spans: List[Span] = []
+
+    @property
+    def trace_id(self) -> str:
+        """The trace's id (generated lazily — most traces are never read)."""
+        trace_id = self._trace_id
+        if trace_id is None:
+            trace_id = self._trace_id = _new_trace_id()
+        return trace_id
+
+    def record(self, name: str, start: float, end: float) -> None:
+        """Record a span from absolute clock readings."""
+        self._spans.append(
+            Span(
+                name=name,
+                start_ms=(start - self._start) * 1000.0,
+                duration_ms=max(0.0, end - start) * 1000.0,
+            )
+        )
+
+    def spans(self) -> Tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def total_ms(self) -> float:
+        return (self.clock() - self._start) * 1000.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "spans": [record.to_dict() for record in self.spans()],
+        }
+
+
+class _FanOut:
+    """A recorder mirroring every span into several traces at once."""
+
+    __slots__ = ("traces", "clock")
+
+    def __init__(self, traces: Sequence[Trace], clock: Callable[[], float]):
+        self.traces = tuple(traces)
+        self.clock = clock
+
+    def record(self, name: str, start: float, end: float) -> None:
+        for trace in self.traces:
+            trace.record(name, start, end)
+
+
+_Recorder = object  # Trace | _FanOut — both expose .record/.clock
+
+_current: contextvars.ContextVar[Optional[_Recorder]] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def new_trace(
+    trace_id: Optional[str] = None, clock: Callable[[], float] = time.perf_counter
+) -> Trace:
+    """Create a fresh trace (does not activate it)."""
+    return Trace(trace_id=trace_id, clock=clock)
+
+
+def current() -> Optional[_Recorder]:
+    """The active trace recorder, or ``None`` when not tracing."""
+    return _current.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id (fan-out recorders report their first trace)."""
+    recorder = _current.get()
+    if recorder is None:
+        return None
+    if isinstance(recorder, Trace):
+        return recorder.trace_id
+    traces = getattr(recorder, "traces", ())
+    return traces[0].trace_id if traces else None
+
+
+class activate:
+    """Install a recorder as the active trace for the enclosed block.
+
+    Passing ``None`` explicitly deactivates tracing (used by the overhead
+    benchmark's uninstrumented arm and by worker threads between flushes).
+    A hand-rolled context manager — the generator-based ``@contextmanager``
+    costs several times more per entry, and this wraps every gateway
+    request.
+    """
+
+    __slots__ = ("_recorder", "_token")
+
+    def __init__(self, recorder: Optional[_Recorder]):
+        self._recorder = recorder
+
+    def __enter__(self) -> Optional[_Recorder]:
+        self._token = _current.set(self._recorder)
+        return self._recorder
+
+    def __exit__(self, *exc) -> None:
+        _current.reset(self._token)
+
+
+def fan_out(traces: Sequence[Trace]) -> Optional[_FanOut]:
+    """A recorder that mirrors spans into every given trace.
+
+    Returns ``None`` when ``traces`` is empty so callers can hand the
+    result straight to :func:`activate`.
+    """
+    live = [trace for trace in traces if trace is not None]
+    if not live:
+        return None
+    return _FanOut(live, live[0].clock)
+
+
+def record_span(name: str, start: float, end: float) -> None:
+    """Record a finished span into the active trace, if any."""
+    recorder = _current.get()
+    if recorder is not None:
+        recorder.record(name, start, end)
+
+
+class span:
+    """Time the enclosed block as a span of the active trace.
+
+    A no-op (beyond one contextvar read) when no trace is active, so
+    instrumented library code stays cheap for untraced callers.
+    """
+
+    __slots__ = ("_name", "_clock", "_recorder", "_start")
+
+    def __init__(self, name: str, clock: Callable[[], float] = time.perf_counter):
+        self._name = name
+        self._clock = clock
+
+    def __enter__(self) -> None:
+        self._recorder = _current.get()
+        if self._recorder is not None:
+            self._start = self._clock()
+        return None
+
+    def __exit__(self, *exc) -> None:
+        if self._recorder is not None:
+            self._recorder.record(self._name, self._start, self._clock())
+
+
+class SlowRequestLog:
+    """Bounded ring buffer of slow-request summaries.
+
+    Requests at or above ``threshold_ms`` total latency are recorded; the
+    newest ``capacity`` entries are kept.  Thread-safe.
+    """
+
+    def __init__(self, capacity: int = 128, threshold_ms: float = 250.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._seen = 0
+        self._recorded = 0
+
+    def record(
+        self,
+        trace: Trace,
+        route: str,
+        status: int,
+        latency_ms: Optional[float] = None,
+    ) -> bool:
+        """Record the request if it is slow; returns whether it was kept."""
+        total = trace.total_ms() if latency_ms is None else latency_ms
+        with self._lock:
+            self._seen += 1
+            if total < self.threshold_ms:
+                return False
+            self._recorded += 1
+            self._entries.append(
+                {
+                    "trace_id": trace.trace_id,
+                    "route": route,
+                    "status": status,
+                    "latency_ms": round(total, 3),
+                    "spans": [record.to_dict() for record in trace.spans()],
+                }
+            )
+            return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: newest entries last, plus counters."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "seen": self._seen,
+                "recorded": self._recorded,
+                "entries": list(self._entries),
+            }

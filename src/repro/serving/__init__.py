@@ -64,8 +64,9 @@ HTTP gateway
 
 :class:`Gateway` (:mod:`repro.serving.gateway`) is the network front door:
 an asyncio HTTP server (stdlib streams, no extra dependencies) exposing
-``/score/address``, ``/score/bytecode``, ``/score/batch``, ``/healthz`` and
-``/stats`` on top of the micro-batcher, with per-client token-bucket rate
+``/score/address``, ``/score/bytecode``, ``/score/batch``, ``/healthz``,
+``/stats``, the Prometheus scrape ``/metrics`` and the slow-request ring
+``/debug/slow`` on top of the micro-batcher, with per-client token-bucket rate
 limiting, a bounded-admission load shed (fast 429s instead of latency
 collapse), per-request timeouts (504), and graceful drain.  Verdicts follow
 the scanner-backend shape — probability, 0–100 score, threshold verdict —

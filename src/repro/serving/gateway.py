@@ -13,13 +13,16 @@ Endpoints
 
 ========================  ======================================================
 ``POST /score/address``   ``{"address": "0x…", "explain": false, "analyze":
-                          false}`` → verdict
+                          false, "trace": false}`` → verdict
 ``POST /score/bytecode``  ``{"bytecode": "0x…", "explain": false, "analyze":
-                          false}`` → verdict
+                          false, "trace": false}`` → verdict
 ``POST /score/batch``     ``{"bytecodes": ["0x…", …]}`` → ``{"verdicts": […]}``
 ``GET /healthz``          liveness (``503`` while draining)
 ``GET /stats``            gateway + service (+ monitor, + multichain,
                           + explain, + analysis)
+``GET /metrics``          Prometheus text exposition of the whole stack
+                          (see :mod:`repro.obs`)
+``GET /debug/slow``       recent slow requests with their span breakdowns
 ========================  ======================================================
 
 Verdicts follow the scanner-backend shape (probability, 0–100 ``score``,
@@ -85,6 +88,16 @@ import numpy as np
 from ..chain.addresses import is_valid_address
 from ..evm.disassembler import normalize_bytecode
 from ..evm.errors import BytecodeFormatError
+from ..obs import trace as obs_trace
+from ..obs.bridge import (
+    analysis_collector,
+    explain_collector,
+    gateway_collector,
+    multichain_collector,
+    pipeline_collector,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import SlowRequestLog
 from .explain import ExplanationService
 from .service import ScoringService, Verdict
 
@@ -127,6 +140,10 @@ class GatewayConfig:
         max_header_bytes: Largest accepted request head (``431`` beyond).
         max_batch_items: Largest accepted ``/score/batch`` list (``413``).
         explain_top_k: Reasons per explained verdict.
+        slow_request_ms: Scoring requests at or above this total latency
+            are recorded (trace id, route, status, span breakdown) in the
+            ring buffer behind ``GET /debug/slow``.
+        slow_log_size: Capacity of that ring buffer (newest entries win).
     """
 
     host: str = "127.0.0.1"
@@ -142,6 +159,8 @@ class GatewayConfig:
     max_header_bytes: int = 16_384
     max_batch_items: int = 256
     explain_top_k: int = 5
+    slow_request_ms: float = 250.0
+    slow_log_size: int = 128
 
     def __post_init__(self) -> None:
         if self.backlog < 1:
@@ -166,6 +185,10 @@ class GatewayConfig:
             raise ValueError("max_batch_items must be >= 1")
         if self.explain_top_k < 1:
             raise ValueError("explain_top_k must be >= 1")
+        if self.slow_request_ms < 0:
+            raise ValueError("slow_request_ms must be >= 0")
+        if self.slow_log_size < 1:
+            raise ValueError("slow_log_size must be >= 1")
 
     @classmethod
     def from_scale(cls, scale, **overrides) -> "GatewayConfig":
@@ -280,19 +303,29 @@ class _Request:
 
 @dataclass
 class _Response:
-    """One HTTP response about to be written."""
+    """One HTTP response about to be written.
+
+    Bodies are JSON (``payload``) by default; ``text`` carries a raw
+    non-JSON body instead (the Prometheus exposition of ``/metrics``),
+    with ``content_type`` naming its media type.
+    """
 
     status: int
-    payload: dict
+    payload: Optional[dict]
     headers: Tuple[Tuple[str, str], ...] = ()
     close: bool = False
+    text: Optional[str] = None
+    content_type: str = "application/json"
 
     def encode(self, keep_alive: bool) -> bytes:
-        body = json.dumps(self.payload, default=_json_default).encode("utf-8")
+        if self.text is not None:
+            body = self.text.encode("utf-8")
+        else:
+            body = json.dumps(self.payload, default=_json_default).encode("utf-8")
         keep = keep_alive and not self.close
         lines = [
             f"HTTP/1.1 {self.status} {_REASONS.get(self.status, 'Unknown')}",
-            "content-type: application/json",
+            f"content-type: {self.content_type}",
             f"content-length: {len(body)}",
             f"connection: {'keep-alive' if keep else 'close'}",
         ]
@@ -355,6 +388,11 @@ class Gateway:
             ``"multichain"`` in ``GET /stats``.
         clock: Monotonic clock injected into the rate limiter (tests pin
             deterministic refill through it).
+        registry: :class:`~repro.obs.metrics.MetricsRegistry` served at
+            ``GET /metrics``.  Defaults to the scoring service's registry,
+            so one scrape covers the gateway and everything beneath it;
+            every attached subsystem (explainer, analyzer, pipeline,
+            multichain monitor) registers a scrape-time collector here.
 
     All request handling runs on the event loop :meth:`start` was awaited
     on; the admission counters are therefore loop-confined and lock-free.
@@ -370,6 +408,7 @@ class Gateway:
         pipeline=None,
         monitor=None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.service = service
         self.config = config or GatewayConfig()
@@ -377,6 +416,11 @@ class Gateway:
         self.analyzer = analyzer
         self.pipeline = pipeline
         self.monitor = monitor
+        self.registry = registry if registry is not None else service.registry
+        self.slow_log = SlowRequestLog(
+            capacity=self.config.slow_log_size,
+            threshold_ms=self.config.slow_request_ms,
+        )
         self._bucket = TokenBucket(
             self.config.rate_limit_per_s, self.config.rate_burst, clock=clock
         )
@@ -400,7 +444,25 @@ class Gateway:
             "/score/batch": {"POST": self._score_batch},
             "/healthz": {"GET": self._healthz},
             "/stats": {"GET": self._stats_endpoint},
+            "/metrics": {"GET": self._metrics_endpoint},
+            "/debug/slow": {"GET": self._debug_slow},
         }
+        self._request_latency = self.registry.histogram(
+            "repro_gateway_request_latency_seconds",
+            "End-to-end request handling latency by route.",
+            ("route",),
+        )
+        self.registry.register_collector("gateway", gateway_collector(self))
+        if explainer is not None:
+            self.registry.register_collector("explain", explain_collector(explainer))
+        if analyzer is not None:
+            self.registry.register_collector("analysis", analysis_collector(analyzer))
+        if pipeline is not None:
+            self.registry.register_collector("monitor", pipeline_collector(pipeline))
+        if monitor is not None:
+            self.registry.register_collector(
+                "multichain", multichain_collector(monitor)
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -513,6 +575,7 @@ class Gateway:
                 return
             self._requests += 1
             self._active += 1
+            handling_started = time.perf_counter()
             try:
                 try:
                     response = await self._dispatch(request)
@@ -524,6 +587,12 @@ class Gateway:
                         {"error": {"code": "internal", "message": str(exc)}},
                         close=True,
                     )
+                # Unrouted paths collapse into one label so a scanner
+                # probing random URLs cannot grow the series cardinality.
+                route = request.path if request.path in self._routes else "other"
+                self._request_latency.observe(
+                    time.perf_counter() - handling_started, route=route
+                )
                 keep = request.keep_alive and not response.close and not self._draining
                 await self._write(writer, response, keep_alive=keep)
             finally:
@@ -733,6 +802,13 @@ class Gateway:
         return analyze
 
     @staticmethod
+    def _trace_flag(payload: dict) -> bool:
+        trace = payload.get("trace", False)
+        if not isinstance(trace, bool):
+            raise _HttpError(400, "invalid_request", "'trace' must be a boolean")
+        return trace
+
+    @staticmethod
     def _bytecode_field(payload: dict, key: str = "bytecode") -> bytes:
         value = payload.get(key)
         if not isinstance(value, str):
@@ -761,25 +837,40 @@ class Gateway:
         }
 
     async def _score_one(
-        self, code: bytes, address: Optional[str], explain: bool, analyze: bool = False
+        self,
+        code: bytes,
+        address: Optional[str],
+        explain: bool,
+        analyze: bool = False,
+        trace: Optional[obs_trace.Trace] = None,
     ) -> dict:
         """Score (and optionally explain/analyze) one bytecode off the loop.
 
         The model pass happens on the micro-batcher thread behind the
         submitted future; the SHAP estimation and the static-analysis pass
         run in the default executor — the loop stays free to shed the next
-        wave of requests either way.
+        wave of requests either way.  ``trace`` is activated around the
+        whole handler, so the submit path captures it into the batcher's
+        pending record and the executor stages record spans into it.
         """
-        verdict = await asyncio.wrap_future(self.service.submit(code))
-        payload = self._verdict_payload(verdict, address)
-        loop = asyncio.get_running_loop()
-        if explain:
-            payload["reasons"] = await loop.run_in_executor(
-                None, self.explainer.explain, code, self.config.explain_top_k
-            )
-        if analyze:
-            report = await loop.run_in_executor(None, self.analyzer.analyze, code)
-            payload["analysis"] = report.to_dict()
+        gateway_started = time.perf_counter()
+        with obs_trace.activate(trace):
+            verdict = await asyncio.wrap_future(self.service.submit(code))
+            payload = self._verdict_payload(verdict, address)
+            loop = asyncio.get_running_loop()
+            if explain:
+                stage_started = time.perf_counter()
+                payload["reasons"] = await loop.run_in_executor(
+                    None, self.explainer.explain, code, self.config.explain_top_k
+                )
+                obs_trace.record_span("explain", stage_started, time.perf_counter())
+            if analyze:
+                stage_started = time.perf_counter()
+                report = await loop.run_in_executor(None, self.analyzer.analyze, code)
+                payload["analysis"] = report.to_dict()
+                obs_trace.record_span("analysis", stage_started, time.perf_counter())
+        if trace is not None:
+            trace.record("gateway", gateway_started, time.perf_counter())
         return payload
 
     def _require_explainer(self) -> None:
@@ -815,6 +906,7 @@ class Gateway:
         analyze = self._analyze_flag(payload)
         if analyze:
             self._require_analyzer()
+        want_trace = self._trace_flag(payload)
         if self.service.node is None:
             raise _HttpError(
                 503, "no_node", "gateway's scoring service has no RPC node attached"
@@ -824,9 +916,15 @@ class Gateway:
             raise _HttpError(
                 404, "unknown_address", f"no contract code deployed at {address}"
             )
-        body = await self._scored(
-            request, lambda: self._score_one(code, address, explain, analyze)
+        trace = obs_trace.new_trace()
+        body = await self._traced_score(
+            request,
+            "/score/address",
+            trace,
+            lambda: self._score_one(code, address, explain, analyze, trace=trace),
         )
+        if want_trace:
+            body["trace"] = trace.to_dict()
         return _Response(200, body)
 
     async def _score_bytecode(self, request: _Request) -> _Response:
@@ -838,10 +936,29 @@ class Gateway:
         analyze = self._analyze_flag(payload)
         if analyze:
             self._require_analyzer()
-        body = await self._scored(
-            request, lambda: self._score_one(code, None, explain, analyze)
+        want_trace = self._trace_flag(payload)
+        trace = obs_trace.new_trace()
+        body = await self._traced_score(
+            request,
+            "/score/bytecode",
+            trace,
+            lambda: self._score_one(code, None, explain, analyze, trace=trace),
         )
+        if want_trace:
+            body["trace"] = trace.to_dict()
         return _Response(200, body)
+
+    async def _traced_score(
+        self, request: _Request, route: str, trace, make_work, tokens: int = 1
+    ):
+        """Run :meth:`_scored` work, feeding the slow-request log either way."""
+        try:
+            result = await self._scored(request, make_work, tokens)
+        except _HttpError as exc:
+            self.slow_log.record(trace, route, exc.response.status)
+            raise
+        self.slow_log.record(trace, route, 200)
+        return result
 
     async def _score_batch(self, request: _Request) -> _Response:
         payload = self._json_body(request)
@@ -866,24 +983,41 @@ class Gateway:
                 codes.append(normalize_bytecode(item))
             except BytecodeFormatError as exc:
                 raise _HttpError(400, "invalid_bytecode", f"item {index}: {exc}")
+        want_trace = self._trace_flag(payload)
         if not codes:
             # No scoring work, but the request still passes (and pays) the
             # admission gates — an empty batch is not a rate-limit bypass.
             self._admit(request)
             return _Response(200, {"verdicts": [], "count": 0})
         loop = asyncio.get_running_loop()
-        verdicts = await self._scored(
+        trace = obs_trace.new_trace()
+        gateway_started = time.perf_counter()
+
+        def scored_batch():
+            # The sync bulk path runs on an executor thread; contextvars do
+            # not follow run_in_executor, so activate the trace explicitly.
+            with obs_trace.activate(trace):
+                result = self.service.score_batch(codes)
+            trace.record("gateway", gateway_started, time.perf_counter())
+            return result
+
+        verdicts = await self._traced_score(
             request,
-            lambda: loop.run_in_executor(None, self.service.score_batch, codes),
+            "/score/batch",
+            trace,
+            lambda: self._scored_batch_work(loop, scored_batch),
             tokens=max(1, len(codes)),
         )
-        return _Response(
-            200,
-            {
-                "verdicts": [self._verdict_payload(verdict) for verdict in verdicts],
-                "count": len(verdicts),
-            },
-        )
+        body = {
+            "verdicts": [self._verdict_payload(verdict) for verdict in verdicts],
+            "count": len(verdicts),
+        }
+        if want_trace:
+            body["trace"] = trace.to_dict()
+        return _Response(200, body)
+
+    async def _scored_batch_work(self, loop, scored_batch):
+        return await loop.run_in_executor(None, scored_batch)
 
     async def _healthz(self, request: _Request) -> _Response:
         if self._draining:
@@ -906,6 +1040,17 @@ class Gateway:
         if self.analyzer is not None:
             body["analysis"] = asdict(self.analyzer.stats())
         return _Response(200, body)
+
+    async def _metrics_endpoint(self, request: _Request) -> _Response:
+        return _Response(
+            200,
+            None,
+            text=self.registry.render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _debug_slow(self, request: _Request) -> _Response:
+        return _Response(200, self.slow_log.snapshot())
 
     # ------------------------------------------------------------------
     # telemetry

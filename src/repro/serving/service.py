@@ -29,6 +29,13 @@ import numpy as np
 from ..evm.disassembler import BytecodeLike, normalize_bytecode
 from ..features.batch import BatchFeatureService, content_key
 from ..models.base import PhishingDetector
+from ..obs import trace as obs_trace
+from ..obs.bridge import feature_collector, service_collector, store_collector
+from ..obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    get_default_registry,
+)
 
 
 @dataclass(frozen=True)
@@ -138,6 +145,8 @@ class _Pending:
     ``enqueued`` is stamped when the request enters the batcher and drives
     the ``max_wait_ms`` aging deadline — keying the deadline off ``start``
     would make slow-fetch requests arrive pre-expired and flush alone.
+    ``trace`` carries the submitter's active trace across the thread
+    handoff into the batcher's worker (contextvars don't follow it).
     """
 
     start: float
@@ -146,6 +155,7 @@ class _Pending:
     address: Optional[str]
     future: Future
     enqueued: float = field(default_factory=time.perf_counter)
+    trace: Optional[obs_trace.Trace] = None
 
 
 class _MicroBatcher:
@@ -188,8 +198,14 @@ class _MicroBatcher:
                     self._wakeup.wait(timeout=remaining)
                 batch = self._pending[: self.max_batch]
                 del self._pending[: self.max_batch]
+                if len(batch) >= self.max_batch:
+                    reason = "full"
+                elif self._closed:
+                    reason = "closed"
+                else:
+                    reason = "aged"
             try:
-                self._flush(batch)
+                self._flush(batch, reason)
             except BaseException as exc:  # propagate to the blocked callers
                 for item in batch:
                     if not item.future.done():
@@ -231,6 +247,13 @@ class ScoringService:
             process-wide shared service is never clobbered implicitly).
             A warm-started service scores its first batch of known
             bytecodes with zero kernel passes.
+        registry: :class:`~repro.obs.metrics.MetricsRegistry` receiving
+            this service's metrics (flush counters, batch-size and
+            model-pass histograms, plus scrape-time collectors bridging
+            :meth:`stats` and the feature/store telemetry).  Defaults to
+            the process-wide default registry; inject a fresh one for
+            isolation, or a :class:`~repro.obs.metrics.NullRegistry` to
+            disable accounting.
 
     Raises:
         CacheLoadError: if ``warmup_path`` is missing, corrupt, or stale —
@@ -246,11 +269,13 @@ class ScoringService:
         feature_service: Optional[BatchFeatureService] = None,
         store=None,
         warmup_path=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.detector = detector
         self.node = node
         self.config = config or ServingConfig()
         self.store = store
+        self.registry = registry if registry is not None else get_default_registry()
         if warmup_path is not None:
             if feature_service is None:
                 feature_service = BatchFeatureService()
@@ -279,6 +304,26 @@ class ScoringService:
         self._batcher = _MicroBatcher(
             self._flush_batch, self.config.max_batch, self.config.max_wait_ms / 1000.0
         )
+        self._flushes = self.registry.counter(
+            "repro_serving_flushes_total",
+            "Micro-batch flushes by trigger.",
+            ("reason",),
+        )
+        self._batch_size_hist = self.registry.histogram(
+            "repro_serving_batch_size",
+            "Requests per micro-batch flush.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._model_pass_hist = self.registry.histogram(
+            "repro_serving_model_pass_seconds",
+            "Wall time of one vectorized predict_proba pass.",
+        )
+        self.registry.register_collector("serving", service_collector(self))
+        self.registry.register_collector(
+            "features", feature_collector(lambda: self.feature_service)
+        )
+        if store is not None:
+            self.registry.register_collector("features_store", store_collector(store))
 
     @staticmethod
     def _feature_counters(service: BatchFeatureService):
@@ -370,7 +415,11 @@ class ScoringService:
         unique: "OrderedDict[bytes, bytes]" = OrderedDict()
         for code, key in zip(codes, keys):
             unique.setdefault(key, code)
+        pass_start = time.perf_counter()
         probabilities = self.detector.predict_proba(list(unique.values()))[:, 1]
+        pass_end = time.perf_counter()
+        obs_trace.record_span("model", pass_start, pass_end)
+        self._model_pass_hist.observe(pass_end - pass_start)
         with self._lock:
             self._batches += 1
             self._batched_requests += len(unique)
@@ -382,8 +431,11 @@ class ScoringService:
             scored[key] = probability
         return scored
 
-    def _flush_batch(self, batch: List[_Pending]) -> None:
+    def _flush_batch(self, batch: List[_Pending], reason: str = "full") -> None:
         """Micro-batcher callback: score one flush in a single model pass."""
+        flush_start = time.perf_counter()
+        self._flushes.inc(reason=reason)
+        self._batch_size_hist.observe(len(batch))
         # Transition every future to RUNNING first: a caller that gave up
         # (the gateway cancels timed-out requests) is dropped from
         # resolution here, atomically — resolving a cancelled future would
@@ -391,6 +443,10 @@ class ScoringService:
         # codes are still scored below so the probability lands in the
         # verdict cache and a retry is a pure cache hit.
         live = [item for item in batch if item.future.set_running_or_notify_cancel()]
+        # Close out the queueing stage per request before the shared work.
+        for item in live:
+            if item.trace is not None:
+                item.trace.record("batch", item.enqueued, flush_start)
         # An earlier flush may have scored a key between submit and now;
         # snapshot those probabilities under the lock so eviction between
         # check and read cannot lose them.
@@ -401,13 +457,19 @@ class ScoringService:
                 if item.key in self._verdicts
             }
         missing = [item for item in batch if item.key not in filled]
-        scored = (
-            self._predict_unique(
-                [item.code for item in missing], [item.key for item in missing]
-            )
-            if missing
-            else {}
+        # The model/feature/kernel spans of this single shared pass belong
+        # to every live request riding it: activate a fan-out recorder over
+        # their captured traces for the duration of the pass.
+        recorder = obs_trace.fan_out(
+            [item.trace for item in live if item.key not in filled]
         )
+        if missing:
+            with obs_trace.activate(recorder):
+                scored = self._predict_unique(
+                    [item.code for item in missing], [item.key for item in missing]
+                )
+        else:
+            scored = {}
         for item in live:
             probability = scored.get(item.key)
             cached = probability is None
@@ -437,8 +499,16 @@ class ScoringService:
         if probability is not None:
             future.set_result(self._verdict(probability, True, start, address))
             return future
+        recorder = obs_trace.current()
         self._batcher.submit(
-            _Pending(start=start, code=code, key=key, address=address, future=future)
+            _Pending(
+                start=start,
+                code=code,
+                key=key,
+                address=address,
+                future=future,
+                trace=recorder if isinstance(recorder, obs_trace.Trace) else None,
+            )
         )
         return future
 

@@ -11,6 +11,9 @@ A small AST pass enforcing three rules across every production module:
 * no explicit ``pickle`` use in ``repro.features`` (corpus bytes must move
   as memmap spans through the zero-copy blob path, never as hand-pickled
   blobs — see :mod:`repro.features.corpus`),
+* no bare ``print(`` calls (diagnostic output goes through
+  :mod:`repro.obs.log`, where it can be silenced, redirected, or stamped
+  with the active trace id — stray prints pollute library users' stdout),
 
 plus a ``compileall`` sweep pinning that every module byte-compiles.
 """
@@ -111,6 +114,20 @@ def test_no_pickling_of_corpus_bytes_in_features():
             ):
                 offenders.append(_location(path, node))
     assert offenders == [], f"pickle use found in repro.features: {offenders}"
+
+
+def test_no_bare_print_in_production_code():
+    """Production modules must log through ``repro.obs.log``, not print."""
+    offenders = []
+    for path in _python_sources():
+        for node in ast.walk(_parse(path)):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                offenders.append(_location(path, node))
+    assert offenders == [], f"bare print() calls found in src/: {offenders}"
 
 
 def test_all_modules_byte_compile(tmp_path):

@@ -531,6 +531,7 @@ class TestScoring:
                     reorgs_detected=0,
                     block_latency_ms_p50=1.0,
                     block_latency_ms_p95=2.0,
+                    block_latency_ms_p99=2.5,
                     drift_windows=1,
                     drifted=False,
                     service=service.stats(),

@@ -16,12 +16,14 @@ from repro.monitor import (
     Checkpoint,
     CheckpointError,
     DriftTracker,
+    ImpersonationAlert,
     JsonlSink,
     ListSink,
     MonitorConfig,
     MonitorCursor,
     MonitorPipeline,
 )
+from repro.obs import trace as obs_trace
 from repro.serving import ScoringService, ServingConfig
 
 
@@ -475,6 +477,7 @@ class TestMonitorPipeline:
         stats = pipeline.run()
         assert stats.block_latency_ms_p50 > 0.0
         assert stats.block_latency_ms_p95 >= stats.block_latency_ms_p50
+        assert stats.block_latency_ms_p99 >= stats.block_latency_ms_p95
         assert stats.drift_windows == len(pipeline.drift_windows)
         assert stats.drift_windows >= 1
         assert stats.alert_rate == pytest.approx(
@@ -511,6 +514,69 @@ class TestMonitorPipeline:
             "block_number", "contract_address", "tx_hash", "probability",
             "threshold", "chain_id", "static_findings",
         }
+
+    def test_structured_jsonl_sink_stamps_event_envelope(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, structured=True)
+        trace = obs_trace.new_trace(trace_id="feedc0de00000001")
+        with obs_trace.activate(trace):
+            sink.emit(
+                Alert(
+                    block_number=7,
+                    contract_address="0x" + "ab" * 20,
+                    tx_hash="0x" + "01" * 32,
+                    probability=0.91,
+                    threshold=0.5,
+                    chain_id=1337,
+                )
+            )
+            sink.emit(
+                ImpersonationAlert(
+                    chain_id=1337,
+                    block_number=8,
+                    tx_hash="0x" + "02" * 32,
+                    contract_address="0x" + "cd" * 20,
+                    impersonated_address="0x" + "ef" * 20,
+                    matched_prefix="cdcd",
+                    matched_suffix="cdcd",
+                )
+            )
+        sink.close()
+        first, second = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert first["event"] == "Alert"
+        assert second["event"] == "ImpersonationAlert"
+        assert first["trace_id"] == second["trace_id"] == "feedc0de00000001"
+        assert first["chain_id"] == second["chain_id"] == 1337
+        # The alert's own fields still round-trip inside the envelope.
+        assert first["probability"] == 0.91
+        assert second["impersonated_address"] == "0x" + "ef" * 20
+
+    def test_structured_sink_through_pipeline_run(
+        self, service, node, monitor_config, tmp_path
+    ):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, structured=True)
+        pipeline = MonitorPipeline(service, node, config=monitor_config, sink=sink)
+        pipeline.run()
+        sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(lines) == pipeline.stats().alerts_emitted
+        # Each processed window runs under its own trace, so every emitted
+        # event carries a joinable trace id.
+        assert all(record["event"] == "Alert" for record in lines)
+        assert all(record["trace_id"] for record in lines)
+
+    def test_default_jsonl_sink_shape_unchanged_by_structured_mode(
+        self, service, node, monitor_config, tmp_path
+    ):
+        sink = JsonlSink(tmp_path / "plain.jsonl")
+        assert sink.structured is False
 
     def test_negative_max_blocks_rejected(self, service, node, monitor_config):
         with pytest.raises(ValueError):

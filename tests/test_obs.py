@@ -1,0 +1,791 @@
+"""Tests for the observability plane (``repro.obs``) and its gateway surface.
+
+Four layers, mirroring the plane's own structure:
+
+* **Registry units** — get-or-create families, signature conflicts, label
+  validation, counter monotonicity, histogram bucketing.
+* **Exposition** — deterministic Prometheus text rendering: sorted
+  families and samples, label-value escaping, collector merging, and the
+  frozen-clock determinism contract (two scrapes byte-identical except the
+  scrape counter).
+* **Tracing** — contextvar propagation, the no-op inactive path, fan-out
+  across a shared micro-batch flush, and the slow-request ring buffer.
+* **Gateway end-to-end** — a golden HTTP ``GET /metrics`` scrape covering
+  every counter ``/stats`` can reach, ``"trace": true`` span breakdowns
+  through the real micro-batcher thread handoff, and ``GET /debug/slow``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import threading
+
+import pytest
+
+from repro.analysis import StaticAnalyzer
+from repro.features.batch import BatchFeatureService
+from repro.models.hsc import make_random_forest_hsc
+from repro.monitor.pipeline import MonitorStats
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    SlowRequestLog,
+    Trace,
+    get_default_registry,
+)
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import FamilySnapshot, Sample, format_value, sample
+from repro.serving import (
+    ExplanationService,
+    Gateway,
+    GatewayConfig,
+    ScoringService,
+    ServingConfig,
+)
+
+# ---------------------------------------------------------------------------
+# registry units
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryFamilies:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "help", ("kind",))
+        counter.inc(kind="a")
+        counter.inc(2.5, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3.5
+        assert counter.value(kind="b") == 1.0
+        assert counter.value(kind="never") == 0.0
+
+    def test_counter_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("repro_test_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_test_inflight", "help")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value() == 3.0
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "help", ("kind",))
+        second = registry.counter("repro_test_total", "other help", ("kind",))
+        assert first is second
+
+    def test_signature_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "help", ("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_test_total", "help", ("other",))
+        with pytest.raises(ValueError):
+            registry.gauge("repro_test_total", "help", ("kind",))
+
+    def test_histogram_bucket_signature_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", "help", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("repro_test_seconds", "help", buckets=(1.0, 5.0))
+
+    @pytest.mark.parametrize("name", ["1starts_with_digit", "has-dash", "has space"])
+    def test_invalid_metric_names_rejected(self, name):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter(name, "help")
+
+    @pytest.mark.parametrize("label", ["__reserved", "has-dash", "1digit"])
+    def test_invalid_label_names_rejected(self, label):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("repro_test_total", "help", (label,))
+
+    def test_duplicate_label_names_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("repro_test_total", "help", ("a", "a"))
+
+    def test_wrong_label_set_rejected_at_use(self):
+        counter = MetricsRegistry().counter("repro_test_total", "help", ("kind",))
+        with pytest.raises(ValueError):
+            counter.inc()  # missing label
+        with pytest.raises(ValueError):
+            counter.inc(kind="a", extra="b")
+
+    def test_histogram_boundary_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("repro_a_seconds", "help", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("repro_b_seconds", "help", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram(
+                "repro_c_seconds", "help", buckets=(1.0, float("inf"))
+            )
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        hist = registry.histogram("repro_test_seconds", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.1, 0.5, 3.0):  # boundary 0.1 is inclusive
+            hist.observe(value)
+        text = registry.render()
+        assert 'repro_test_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_test_seconds_bucket{le="1"} 3' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_test_seconds_sum 3.65" in text
+        assert "repro_test_seconds_count 4" in text
+
+    def test_format_value_collapses_integral_floats(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.5) == "3.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_null_registry_is_inert_but_renders(self):
+        registry = NullRegistry()
+        counter = registry.counter("repro_test_total", "help", ("kind",))
+        counter.inc(kind="a")  # no label checking, no accounting
+        registry.register_collector("x", lambda: [_ for _ in ()])
+        text = registry.render()
+        assert "repro_test_total" not in text
+        assert "repro_obs_scrapes_total" in text
+
+    def test_default_registry_is_process_wide(self):
+        assert get_default_registry() is get_default_registry()
+
+
+# ---------------------------------------------------------------------------
+# exposition
+# ---------------------------------------------------------------------------
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})? "
+    r"(-?[0-9.e+-]+|[+-]Inf|NaN)$"
+)
+
+
+def assert_parseable_exposition(text: str) -> dict:
+    """Assert Prometheus text validity; return {family: [sample lines]}."""
+    families: dict = {}
+    typed = set()
+    current_type = None
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ")
+            assert kind in {"counter", "gauge", "histogram"}
+            assert name not in typed, f"duplicate # TYPE for {name}"
+            typed.add(name)
+            current_type = name
+        elif line.startswith("#"):
+            continue
+        else:
+            assert _SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+            bare = line.split("{")[0].split(" ")[0]
+            family = re.sub(r"_(bucket|sum|count)$", "", bare)
+            assert current_type in (bare, family), (
+                f"sample {line!r} not under its # TYPE header"
+            )
+            families.setdefault(family if bare != current_type else bare, []).append(
+                line
+            )
+    return families
+
+
+class TestExposition:
+    def test_families_sorted_and_samples_sorted(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        zz = registry.counter("repro_zz_total", "help", ("kind",))
+        aa = registry.counter("repro_aa_total", "help", ("kind",))
+        zz.inc(kind="b")
+        zz.inc(kind="a")
+        aa.inc(kind="x")
+        text = registry.render()
+        assert text.index("repro_aa_total") < text.index("repro_zz_total")
+        assert text.index('repro_zz_total{kind="a"}') < text.index(
+            'repro_zz_total{kind="b"}'
+        )
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        counter = registry.counter("repro_test_total", "help", ("path",))
+        counter.inc(path='with"quote')
+        counter.inc(path="with\\slash")
+        counter.inc(path="with\nnewline")
+        text = registry.render()
+        assert r'path="with\"quote"' in text
+        assert r'path="with\\slash"' in text
+        assert r'path="with\nnewline"' in text
+        assert_parseable_exposition(text)
+
+    def test_help_newline_escaped(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.counter("repro_test_total", "line one\nline two").inc()
+        text = registry.render()
+        assert r"# HELP repro_test_total line one\nline two" in text
+
+    def test_collectors_with_same_family_merge(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        family = "repro_test_total"
+        registry.register_collector(
+            "a",
+            lambda: [FamilySnapshot(family, "counter", "h", (sample(1, k="a"),))],
+        )
+        registry.register_collector(
+            "b",
+            lambda: [FamilySnapshot(family, "counter", "h", (sample(2, k="b"),))],
+        )
+        text = registry.render()
+        assert 'repro_test_total{k="a"} 1' in text
+        assert 'repro_test_total{k="b"} 2' in text
+        assert text.count("# TYPE repro_test_total counter") == 1
+
+    def test_conflicting_collector_kinds_raise(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.register_collector(
+            "a", lambda: [FamilySnapshot("repro_x", "counter", "h", (sample(1),))]
+        )
+        registry.register_collector(
+            "b", lambda: [FamilySnapshot("repro_x", "gauge", "h", (sample(1),))]
+        )
+        with pytest.raises(ValueError):
+            registry.render()
+
+    def test_collector_replaced_by_name(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.register_collector(
+            "sub", lambda: [FamilySnapshot("repro_old", "counter", "h", (sample(1),))]
+        )
+        registry.register_collector(
+            "sub", lambda: [FamilySnapshot("repro_new", "counter", "h", (sample(1),))]
+        )
+        text = registry.render()
+        assert "repro_new" in text
+        assert "repro_old" not in text
+
+    def test_unregister_collector(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.register_collector(
+            "sub", lambda: [FamilySnapshot("repro_x", "counter", "h", (sample(1),))]
+        )
+        registry.unregister_collector("sub")
+        assert "repro_x" not in registry.render()
+
+    def test_frozen_clock_scrapes_identical_modulo_scrape_counter(self):
+        registry = MetricsRegistry(clock=lambda: 1234.5)
+        counter = registry.counter("repro_test_total", "help", ("kind",))
+        counter.inc(3, kind="a")
+        hist = registry.histogram("repro_test_seconds", "help", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        first = registry.render().splitlines()
+        second = registry.render().splitlines()
+        assert len(first) == len(second)
+        differing = [
+            (a, b) for a, b in zip(first, second) if a != b
+        ]
+        assert differing == [
+            ("repro_obs_scrapes_total 1", "repro_obs_scrapes_total 2")
+        ]
+
+    def test_uptime_reads_injected_clock(self):
+        now = [100.0]
+        registry = MetricsRegistry(clock=lambda: now[0])
+        now[0] = 107.5
+        assert "repro_obs_uptime_seconds 7.5" in registry.render()
+
+    def test_thread_safety_under_concurrent_writes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "help")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+
+
+class TestTrace:
+    def test_record_stores_relative_milliseconds(self):
+        now = [10.0]
+        trace = obs_trace.new_trace(trace_id="abc", clock=lambda: now[0])
+        trace.record("stage", 10.5, 10.75)
+        (span,) = trace.spans()
+        assert span.name == "stage"
+        assert span.start_ms == pytest.approx(500.0)
+        assert span.duration_ms == pytest.approx(250.0)
+        payload = trace.to_dict()
+        assert payload["trace_id"] == "abc"
+        assert payload["spans"][0]["duration_ms"] == 250.0
+
+    def test_span_is_noop_when_inactive(self):
+        assert obs_trace.current() is None
+        with obs_trace.span("anything"):
+            pass  # must not raise, must not record anywhere
+        assert obs_trace.current_trace_id() is None
+
+    def test_activate_installs_and_restores(self):
+        trace = obs_trace.new_trace()
+        with obs_trace.activate(trace):
+            assert obs_trace.current() is trace
+            assert obs_trace.current_trace_id() == trace.trace_id
+            with obs_trace.span("inner"):
+                pass
+        assert obs_trace.current() is None
+        assert [span.name for span in trace.spans()] == ["inner"]
+
+    def test_activate_none_deactivates(self):
+        outer = obs_trace.new_trace()
+        with obs_trace.activate(outer):
+            with obs_trace.activate(None):
+                assert obs_trace.current() is None
+                obs_trace.record_span("lost", 0.0, 1.0)
+            assert obs_trace.current() is outer
+        assert outer.spans() == ()
+
+    def test_fan_out_mirrors_spans_into_every_trace(self):
+        traces = [obs_trace.new_trace() for _ in range(3)]
+        recorder = obs_trace.fan_out(traces)
+        with obs_trace.activate(recorder):
+            obs_trace.record_span("model", 1.0, 2.0)
+        for trace in traces:
+            assert [span.name for span in trace.spans()] == ["model"]
+
+    def test_fan_out_of_nothing_is_none(self):
+        assert obs_trace.fan_out([]) is None
+        assert obs_trace.fan_out([None, None]) is None
+
+    def test_fan_out_trace_id_is_first_trace(self):
+        traces = [obs_trace.new_trace(trace_id="first"), obs_trace.new_trace()]
+        with obs_trace.activate(obs_trace.fan_out(traces)):
+            assert obs_trace.current_trace_id() == "first"
+
+    def test_trace_does_not_leak_to_other_threads(self):
+        trace = obs_trace.new_trace()
+        seen = []
+        with obs_trace.activate(trace):
+            worker = threading.Thread(target=lambda: seen.append(obs_trace.current()))
+            worker.start()
+            worker.join()
+        assert seen == [None]
+
+
+class TestSlowRequestLog:
+    def _trace(self, elapsed_ms: float) -> Trace:
+        now = [0.0]
+        trace = obs_trace.new_trace(clock=lambda: now[0])
+        now[0] = elapsed_ms / 1000.0
+        return trace
+
+    def test_fast_requests_not_recorded(self):
+        log = SlowRequestLog(capacity=4, threshold_ms=100.0)
+        assert log.record(self._trace(5.0), "/score/bytecode", 200) is False
+        snapshot = log.snapshot()
+        assert snapshot["seen"] == 1
+        assert snapshot["recorded"] == 0
+        assert snapshot["entries"] == []
+
+    def test_slow_requests_recorded_with_spans(self):
+        log = SlowRequestLog(capacity=4, threshold_ms=100.0)
+        trace = self._trace(250.0)
+        trace.record("gateway", 0.0, 0.25)
+        assert log.record(trace, "/score/batch", 200) is True
+        (entry,) = log.snapshot()["entries"]
+        assert entry["trace_id"] == trace.trace_id
+        assert entry["route"] == "/score/batch"
+        assert entry["status"] == 200
+        assert entry["latency_ms"] == pytest.approx(250.0)
+        assert entry["spans"][0]["name"] == "gateway"
+
+    def test_capacity_keeps_newest(self):
+        log = SlowRequestLog(capacity=2, threshold_ms=0.0)
+        for index in range(5):
+            log.record(self._trace(1.0), f"/route/{index}", 200)
+        snapshot = log.snapshot()
+        assert snapshot["recorded"] == 5
+        assert [entry["route"] for entry in snapshot["entries"]] == [
+            "/route/3",
+            "/route/4",
+        ]
+
+    def test_explicit_latency_override(self):
+        log = SlowRequestLog(capacity=2, threshold_ms=100.0)
+        assert log.record(self._trace(1.0), "/x", 200, latency_ms=500.0) is True
+
+    @pytest.mark.parametrize("kwargs", [{"capacity": 0}, {"threshold_ms": -1.0}])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SlowRequestLog(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# gateway end-to-end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def obs_feature_service():
+    return BatchFeatureService()
+
+
+@pytest.fixture(scope="module")
+def obs_detector(dataset, obs_feature_service):
+    detector = make_random_forest_hsc(seed=7)
+    detector.feature_service = obs_feature_service
+    detector.fit(dataset.bytecodes, dataset.labels)
+    return detector
+
+
+@pytest.fixture()
+def obs_service(obs_detector):
+    config = ServingConfig(max_batch=32, max_wait_ms=1.0)
+    with ScoringService(
+        obs_detector, config=config, registry=MetricsRegistry()
+    ) as service:
+        yield service
+
+
+@pytest.fixture()
+def obs_explainer(obs_detector, dataset):
+    return ExplanationService(
+        obs_detector,
+        background=dataset.bytecodes[:12],
+        top_k=4,
+        n_permutations=2,
+        max_background=4,
+        seed=11,
+    )
+
+
+class StubPipeline:
+    """A /stats- and collector-compatible monitor pipeline stand-in."""
+
+    def __init__(self, service):
+        self._service = service
+
+    def stats(self):
+        return MonitorStats(
+            blocks_scanned=7,
+            contracts_scanned=21,
+            alerts_emitted=3,
+            alert_rate=3 / 21,
+            windows=2,
+            next_block=8,
+            reorgs_detected=0,
+            block_latency_ms_p50=1.0,
+            block_latency_ms_p95=2.0,
+            block_latency_ms_p99=2.5,
+            drift_windows=1,
+            drifted=False,
+            service=self._service.stats(),
+            chain_id=1337,
+            impersonation_alerts=2,
+        )
+
+
+@pytest.fixture()
+def start_gateway(event_loop_thread):
+    gateways = []
+
+    def _start(service, config=None, **kwargs) -> Gateway:
+        gateway = Gateway(service, config=config or GatewayConfig(), **kwargs)
+        event_loop_thread.run(gateway.start())
+        gateways.append(gateway)
+        return gateway
+
+    yield _start
+    for gateway in gateways:
+        event_loop_thread.run(gateway.stop())
+
+
+def request(port, method, path, body=None, timeout=15.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if isinstance(body, (dict, list)) else body
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        data = response.read()
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        return response.status, headers, json.loads(data) if data else None
+    finally:
+        conn.close()
+
+
+def text_request(port, path, timeout=15.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        return response.status, headers, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_parseable_prometheus_text(
+        self, obs_service, start_gateway, dataset
+    ):
+        gateway = start_gateway(obs_service)
+        code = dataset.bytecodes[0].hex()
+        request(gateway.port, "POST", "/score/bytecode", body={"bytecode": code})
+        status, headers, text = text_request(gateway.port, "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        families = assert_parseable_exposition(text)
+        # Samples within each family render in sorted label order (histogram
+        # lines follow the bucket/sum/count exposition order instead).
+        for family, lines in families.items():
+            plain = [
+                line
+                for line in lines
+                if line.startswith(f"{family}{{") or line.startswith(f"{family} ")
+            ]
+            assert plain == sorted(plain)
+        assert "repro_obs_scrapes_total" in families
+
+    def test_scrape_covers_every_stats_counter(
+        self, obs_service, start_gateway, obs_explainer
+    ):
+        analyzer = StaticAnalyzer()
+        analyzer.analyze(bytes([0x60, 0x01, 0x60, 0x02, 0x01, 0x00]))
+        gateway = start_gateway(
+            obs_service,
+            explainer=obs_explainer,
+            analyzer=analyzer,
+            pipeline=StubPipeline(obs_service),
+        )
+        _, _, stats = request(gateway.port, "GET", "/stats")
+        assert set(stats) == {"gateway", "service", "monitor", "explain", "analysis"}
+        _, _, text = text_request(gateway.port, "/metrics")
+        needles = [
+            # gateway section
+            "repro_gateway_connections_total",
+            "repro_gateway_requests_total",
+            'repro_gateway_responses_total{code_class="2xx"}',
+            'repro_gateway_responses_total{code_class="4xx"}',
+            'repro_gateway_responses_total{code_class="5xx"}',
+            "repro_gateway_rate_limited_total",
+            "repro_gateway_shed_total",
+            "repro_gateway_timeouts_total",
+            "repro_gateway_inflight_requests",
+            "repro_gateway_peak_inflight_requests",
+            "repro_gateway_rejected_connections_total",
+            "repro_gateway_draining",
+            # service section
+            "repro_serving_requests_total",
+            'repro_serving_verdict_cache_total{outcome="hit"}',
+            'repro_serving_verdict_cache_total{outcome="miss"}',
+            "repro_serving_verdict_hit_ratio",
+            "repro_serving_verdict_cache_entries",
+            "repro_serving_batches_total",
+            "repro_serving_mean_batch_size",
+            "repro_serving_max_batch_size",
+            "repro_serving_feature_hit_ratio",
+            "repro_serving_feature_lookups_total",
+            "repro_serving_kernel_passes_total",
+            'repro_serving_latency_ms{quantile="p50"}',
+            'repro_serving_latency_ms{quantile="p95"}',
+            'repro_serving_latency_ms{quantile="p99"}',
+            # feature cache (per view)
+            'repro_features_cache_hits_total{view="counts"}',
+            'repro_features_cache_misses_total{view="sequences"}',
+            'repro_features_cache_evictions_total{view="ngrams"}',
+            'repro_features_cache_spills_total{view="bytes"}',
+            'repro_features_cache_spill_hits_total{view="images"}',
+            'repro_features_cache_hit_ratio{view="analysis"}',
+            "repro_features_kernel_passes_total",
+            # monitor section (chain-labelled through the stub pipeline)
+            'repro_monitor_blocks_scanned_total{chain_id="1337"}',
+            'repro_monitor_contracts_scanned_total{chain_id="1337"}',
+            'repro_monitor_alerts_total{chain_id="1337"}',
+            'repro_monitor_impersonation_alerts_total{chain_id="1337"}',
+            'repro_monitor_alert_ratio{chain_id="1337"}',
+            'repro_monitor_windows_total{chain_id="1337"}',
+            'repro_monitor_next_block{chain_id="1337"}',
+            'repro_monitor_reorgs_total{chain_id="1337"}',
+            'repro_monitor_block_latency_ms{chain_id="1337",quantile="p99"}',
+            'repro_monitor_drift_windows_total{chain_id="1337"}',
+            'repro_monitor_drifted{chain_id="1337"}',
+            # explain section
+            "repro_explain_explainers_built_total",
+            "repro_explain_explainer_entries",
+            "repro_explain_explanations_total",
+            "repro_explain_memo_hits_total",
+            "repro_explain_memo_entries",
+            # analysis section
+            "repro_analysis_analyses_total",
+            'repro_analysis_cache_total{outcome="hit"}',
+            'repro_analysis_cache_total{outcome="miss"}',
+            "repro_analysis_proxy_resolutions_total",
+            "repro_analysis_findings_total",
+            "repro_analysis_high_severity_total",
+        ]
+        missing = [needle for needle in needles if needle not in text]
+        assert not missing, f"/metrics misses: {missing}"
+
+    def test_stats_shape_gains_no_obs_keys(self, obs_service, start_gateway):
+        gateway = start_gateway(obs_service)
+        _, _, stats = request(gateway.port, "GET", "/stats")
+        assert set(stats) == {"gateway", "service"}
+        assert "trace" not in stats["gateway"]
+        assert "registry" not in stats["service"]
+
+    def test_direct_instrumentation_reaches_scrape(
+        self, obs_service, start_gateway, dataset
+    ):
+        gateway = start_gateway(obs_service)
+        code = dataset.bytecodes[1].hex()
+        request(gateway.port, "POST", "/score/bytecode", body={"bytecode": code})
+        _, _, text = text_request(gateway.port, "/metrics")
+        assert re.search(r'repro_serving_flushes_total\{reason="\w+"\} [1-9]', text)
+        assert 'repro_gateway_request_latency_seconds_bucket{route="/score/bytecode"' in text
+        assert "repro_serving_batch_size_bucket" in text
+        assert "repro_serving_model_pass_seconds_count" in text
+
+    def test_unknown_routes_collapse_to_other_label(
+        self, obs_service, start_gateway
+    ):
+        gateway = start_gateway(obs_service)
+        request(gateway.port, "GET", "/definitely/not/a/route")
+        _, _, text = text_request(gateway.port, "/metrics")
+        assert 'repro_gateway_request_latency_seconds_bucket{route="other"' in text
+        assert "/definitely/not/a/route" not in text
+
+
+class TestTraceEndpoint:
+    def test_trace_true_returns_span_breakdown(
+        self, obs_service, start_gateway, dataset
+    ):
+        gateway = start_gateway(obs_service)
+        code = dataset.bytecodes[2].hex()
+        status, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": code, "trace": True},
+        )
+        assert status == 200
+        assert re.fullmatch(r"[0-9a-f]{16}", body["trace"]["trace_id"])
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert {"gateway", "batch", "features", "model"} <= names
+        for span in body["trace"]["spans"]:
+            assert span["duration_ms"] >= 0.0
+
+    def test_trace_absent_by_default(self, obs_service, start_gateway, dataset):
+        gateway = start_gateway(obs_service)
+        code = dataset.bytecodes[3].hex()
+        _, _, body = request(
+            gateway.port, "POST", "/score/bytecode", body={"bytecode": code}
+        )
+        assert "trace" not in body
+
+    def test_trace_flag_must_be_boolean(self, obs_service, start_gateway, dataset):
+        gateway = start_gateway(obs_service)
+        code = dataset.bytecodes[3].hex()
+        status, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": code, "trace": "yes"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+    def test_explain_and_analysis_stages_traced(
+        self, obs_service, start_gateway, obs_explainer, dataset
+    ):
+        gateway = start_gateway(
+            obs_service, explainer=obs_explainer, analyzer=StaticAnalyzer()
+        )
+        code = dataset.bytecodes[4].hex()
+        _, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": code, "trace": True, "explain": True, "analyze": True},
+        )
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert {"explain", "analysis"} <= names
+
+    def test_batch_route_traced(self, obs_service, start_gateway, dataset):
+        gateway = start_gateway(obs_service)
+        codes = [code.hex() for code in dataset.bytecodes[5:8]]
+        status, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/batch",
+            body={"bytecodes": codes, "trace": True},
+        )
+        assert status == 200
+        assert body["count"] == 3
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert {"gateway", "model"} <= names
+
+    def test_cached_verdicts_still_trace_gateway_span(
+        self, obs_service, start_gateway, dataset
+    ):
+        gateway = start_gateway(obs_service)
+        code = dataset.bytecodes[6].hex()
+        request(gateway.port, "POST", "/score/bytecode", body={"bytecode": code})
+        _, _, body = request(
+            gateway.port,
+            "POST",
+            "/score/bytecode",
+            body={"bytecode": code, "trace": True},
+        )
+        assert body["cached"] is True
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert "gateway" in names
+        # A verdict-cache hit never reaches the model.
+        assert "model" not in names
+
+
+class TestDebugSlowEndpoint:
+    def test_zero_threshold_records_every_scoring_request(
+        self, obs_service, start_gateway, dataset
+    ):
+        config = GatewayConfig(slow_request_ms=0.0, slow_log_size=8)
+        gateway = start_gateway(obs_service, config=config)
+        code = dataset.bytecodes[7].hex()
+        request(gateway.port, "POST", "/score/bytecode", body={"bytecode": code})
+        status, _, body = request(gateway.port, "GET", "/debug/slow")
+        assert status == 200
+        assert body["threshold_ms"] == 0.0
+        assert body["capacity"] == 8
+        assert body["recorded"] >= 1
+        entry = body["entries"][-1]
+        assert set(entry) == {"trace_id", "route", "status", "latency_ms", "spans"}
+        assert entry["route"] == "/score/bytecode"
+        assert entry["status"] == 200
+        assert {span["name"] for span in entry["spans"]} >= {"gateway"}
+
+    def test_high_threshold_records_nothing(
+        self, obs_service, start_gateway, dataset
+    ):
+        config = GatewayConfig(slow_request_ms=60_000.0)
+        gateway = start_gateway(obs_service, config=config)
+        code = dataset.bytecodes[8].hex()
+        request(gateway.port, "POST", "/score/bytecode", body={"bytecode": code})
+        _, _, body = request(gateway.port, "GET", "/debug/slow")
+        assert body["seen"] >= 1
+        assert body["entries"] == []
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"slow_request_ms": -1.0}, {"slow_log_size": 0}]
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GatewayConfig(**kwargs)
